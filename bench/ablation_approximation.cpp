@@ -1,0 +1,63 @@
+// Ablation (extension): DD state approximation [97] — node-count reduction
+// vs fidelity budget on states of varying regularity. Not a paper
+// experiment; quantifies the knob DDSIM-family simulators use to cap DD
+// growth, for comparison with FlatDD's convert-to-array answer to the same
+// problem.
+
+#include <cstdio>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/harness.hpp"
+#include "dd/package.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd::bench {
+namespace {
+
+int run() {
+  printPreamble(
+      "Ablation — DD state approximation: nodes vs fidelity budget",
+      "extension (Zulehner/Hillmich/Markov/Wille approximation [97])");
+
+  Table table({"Circuit", "budget", "nodes before", "nodes after",
+               "reduction", "fidelity"});
+
+  for (const auto& entry :
+       {std::pair{std::string{"DNN n=12"}, circuits::dnn(12, 4, 7)},
+        std::pair{std::string{"Supremacy n=12"},
+                  circuits::supremacy(12, 6, 23)},
+        std::pair{std::string{"QFT n=12"}, circuits::qft(12, 0x5a5)},
+        std::pair{std::string{"W state n=12"}, circuits::wState(12)}}) {
+    const auto& [name, circuit] = entry;
+    sim::DDSimulator s{circuit.numQubits()};
+    s.simulate(circuit);
+    auto& pkg = s.package();
+    const std::size_t before = pkg.nodeCount(s.state());
+    for (const fp budget : {0.001, 0.01, 0.05}) {
+      const dd::vEdge approx = pkg.approximate(s.state(), budget);
+      const std::size_t after = pkg.nodeCount(approx);
+      const fp fidelity = std::norm(pkg.innerProduct(s.state(), approx));
+      char b[16];
+      std::snprintf(b, sizeof(b), "%.3f", budget);
+      table.addRow({name, b, std::to_string(before), std::to_string(after),
+                    fmtPercent(100.0 * (1.0 - static_cast<double>(after) /
+                                                  static_cast<double>(before))),
+                    std::to_string(fidelity).substr(0, 8)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: irregular states (DNN, supremacy) shed few nodes "
+      "even for\nlarge budgets — their amplitude mass is spread uniformly — "
+      "while structured\nstates with amplitude tails compress well. This is "
+      "the complementary evidence\nfor the paper's premise: approximation "
+      "cannot rescue DD simulation on\nirregular circuits, conversion to a "
+      "flat array can.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

@@ -1,0 +1,60 @@
+// Ablation: EWMA conversion-timing parameters (Section 3.1.1). The paper
+// fixes beta = 0.9 and epsilon = 2 "determined to be effective across
+// multiple quantum circuits"; this sweep shows how the conversion point and
+// total runtime respond to both knobs on a regular and an irregular circuit.
+
+#include <cstdio>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/harness.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+
+namespace fdd::bench {
+namespace {
+
+void sweep(const qc::Circuit& circuit) {
+  std::printf("--- %s (%d qubits, %zu gates) ---\n", circuit.name().c_str(),
+              circuit.numQubits(), circuit.numGates());
+  Table table({"beta", "epsilon", "converted@", "peak DD", "runtime"});
+  for (const fp beta : {0.8, 0.9, 0.95, 0.99}) {
+    for (const fp epsilon : {1.5, 2.0, 3.0, 4.0}) {
+      flat::FlatDDOptions opt;
+      opt.threads = benchThreads();
+      opt.beta = beta;
+      opt.epsilon = epsilon;
+      flat::FlatDDSimulator sim{circuit.numQubits(), opt};
+      const double seconds = timeIt([&] { sim.simulate(circuit); });
+      const auto& st = sim.stats();
+      char b[16];
+      char e[16];
+      std::snprintf(b, sizeof(b), "%.2f", beta);
+      std::snprintf(e, sizeof(e), "%.1f", epsilon);
+      table.addRow({b, e,
+                    st.converted ? std::to_string(st.conversionGateIndex)
+                                 : std::string("never"),
+                    std::to_string(st.peakDDSize), fmtSeconds(seconds)});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+int run() {
+  printPreamble("Ablation — EWMA parameters (beta, epsilon)",
+                "FlatDD (ICPP'24), Section 3.1.1 / Section 4.2 defaults");
+  sweep(circuits::supremacy(12, 10, 23));  // irregular: must convert
+  sweep(circuits::dnn(12, 10, 7));         // irregular: must convert
+  sweep(circuits::adder(7, 99, 28));       // regular: must never convert
+  std::printf(
+      "Expected shape: on irregular circuits every setting converts, with "
+      "larger\nepsilon/beta converting slightly later at similar total "
+      "runtime (the paper's\nclaim that beta=0.9, epsilon=2 is robust); on "
+      "the regular adder no setting\nconverts at all.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

@@ -1,0 +1,88 @@
+// Ablation: amplitude-indexing cost — the paper's Section 3.2.1 claim that
+// DMAV's recursive DD indexing is O(1) amortized per amplitude while
+// Quantum++-style multi-index arithmetic is O(n). We time one Hadamard
+// application per qubit count with three kernels:
+//   * DMAV (DD gate matrix, recursive Run)
+//   * array / bit-tricks (O(1) bit insertion — an optimized array kernel)
+//   * array / multi-index (O(n) digit reconstruction — Quantum++-faithful)
+// The multi-index kernel's per-amplitude cost must grow with n; the other
+// two must stay flat.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "dd/package.hpp"
+#include "flatdd/dmav.hpp"
+#include "sim/array_simulator.hpp"
+
+namespace fdd::bench {
+namespace {
+
+int run() {
+  printPreamble("Ablation — per-amplitude indexing cost vs qubit count",
+                "FlatDD (ICPP'24), Section 3.2.1 (the 'n x indexing' claim)");
+
+  Table table({"Qubits", "DMAV ns/amp", "BitTricks ns/amp",
+               "MultiIndex ns/amp", "MultiIndex/DMAV"});
+
+  for (const Qubit n : {10, 12, 14, 16, 18, 20}) {
+    const Index dim = Index{1} << n;
+    const qc::Operation op{qc::GateKind::H, n / 2, {}, {}};
+    const int reps = std::max(1, static_cast<int>((Index{1} << 24) / dim));
+
+    // DMAV, single thread so we measure the kernel, not the pool.
+    dd::Package pkg{n};
+    const dd::mEdge m = pkg.makeGateDD(op);
+    AlignedVector<Complex> v(dim, Complex{});
+    v[0] = Complex{1.0};
+    AlignedVector<Complex> w(dim);
+    double tDmav = 1e30;
+    for (int r = 0; r < 3; ++r) {
+      tDmav = std::min(tDmav, timeIt([&] {
+                for (int i = 0; i < reps; ++i) {
+                  flat::dmav(m, n, v, w, 1);
+                  std::swap(v, w);
+                }
+              }) / reps);
+    }
+
+    auto timeArray = [&](sim::ArrayIndexing mode) {
+      sim::ArraySimulator s{n, {.threads = 1, .indexing = mode}};
+      double best = 1e30;
+      for (int r = 0; r < 3; ++r) {
+        best = std::min(best, timeIt([&] {
+                 for (int i = 0; i < reps; ++i) {
+                   s.applyOperation(op);
+                 }
+               }) / reps);
+      }
+      return best;
+    };
+    const double tBit = timeArray(sim::ArrayIndexing::BitTricks);
+    const double tMulti = timeArray(sim::ArrayIndexing::MultiIndex);
+
+    auto nsPerAmp = [&](double seconds) {
+      return seconds * 1e9 / static_cast<double>(dim);
+    };
+    char a[32];
+    char b[32];
+    char c[32];
+    std::snprintf(a, sizeof(a), "%.3f", nsPerAmp(tDmav));
+    std::snprintf(b, sizeof(b), "%.3f", nsPerAmp(tBit));
+    std::snprintf(c, sizeof(c), "%.3f", nsPerAmp(tMulti));
+    table.addRow({std::to_string(n), a, b, c, fmtRatio(tMulti / tDmav)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: the MultiIndex column grows roughly linearly in n "
+      "(O(n) per\namplitude); DMAV and BitTricks stay flat. The last column "
+      "is the paper's\n'DMAV is ~n x faster at indexing than Quantum++' "
+      "effect.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

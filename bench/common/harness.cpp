@@ -1,0 +1,183 @@
+#include "common/harness.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cmath>
+#include <thread>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "simd/kernels.hpp"
+
+namespace fdd::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c == 0) {
+        std::printf("%-*s", static_cast<int>(widths[c]) + 2, row[c].c_str());
+      } else {
+        std::printf("%*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+    }
+    std::printf("\n");
+  };
+  printRow(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) {
+    total += w + 2;
+  }
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    printRow(row);
+  }
+}
+
+std::string fmtSeconds(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+std::string fmtMB(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+std::string fmtRatio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+std::string fmtCount(double c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1e", c);
+  return buf;
+}
+
+std::string fmtPercent(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", p);
+  return buf;
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0;
+  }
+  double logSum = 0;
+  for (const double v : values) {
+    logSum += std::log(v);
+  }
+  return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double timeIt(const std::function<void()>& f) {
+  Stopwatch sw;
+  f();
+  return sw.seconds();
+}
+
+std::vector<BenchCircuit> table1Circuits() {
+  // Scaled versions of the paper's 12 circuits (Table 1). Qubit counts are
+  // reduced so the full sweep runs in minutes on a 2-core container; the
+  // regular/irregular character of each family is preserved.
+  std::vector<BenchCircuit> out;
+  out.push_back({"DNN n=10", circuits::dnn(10, 10, 7), "paper: n=16, 2032 gates"});
+  out.push_back({"DNN n=12", circuits::dnn(12, 12, 7), "paper: n=20, 6214 gates"});
+  out.push_back({"DNN n=14", circuits::dnn(14, 12, 7), "paper: n=25, 9644 gates"});
+  out.push_back({"Adder n=18", circuits::adder(8, 173, 94), "paper: n=28, 117 gates"});
+  out.push_back({"GHZ n=16", circuits::ghz(16), "paper: n=23, 46 gates"});
+  out.push_back({"VQE n=12", circuits::vqe(12, 4, 11), "paper: n=16, 95 gates"});
+  out.push_back({"KNN n=13", circuits::knn(13, 17), "paper: n=25, 39 gates"});
+  out.push_back({"KNN n=15", circuits::knn(15, 17), "paper: n=31, 48 gates"});
+  out.push_back({"SwapTest n=13", circuits::swapTest(13, 13), "paper: n=25, 39 gates"});
+  out.push_back({"Supremacy n=12", circuits::supremacy(12, 10, 23), "paper: n=20, 4500 gates"});
+  out.push_back({"Supremacy n=13", circuits::supremacy(13, 10, 23), "paper: n=24, 5560 gates"});
+  out.push_back({"Supremacy n=14", circuits::supremacy(14, 10, 23), "paper: n=26, 5990 gates"});
+  return out;
+}
+
+std::vector<BenchCircuit> deepCircuits() {
+  std::vector<BenchCircuit> out;
+  out.push_back({"DNN n=10", circuits::dnn(10, 40, 7), "paper: n=16, 2032 gates"});
+  out.push_back({"DNN n=12", circuits::dnn(12, 40, 7), "paper: n=20, 6214 gates"});
+  out.push_back({"DNN n=14", circuits::dnn(14, 40, 7), "paper: n=25, 9644 gates"});
+  out.push_back({"Supremacy n=10", circuits::supremacy(10, 40, 23), "paper: n=20, 4500 gates"});
+  out.push_back({"Supremacy n=12", circuits::supremacy(12, 40, 23), "paper: n=24, 5560 gates"});
+  out.push_back({"Supremacy n=14", circuits::supremacy(14, 40, 23), "paper: n=26, 5990 gates"});
+  return out;
+}
+
+std::vector<BenchCircuit> table2Circuits() {
+  std::vector<BenchCircuit> out;
+  out.push_back({"DNN n=12", circuits::dnn(12, 40, 7), "paper: n=16, 2032 gates"});
+  out.push_back({"DNN n=14", circuits::dnn(14, 40, 7), "paper: n=20, 6214 gates"});
+  out.push_back({"DNN n=16", circuits::dnn(16, 40, 7), "paper: n=25, 9644 gates"});
+  out.push_back({"Supremacy n=12", circuits::supremacy(12, 40, 23), "paper: n=20, 4500 gates"});
+  out.push_back({"Supremacy n=14", circuits::supremacy(14, 40, 23), "paper: n=24, 5560 gates"});
+  out.push_back({"Supremacy n=16", circuits::supremacy(16, 40, 23), "paper: n=26, 5990 gates"});
+  return out;
+}
+
+std::vector<BenchCircuit> conversionCircuits() {
+  std::vector<BenchCircuit> out;
+  out.push_back({"DNN n=12", circuits::dnn(12, 8, 7), ""});
+  out.push_back({"DNN n=14", circuits::dnn(14, 8, 7), ""});
+  out.push_back({"VQE n=12", circuits::vqe(12, 4, 11), ""});
+  out.push_back({"VQE n=14", circuits::vqe(14, 4, 11), ""});
+  out.push_back({"KNN n=13", circuits::knn(13, 17), ""});
+  out.push_back({"KNN n=15", circuits::knn(15, 17), ""});
+  out.push_back({"SwapTest n=13", circuits::swapTest(13, 13), ""});
+  out.push_back({"QFT n=14", circuits::qft(14, 0x2bd), ""});
+  out.push_back({"Supremacy n=12", circuits::supremacy(12, 8, 23), ""});
+  out.push_back({"Supremacy n=14", circuits::supremacy(14, 8, 23), ""});
+  return out;
+}
+
+unsigned benchThreads() {
+  if (const char* env = std::getenv("FLATDD_BENCH_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return std::max(2u, std::min(16u, std::thread::hardware_concurrency()));
+}
+
+void printPreamble(const char* title, const char* paperReference) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paperReference);
+  std::printf("Host: %u hardware threads; bench threads: %u (paper: 16); "
+              "SIMD: %s (d=%u)\n",
+              std::thread::hardware_concurrency(), benchThreads(),
+              simd::avx2Enabled() ? "AVX2+FMA" : "scalar", simd::lanes());
+  std::printf("Note: absolute numbers are not comparable to the paper's\n");
+  std::printf("64-core Xeon testbed; compare shapes/ratios (see EXPERIMENTS.md).\n");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace fdd::bench

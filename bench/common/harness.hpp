@@ -1,0 +1,73 @@
+#pragma once
+// Shared benchmark harness: fixed-width table printing in the style of the
+// paper's tables/figures, timing wrappers, geometric means, and the scaled
+// benchmark circuit roster (Section 4 workloads at laptop-scale qubit
+// counts — see DESIGN.md for the scaling rationale).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "common/types.hpp"
+#include "qc/circuit.hpp"
+
+namespace fdd::bench {
+
+/// Fixed-width text table. Columns are right-aligned except the first.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+[[nodiscard]] std::string fmtSeconds(double s);
+[[nodiscard]] std::string fmtMB(double bytes);
+[[nodiscard]] std::string fmtRatio(double r);     // "12.34x"
+[[nodiscard]] std::string fmtCount(double c);     // "1.2e+06"
+[[nodiscard]] std::string fmtPercent(double p);   // "12.3%"
+
+/// Geometric mean of positive values (the paper's averaging rule).
+[[nodiscard]] double geomean(const std::vector<double>& values);
+
+/// Runs f once and returns wall seconds.
+[[nodiscard]] double timeIt(const std::function<void()>& f);
+
+/// One named benchmark circuit plus the paper row it scales down.
+struct BenchCircuit {
+  std::string name;
+  qc::Circuit circuit;
+  std::string paperRow;  // e.g. "paper: n=20, 6214 gates"
+};
+
+/// The Table 1 roster (12 circuits) at scaled-down qubit counts.
+[[nodiscard]] std::vector<BenchCircuit> table1Circuits();
+
+/// The Fig. 14 roster: the six deepest circuits (kept at n <= 14 so the
+/// five-way thread sweep finishes quickly).
+[[nodiscard]] std::vector<BenchCircuit> deepCircuits();
+
+/// The Table 2 roster: six deep circuits, one size step larger — the
+/// fusion gain grows with n, so the largest sizes carry the signal.
+[[nodiscard]] std::vector<BenchCircuit> table2Circuits();
+
+/// The Fig. 13 roster: ten circuits with a meaningful conversion point.
+[[nodiscard]] std::vector<BenchCircuit> conversionCircuits();
+
+/// Prints the standard bench header (machine facts, thread pool size).
+void printPreamble(const char* title, const char* paperReference);
+
+/// Thread count used by the "multi-threaded" configurations. The paper runs
+/// 16 threads on a 64-core Xeon; on small hosts that oversubscription only
+/// adds fork/join latency, so we default to the hardware concurrency
+/// (override with the FLATDD_BENCH_THREADS environment variable).
+[[nodiscard]] unsigned benchThreads();
+
+}  // namespace fdd::bench

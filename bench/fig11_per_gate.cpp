@@ -1,0 +1,86 @@
+// Figure 11: per-gate runtime of FlatDD, DDSIM, and the array simulator on
+// irregular circuits (DNN, Supremacy). The paper's shape: DDSIM's per-gate
+// time explodes once the state turns irregular; FlatDD follows DDSIM until
+// the conversion point and then stays flat, below the array simulator.
+
+#include <cstdio>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/harness.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd::bench {
+namespace {
+
+
+
+void runCase(const qc::Circuit& circuit) {
+  const Qubit n = circuit.numQubits();
+  std::printf("--- %s (%d qubits, %zu gates) ---\n", circuit.name().c_str(),
+              n, circuit.numGates());
+
+  // FlatDD per-gate trace.
+  flat::FlatDDOptions opt;
+  opt.threads = benchThreads();
+  opt.recordPerGate = true;
+  flat::FlatDDSimulator flatSim{n, opt};
+  flatSim.simulate(circuit);
+  const auto& flatTrace = flatSim.stats().perGate;
+
+  // DDSIM per-gate trace.
+  sim::DDSimulator ddSim{n};
+  std::vector<double> ddTrace;
+  for (const auto& op : circuit) {
+    Stopwatch sw;
+    ddSim.applyOperation(op);
+    ddTrace.push_back(sw.seconds());
+  }
+
+  // Array per-gate trace.
+  sim::ArraySimulator arrSim{
+      n, {.threads = benchThreads(),
+          .indexing = sim::ArrayIndexing::MultiIndex}};
+  std::vector<double> arrTrace;
+  for (const auto& op : circuit) {
+    Stopwatch sw;
+    arrSim.applyOperation(op);
+    arrTrace.push_back(sw.seconds());
+  }
+
+  Table table({"Gate", "FlatDD", "phase", "DDSIM", "Array"});
+  const std::size_t stride = std::max<std::size_t>(1, ddTrace.size() / 24);
+  for (std::size_t i = 0; i < ddTrace.size(); i += stride) {
+    const bool inDD = i < flatTrace.size() && flatTrace[i].inDDPhase;
+    // After fusion-less conversion the FlatDD trace is 1:1 with gates.
+    const double flatT =
+        i < flatTrace.size() ? flatTrace[i].seconds : 0.0;
+    table.addRow({std::to_string(i), fmtSeconds(flatT),
+                  inDD ? "DD" : "DMAV", fmtSeconds(ddTrace[i]),
+                  fmtSeconds(arrTrace[i])});
+  }
+  table.print();
+  if (flatSim.stats().converted) {
+    std::printf("FlatDD converted at gate %zu (conversion took %s)\n\n",
+                flatSim.stats().conversionGateIndex,
+                fmtSeconds(flatSim.stats().conversionSeconds).c_str());
+  } else {
+    std::printf("FlatDD never converted on this circuit\n\n");
+  }
+}
+
+int run() {
+  printPreamble("Figure 11 — per-gate runtime comparison",
+                "FlatDD (ICPP'24), Fig. 11 (and the Fig. 3 top box)");
+  runCase(circuits::dnn(12, 8, 7));
+  runCase(circuits::supremacy(12, 8, 23));
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

@@ -1,0 +1,162 @@
+// Figure 14: DMAV caching — computational-cost reduction (model, Eq. 5 vs
+// Eq. 6) and measured speed-up of cached vs uncached DMAV over different
+// thread counts, on the six largest circuits.
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "dd/package.hpp"
+#include "flatdd/cost_model.hpp"
+#include "flatdd/dmav.hpp"
+#include "flatdd/dmav_cache.hpp"
+#include "simd/kernels.hpp"
+
+namespace fdd::bench {
+namespace {
+
+struct PhaseResult {
+  double timeNoCache = 0;
+  double timeCached = 0;
+  double costNoCacheTotal = 0;
+  double costCachedTotal = 0;
+};
+
+/// Runs the whole circuit as a pure DMAV phase (from |0...0>) twice: with
+/// the cache forced off and forced on.
+PhaseResult runDmavPhase(const qc::Circuit& circuit, unsigned threads) {
+  const Qubit n = circuit.numQubits();
+  dd::Package pkg{n};
+  std::vector<dd::mEdge> gates;
+  gates.reserve(circuit.numGates());
+  for (const auto& op : circuit) {
+    const dd::mEdge m = pkg.makeGateDD(op);
+    pkg.incRef(m);
+    gates.push_back(m);
+  }
+
+  PhaseResult r;
+  const Index dim = Index{1} << n;
+  AlignedVector<Complex> v(dim);
+  AlignedVector<Complex> w(dim);
+
+  for (const auto& g : gates) {
+    r.costNoCacheTotal +=
+        flat::costNoCache(g, flat::clampDmavThreads(n, threads));
+    r.costCachedTotal +=
+        std::min(flat::costNoCache(g, flat::clampDmavThreads(n, threads)),
+                 flat::costWithCache(g, n, threads, simd::lanes()));
+  }
+
+  // Pre-decide caching per gate so the decision cost stays out of the
+  // timed region (FlatDD amortizes it across the run anyway).
+  std::vector<char> useCache(gates.size());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    useCache[i] =
+        flat::cachingBeneficial(gates[i], n, threads, simd::lanes()) ? 1 : 0;
+  }
+
+  r.timeNoCache = 1e30;
+  r.timeCached = 1e30;
+  flat::DmavWorkspace ws;
+  for (int rep = 0; rep < 3; ++rep) {  // best-of-3 against container jitter
+    simd::zeroFill(v.data(), dim);
+    v[0] = Complex{1.0};
+    r.timeNoCache = std::min(r.timeNoCache, timeIt([&] {
+      for (const auto& g : gates) {
+        flat::dmav(g, n, v, w, threads);
+        std::swap(v, w);
+      }
+    }));
+
+    simd::zeroFill(v.data(), dim);
+    v[0] = Complex{1.0};
+    r.timeCached = std::min(r.timeCached, timeIt([&] {
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (useCache[i] != 0) {
+          flat::dmavCached(gates[i], n, v, w, threads, ws);
+        } else {
+          flat::dmav(gates[i], n, v, w, threads);
+        }
+        std::swap(v, w);
+      }
+    }));
+  }
+  return r;
+}
+
+int run() {
+  printPreamble("Figure 14 — DMAV caching: cost reduction and speed-up",
+                "FlatDD (ICPP'24), Fig. 14");
+
+  const auto roster = deepCircuits();
+  Table costTable({"Threads", "min cost red.", "avg cost red.",
+                   "max cost red."});
+  Table speedTable({"Threads", "min speed-up", "avg speed-up",
+                    "max speed-up"});
+  Table paperKernelTable({"Threads", "min speed-up", "avg speed-up",
+                          "max speed-up"});
+
+  auto mm = [](const std::vector<double>& v) {
+    double lo = v[0];
+    double hi = v[0];
+    double sum = 0;
+    for (const double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      sum += x;
+    }
+    return std::array<double, 3>{lo, sum / static_cast<double>(v.size()), hi};
+  };
+
+  for (const unsigned t : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<double> costRed;
+    std::vector<double> speedup;
+    std::vector<double> speedupPaperKernel;
+    for (const auto& bc : roster) {
+      flat::setIdentFastPath(true);
+      const PhaseResult r = runDmavPhase(bc.circuit, t);
+      costRed.push_back(100.0 *
+                        (1.0 - r.costCachedTotal / r.costNoCacheTotal));
+      speedup.push_back(100.0 * (r.timeNoCache / r.timeCached - 1.0));
+      // Paper-faithful Run kernel (no identity-subtree vectorization): this
+      // is the regime the paper measures its caching gains in.
+      flat::setIdentFastPath(false);
+      const PhaseResult rp = runDmavPhase(bc.circuit, t);
+      flat::setIdentFastPath(true);
+      speedupPaperKernel.push_back(
+          100.0 * (rp.timeNoCache / rp.timeCached - 1.0));
+    }
+    const auto c = mm(costRed);
+    const auto s = mm(speedup);
+    const auto sp = mm(speedupPaperKernel);
+    costTable.addRow({std::to_string(t), fmtPercent(c[0]), fmtPercent(c[1]),
+                      fmtPercent(c[2])});
+    speedTable.addRow({std::to_string(t), fmtPercent(s[0]), fmtPercent(s[1]),
+                       fmtPercent(s[2])});
+    paperKernelTable.addRow({std::to_string(t), fmtPercent(sp[0]),
+                             fmtPercent(sp[1]), fmtPercent(sp[2])});
+  }
+
+  std::printf("(a) computational-cost reduction from caching (model):\n");
+  costTable.print();
+  std::printf("\n(b) measured speed-up, paper-faithful Run kernel "
+              "(scalar identity recursion):\n");
+  paperKernelTable.print();
+  std::printf("\n(c) measured speed-up with this library's vectorized "
+              "identity fast path:\n");
+  speedTable.print();
+  std::printf(
+      "\nPaper shape: reduction/speed-up grow with threads; ~13.5%% cost "
+      "reduction and\n~16.5%% speed-up at 16 threads on the 64-core testbed. "
+      "Series (c) is an ablation\nshowing that vectorizing identity subtrees "
+      "in Run captures most of the gain the\ncache provides on top of a "
+      "scalar kernel.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

@@ -1,0 +1,66 @@
+// Figure 3: the FlatDD algorithm overview — per-gate DD size, the EWMA
+// moving average, and the conversion point on an irregular circuit. Prints
+// the trace series the paper plots in the top box of Fig. 3.
+
+#include <cstdio>
+
+#include "circuits/generators.hpp"
+#include "common/harness.hpp"
+#include "flatdd/ewma.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd::bench {
+namespace {
+
+int run() {
+  printPreamble("Figure 3 — EWMA-monitored DD size and conversion point",
+                "FlatDD (ICPP'24), Fig. 3 / Section 3.1.1");
+
+  const auto circuit = circuits::dnn(12, 6, 7);
+  const Qubit n = circuit.numQubits();
+  std::printf("Circuit: %s (%d qubits, %zu gates); beta=0.9 epsilon=2\n\n",
+              circuit.name().c_str(), n, circuit.numGates());
+
+  sim::DDSimulator ddSim{n};
+  flat::EwmaMonitor ewma{0.9, 2.0, 8, 64};
+
+  Table table({"Gate", "DD size s_i", "EWMA v_i", "eps*v_i < s_i",
+               "gate time"});
+  std::size_t gateIndex = 0;
+  bool converted = false;
+  for (const auto& op : circuit) {
+    Stopwatch sw;
+    ddSim.applyOperation(op);
+    const double gateTime = sw.seconds();
+    const std::size_t size = ddSim.stateNodeCount();
+    const bool trigger = ewma.observe(size);
+    if (gateIndex % 10 == 0 || trigger) {
+      table.addRow({std::to_string(gateIndex), std::to_string(size),
+                    fmtCount(ewma.value()), trigger ? "CONVERT" : "stay",
+                    fmtSeconds(gateTime)});
+    }
+    ++gateIndex;
+    if (trigger && !converted) {
+      converted = true;
+      std::printf("--> conversion point at gate %zu (DD size %zu, EWMA %.1f)\n",
+                  gateIndex, size, ewma.value());
+      break;
+    }
+  }
+  std::printf("\n");
+  table.print();
+  if (!converted) {
+    std::printf("\nNo conversion triggered (circuit stayed regular).\n");
+  } else {
+    std::printf(
+        "\nShape check (paper Fig. 3): DD size grows geometrically on an\n"
+        "irregular circuit until the EWMA trigger fires; FlatDD then switches"
+        "\nto DMAV and per-gate cost flattens.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

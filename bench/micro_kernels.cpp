@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// paper's experiments: SIMD complex ops, DMAV vs array gate application,
+// DD-to-array conversion, and DD matrix-vector multiplication.
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/generators.hpp"
+#include "common/aligned.hpp"
+#include "common/prng.hpp"
+#include "dd/package.hpp"
+#include "flatdd/conversion.hpp"
+#include "flatdd/dmav.hpp"
+#include "flatdd/dmav_cache.hpp"
+#include "sim/array_simulator.hpp"
+#include "simd/kernels.hpp"
+
+namespace {
+
+using namespace fdd;
+
+AlignedVector<Complex> randomVec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng{seed};
+  AlignedVector<Complex> v(n);
+  for (auto& z : v) {
+    z = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  return v;
+}
+
+void BM_SimdScale(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto in = randomVec(n, 1);
+  AlignedVector<Complex> out(n);
+  const Complex s{0.6, -0.8};
+  for (auto _ : state) {
+    simd::scale(out.data(), in.data(), s, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(Complex)));
+}
+BENCHMARK(BM_SimdScale)->Range(1 << 10, 1 << 18);
+
+void BM_SimdAccumulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto in = randomVec(n, 2);
+  AlignedVector<Complex> out(n);
+  for (auto _ : state) {
+    simd::accumulate(out.data(), in.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(Complex)));
+}
+BENCHMARK(BM_SimdAccumulate)->Range(1 << 10, 1 << 18);
+
+void BM_ArrayGateApply(benchmark::State& state) {
+  const auto n = static_cast<Qubit>(state.range(0));
+  sim::ArraySimulator simObj{n, {.threads = 1}};
+  const qc::Operation op{qc::GateKind::H, n / 2, {}, {}};
+  for (auto _ : state) {
+    simObj.applyOperation(op);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1LL << n));
+}
+BENCHMARK(BM_ArrayGateApply)->DenseRange(10, 18, 4);
+
+void BM_DmavGateApply(benchmark::State& state) {
+  const auto n = static_cast<Qubit>(state.range(0));
+  dd::Package pkg{n};
+  const dd::mEdge m =
+      pkg.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), n / 2);
+  auto v = randomVec(Index{1} << n, 3);
+  AlignedVector<Complex> w(v.size());
+  for (auto _ : state) {
+    flat::dmav(m, n, v, w, 1);
+    std::swap(v, w);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1LL << n));
+}
+BENCHMARK(BM_DmavGateApply)->DenseRange(10, 18, 4);
+
+void BM_DmavCachedGateApply(benchmark::State& state) {
+  const auto n = static_cast<Qubit>(state.range(0));
+  dd::Package pkg{n};
+  const dd::mEdge m =
+      pkg.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), n - 1);
+  auto v = randomVec(Index{1} << n, 4);
+  AlignedVector<Complex> w(v.size());
+  flat::DmavWorkspace ws;
+  for (auto _ : state) {
+    flat::dmavCached(m, n, v, w, 2, ws);
+    std::swap(v, w);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1LL << n));
+}
+BENCHMARK(BM_DmavCachedGateApply)->DenseRange(10, 18, 4);
+
+void BM_SequentialConversion(benchmark::State& state) {
+  const auto n = static_cast<Qubit>(state.range(0));
+  dd::Package pkg{n};
+  const dd::vEdge e = pkg.fromArray(randomVec(Index{1} << n, 5));
+  AlignedVector<Complex> out(Index{1} << n);
+  for (auto _ : state) {
+    pkg.toArray(e, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SequentialConversion)->DenseRange(10, 16, 3);
+
+void BM_ParallelConversion(benchmark::State& state) {
+  const auto n = static_cast<Qubit>(state.range(0));
+  dd::Package pkg{n};
+  const dd::vEdge e = pkg.fromArray(randomVec(Index{1} << n, 6));
+  AlignedVector<Complex> out(Index{1} << n);
+  for (auto _ : state) {
+    flat::ddToArrayParallel(e, n, out, 2);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelConversion)->DenseRange(10, 16, 3);
+
+void BM_DDMatrixVector(benchmark::State& state) {
+  const auto n = static_cast<Qubit>(state.range(0));
+  const auto circuit = circuits::ghz(n);
+  for (auto _ : state) {
+    dd::Package pkg{n};
+    dd::vEdge s = pkg.makeZeroState();
+    for (const auto& op : circuit) {
+      s = pkg.multiply(pkg.makeGateDD(op), s);
+    }
+    benchmark::DoNotOptimize(s.n);
+  }
+}
+BENCHMARK(BM_DDMatrixVector)->DenseRange(8, 20, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

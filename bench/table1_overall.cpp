@@ -1,0 +1,89 @@
+// Table 1: overall runtime and memory comparison of FlatDD vs DDSIM vs
+// Quantum++ (our array simulator) on the 12 benchmark circuits.
+// FlatDD and the array simulator run multi-threaded; DDSIM runs on one
+// thread (it does not support multi-threading — Section 4.2).
+
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd::bench {
+namespace {
+
+
+
+int run() {
+  printPreamble("Table 1 — overall runtime & memory, 12 circuits",
+                "FlatDD (ICPP'24), Table 1");
+
+  Table table({"Circuit", "Qubits", "Gates", "FlatDD time", "FlatDD mem",
+               "DDSIM time", "speedup", "DDSIM mem", "Array time", "speedup",
+               "Array mem", "converted@"});
+
+  std::vector<double> flatTimes;
+  std::vector<double> ddSpeedups;
+  std::vector<double> arrSpeedups;
+  std::vector<double> flatMem;
+  std::vector<double> ddMem;
+  std::vector<double> arrMem;
+
+  for (const auto& bc : table1Circuits()) {
+    const Qubit n = bc.circuit.numQubits();
+
+    flat::FlatDDOptions opt;
+    opt.threads = benchThreads();
+    flat::FlatDDSimulator flatSim{n, opt};
+    const double tFlat = timeIt([&] { flatSim.simulate(bc.circuit); });
+    const double mFlat = static_cast<double>(flatSim.memoryBytes());
+
+    sim::DDSimulator ddSim{n};
+    const double tDD = timeIt([&] { ddSim.simulate(bc.circuit); });
+    const double mDD = static_cast<double>(ddSim.package().stats().memoryBytes);
+
+    sim::ArraySimulator arrSim{
+        n, {.threads = benchThreads(),
+            .indexing = sim::ArrayIndexing::MultiIndex}};
+    const double tArr = timeIt([&] { arrSim.simulate(bc.circuit); });
+    const double mArr = static_cast<double>(arrSim.memoryBytes());
+
+    flatTimes.push_back(tFlat);
+    ddSpeedups.push_back(tDD / tFlat);
+    arrSpeedups.push_back(tArr / tFlat);
+    flatMem.push_back(mFlat);
+    ddMem.push_back(mDD);
+    arrMem.push_back(mArr);
+
+    const auto& st = flatSim.stats();
+    table.addRow({bc.name, std::to_string(n),
+                  std::to_string(bc.circuit.numGates()), fmtSeconds(tFlat),
+                  fmtMB(mFlat), fmtSeconds(tDD), fmtRatio(tDD / tFlat),
+                  fmtMB(mDD), fmtSeconds(tArr), fmtRatio(tArr / tFlat),
+                  fmtMB(mArr),
+                  st.converted ? std::to_string(st.conversionGateIndex)
+                               : std::string("never")});
+    std::printf("  [%s done; %s]\n", bc.name.c_str(), bc.paperRow.c_str());
+  }
+  std::printf("\n");
+  table.print();
+
+  std::printf(
+      "\nGeometric means: FlatDD %s | speedup vs DDSIM %s (paper: 34.81x) | "
+      "speedup vs Array %s (paper: 17.31x)\n",
+      fmtSeconds(geomean(flatTimes)).c_str(),
+      fmtRatio(geomean(ddSpeedups)).c_str(),
+      fmtRatio(geomean(arrSpeedups)).c_str());
+  std::printf(
+      "Memory geomeans: FlatDD %s | DDSIM %s (paper ratio 1.70x) | Array %s "
+      "(paper ratio 1.93x)\n",
+      fmtMB(geomean(flatMem)).c_str(), fmtMB(geomean(ddMem)).c_str(),
+      fmtMB(geomean(arrMem)).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

@@ -1,0 +1,58 @@
+// Domain scenario: Grover search with measurement sampling — run the
+// search circuit through FlatDD, then sample outcomes to verify the marked
+// state dominates. Demonstrates interop between FlatDD's state output and
+// the array simulator's sampling.
+
+#include <cstdio>
+#include <map>
+
+#include "circuits/generators.hpp"
+#include "common/prng.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "sim/array_simulator.hpp"
+
+int main() {
+  using namespace fdd;
+
+  const Qubit n = 8;
+  const auto circuit = circuits::grover(n);
+  std::printf("Grover search on %d qubits (%zu gates, marked state |1...1>)\n",
+              n, circuit.numGates());
+
+  flat::FlatDDOptions options;
+  options.threads = 4;
+  flat::FlatDDSimulator sim{n, options};
+  sim.simulate(circuit);
+  std::printf("converted to DMAV: %s\n\n",
+              sim.stats().converted ? "yes" : "no");
+
+  // Load the final state into the array simulator to sample measurements.
+  const auto state = sim.stateVector();
+  sim::ArraySimulator sampler{n};
+  sampler.setState(state);
+
+  Xoshiro256 rng{99};
+  std::map<Index, int> counts;
+  const int shots = 2000;
+  for (int s = 0; s < shots; ++s) {
+    ++counts[sampler.sample(rng)];
+  }
+
+  const Index marked = (Index{1} << n) - 1;
+  std::printf("histogram over %d shots (top entries):\n", shots);
+  int shown = 0;
+  for (auto it = counts.rbegin(); it != counts.rend() && shown < 5; ++it) {
+    // reverse order puts the marked (all-ones) state first when it dominates
+    std::printf("  |%llx>  %5d shots%s\n",
+                static_cast<unsigned long long>(it->first), it->second,
+                it->first == marked ? "   <-- marked" : "");
+    ++shown;
+  }
+  const double hitRate = counts.count(marked)
+                             ? static_cast<double>(counts[marked]) / shots
+                             : 0.0;
+  std::printf("\nmarked-state hit rate: %.1f%% (theory: >99%% at the optimal "
+              "iteration count)\n",
+              hitRate * 100);
+  return hitRate > 0.9 ? 0 : 1;
+}

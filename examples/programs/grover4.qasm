@@ -1,0 +1,34 @@
+// 4-qubit Grover search marking |1111>, using a user-defined gate for the
+// diffusion operator — exercises the parser's gate-macro expansion and the
+// library's mcz extension mnemonic.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+
+gate hwall a, b, c, d { h a; h b; h c; h d; }
+gate xwall a, b, c, d { x a; x b; x c; x d; }
+
+hwall q[0], q[1], q[2], q[3];
+
+// 3 iterations (optimal for 16 items)
+// --- iteration 1
+mcz q[0],q[1],q[2],q[3];
+hwall q[0], q[1], q[2], q[3];
+xwall q[0], q[1], q[2], q[3];
+mcz q[0],q[1],q[2],q[3];
+xwall q[0], q[1], q[2], q[3];
+hwall q[0], q[1], q[2], q[3];
+// --- iteration 2
+mcz q[0],q[1],q[2],q[3];
+hwall q[0], q[1], q[2], q[3];
+xwall q[0], q[1], q[2], q[3];
+mcz q[0],q[1],q[2],q[3];
+xwall q[0], q[1], q[2], q[3];
+hwall q[0], q[1], q[2], q[3];
+// --- iteration 3
+mcz q[0],q[1],q[2],q[3];
+hwall q[0], q[1], q[2], q[3];
+xwall q[0], q[1], q[2], q[3];
+mcz q[0],q[1],q[2],q[3];
+xwall q[0], q[1], q[2], q[3];
+hwall q[0], q[1], q[2], q[3];

@@ -1,0 +1,23 @@
+// Quantum teleportation (coherent version: corrections applied as
+// controlled gates instead of measurement-conditioned classical ops, so the
+// whole protocol is unitary and checkable by strong simulation).
+// q[0]: message qubit, prepared in a nontrivial state
+// q[1], q[2]: Bell pair; the message ends up on q[2].
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+
+// prepare the message |psi> = ry(0.7)|0>
+ry(0.7) q[0];
+
+// Bell pair between q[1] and q[2]
+h q[1];
+cx q[1],q[2];
+
+// Bell measurement basis change on (q[0], q[1])
+cx q[0],q[1];
+h q[0];
+
+// coherent corrections
+cx q[1],q[2];
+cz q[0],q[2];

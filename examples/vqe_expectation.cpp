@@ -1,0 +1,65 @@
+// Domain scenario: evaluate a VQE objective — the expectation value of a
+// transverse-field Ising Hamiltonian under a hardware-efficient ansatz —
+// scanning one ansatz parameter. Exercises FlatDD as the inner loop of a
+// variational algorithm together with the Pauli-observable module.
+//
+//   H = -J * sum_i Z_i Z_{i+1} - h * sum_i X_i
+
+#include <cstdio>
+
+#include "common/types.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "qc/circuit.hpp"
+#include "sim/observables.hpp"
+
+namespace {
+
+using namespace fdd;
+
+qc::Circuit ansatz(Qubit n, double theta) {
+  qc::Circuit c{n, "vqe-ansatz"};
+  for (Qubit q = 0; q < n; ++q) {
+    c.ry(theta, q);
+  }
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    c.cx(q, q + 1);
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    c.ry(theta / 2, q);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const Qubit n = 10;
+  const double J = 1.0;
+  const double h = 0.5;
+  const auto hamiltonian = sim::tfim(n, J, h);
+  std::printf("VQE objective scan: %d-qubit TFIM, J=%.1f h=%.1f (%zu Pauli "
+              "terms)\n\n",
+              n, J, h, hamiltonian.terms.size());
+  std::printf("%8s  %12s\n", "theta", "<H>");
+
+  double bestTheta = 0;
+  double bestEnergy = 1e30;
+  for (int step = 0; step <= 16; ++step) {
+    const double theta = step * PI / 16;
+    flat::FlatDDOptions options;
+    options.threads = 4;
+    flat::FlatDDSimulator sim{n, options};
+    sim.simulate(ansatz(n, theta));
+    const auto state = sim.stateVector();
+    const double energy = hamiltonian.expectation(state);
+    std::printf("%8.4f  %12.6f\n", theta, energy);
+    if (energy < bestEnergy) {
+      bestEnergy = energy;
+      bestTheta = theta;
+    }
+  }
+  std::printf("\nbest theta %.4f with <H> = %.6f (product-state bound "
+              "-%.1f)\n",
+              bestTheta, bestEnergy, J * (n - 1) + h * n);
+  return bestEnergy < 0 ? 0 : 1;
+}

@@ -1,0 +1,420 @@
+#include "circuits/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/prng.hpp"
+
+namespace fdd::circuits {
+
+qc::Circuit ghz(Qubit n) {
+  qc::Circuit c{n, "ghz_n" + std::to_string(n)};
+  c.h(0);
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    c.cx(q, q + 1);
+  }
+  return c;
+}
+
+qc::Circuit wState(Qubit n) {
+  if (n < 2) {
+    throw std::invalid_argument("wState: need at least 2 qubits");
+  }
+  qc::Circuit c{n, "wstate_n" + std::to_string(n)};
+  // Cascade: qubit 0 gets the full excitation, then distribute rightward.
+  c.x(0);
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    // Rotate |10> -> cos|10> + sin|01> on (q, q+1) with the amplitude that
+    // leaves 1/(n-q) of the excitation on qubit q.
+    const fp theta = 2.0 * std::acos(std::sqrt(1.0 / static_cast<fp>(n - q)));
+    c.gate(qc::GateKind::RY, {q}, q + 1, {theta});
+    c.cx(q + 1, q);
+  }
+  return c;
+}
+
+qc::Circuit adder(Qubit k, std::uint64_t a, std::uint64_t b) {
+  if (k < 1 || k > 30) {
+    throw std::invalid_argument("adder: operand width out of range");
+  }
+  const Qubit n = 2 * k + 2;
+  qc::Circuit c{n, "adder_n" + std::to_string(n)};
+  // Layout (Cuccaro et al.): qubit 0 = carry-in c0, then for bit i:
+  // a_i at 2i+1, b_i at 2i+2; the final qubit is the carry-out z.
+  auto A = [&](Qubit i) { return static_cast<Qubit>(2 * i + 1); };
+  auto B = [&](Qubit i) { return static_cast<Qubit>(2 * i + 2); };
+  const Qubit carryIn = 0;
+  const Qubit carryOut = n - 1;
+
+  for (Qubit i = 0; i < k; ++i) {
+    if (testBit(a, i)) {
+      c.x(A(i));
+    }
+    if (testBit(b, i)) {
+      c.x(B(i));
+    }
+  }
+
+  auto maj = [&](Qubit x, Qubit y, Qubit z) {
+    c.cx(z, y).cx(z, x).ccx(x, y, z);
+  };
+  auto uma = [&](Qubit x, Qubit y, Qubit z) {
+    c.ccx(x, y, z).cx(z, x).cx(x, y);
+  };
+
+  maj(carryIn, B(0), A(0));
+  for (Qubit i = 1; i < k; ++i) {
+    maj(A(i - 1), B(i), A(i));
+  }
+  c.cx(A(k - 1), carryOut);
+  for (Qubit i = k - 1; i >= 1; --i) {
+    uma(A(i - 1), B(i), A(i));
+  }
+  uma(carryIn, B(0), A(0));
+  return c;
+}
+
+qc::Circuit qft(Qubit n, std::uint64_t inputState) {
+  qc::Circuit c{n, "qft_n" + std::to_string(n)};
+  for (Qubit q = 0; q < n; ++q) {
+    if (testBit(inputState, q)) {
+      c.x(q);
+    }
+  }
+  for (Qubit q = n - 1; q >= 0; --q) {
+    c.h(q);
+    for (Qubit j = q - 1; j >= 0; --j) {
+      c.cp(PI / static_cast<fp>(Index{1} << (q - j)), j, q);
+    }
+  }
+  for (Qubit q = 0; q < n / 2; ++q) {
+    c.swap(q, n - 1 - q);
+  }
+  return c;
+}
+
+qc::Circuit grover(Qubit n, unsigned iterations) {
+  if (n < 2) {
+    throw std::invalid_argument("grover: need at least 2 qubits");
+  }
+  if (iterations == 0) {
+    iterations = static_cast<unsigned>(
+        std::floor(PI / 4.0 * std::sqrt(static_cast<fp>(Index{1} << n))));
+    iterations = std::max(iterations, 1u);
+  }
+  qc::Circuit c{n, "grover_n" + std::to_string(n)};
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  std::vector<Qubit> allButLast;
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    allButLast.push_back(q);
+  }
+  for (unsigned it = 0; it < iterations; ++it) {
+    // Oracle: flip the phase of |1...1> via a multi-controlled Z.
+    c.gate(qc::GateKind::Z, allButLast, n - 1);
+    // Diffusion: H X (mcZ) X H.
+    for (Qubit q = 0; q < n; ++q) {
+      c.h(q).x(q);
+    }
+    c.gate(qc::GateKind::Z, allButLast, n - 1);
+    for (Qubit q = 0; q < n; ++q) {
+      c.x(q).h(q);
+    }
+  }
+  return c;
+}
+
+qc::Circuit bernsteinVazirani(Qubit n, std::uint64_t secret) {
+  const Qubit total = n + 1;
+  qc::Circuit c{total, "bv_n" + std::to_string(total)};
+  const Qubit anc = n;
+  c.x(anc).h(anc);
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    if (testBit(secret, q)) {
+      c.cx(q, anc);
+    }
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+qc::Circuit dnn(Qubit n, unsigned layers, std::uint64_t seed) {
+  qc::Circuit c{n, "dnn_n" + std::to_string(n)};
+  Xoshiro256 rng{seed};
+  // Input encoding layer.
+  for (Qubit q = 0; q < n; ++q) {
+    c.ry(rng.uniform(0, 2 * PI), q);
+  }
+  for (unsigned l = 0; l < layers; ++l) {
+    for (Qubit q = 0; q < n; ++q) {
+      c.ry(rng.uniform(0, 2 * PI), q);
+      c.rz(rng.uniform(0, 2 * PI), q);
+    }
+    // Entangling ring.
+    for (Qubit q = 0; q < n; ++q) {
+      c.cx(q, static_cast<Qubit>((q + 1) % n));
+    }
+  }
+  // Readout rotations.
+  for (Qubit q = 0; q < n; ++q) {
+    c.rx(rng.uniform(0, 2 * PI), q);
+  }
+  return c;
+}
+
+qc::Circuit vqe(Qubit n, unsigned depth, std::uint64_t seed) {
+  qc::Circuit c{n, "vqe_n" + std::to_string(n)};
+  Xoshiro256 rng{seed};
+  for (unsigned d = 0; d < depth; ++d) {
+    for (Qubit q = 0; q < n; ++q) {
+      c.ry(rng.uniform(0, 2 * PI), q);
+      c.rz(rng.uniform(0, 2 * PI), q);
+    }
+    for (Qubit q = 0; q + 1 < n; ++q) {
+      c.cz(q, q + 1);
+    }
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    c.ry(rng.uniform(0, 2 * PI), q);
+  }
+  return c;
+}
+
+namespace {
+
+/// Shared scaffold for swap-test style circuits: ancilla 0, register A at
+/// [1, 1+k), register B at [1+k, 1+2k).
+qc::Circuit swapTestScaffold(Qubit n, std::uint64_t seed, const char* name,
+                             bool angleEncodeFeatures) {
+  if (n < 3 || n % 2 == 0) {
+    throw std::invalid_argument(
+        "swap test: need an odd qubit count (ancilla + two equal registers)");
+  }
+  const Qubit k = (n - 1) / 2;
+  qc::Circuit c{n, std::string{name} + "_n" + std::to_string(n)};
+  Xoshiro256 rng{seed};
+  // State preparation: random product states (angle-encoded features for
+  // KNN; plain RY product states for the generic swap test).
+  for (Qubit q = 1; q <= 2 * k; ++q) {
+    c.ry(rng.uniform(0, PI), q);
+    if (angleEncodeFeatures) {
+      c.rz(rng.uniform(0, 2 * PI), q);
+    }
+  }
+  c.h(0);
+  for (Qubit i = 0; i < k; ++i) {
+    c.cswap(0, static_cast<Qubit>(1 + i), static_cast<Qubit>(1 + k + i));
+  }
+  c.h(0);
+  return c;
+}
+
+}  // namespace
+
+qc::Circuit qpe(Qubit precisionBits, fp phase) {
+  if (precisionBits < 1 || precisionBits > 30) {
+    throw std::invalid_argument("qpe: precision bits out of range");
+  }
+  const Qubit n = precisionBits + 1;
+  qc::Circuit c{n, "qpe_n" + std::to_string(n)};
+  const Qubit eigen = precisionBits;  // topmost qubit holds the eigenstate
+  c.x(eigen);                         // P's |1> eigenstate
+  for (Qubit k = 0; k < precisionBits; ++k) {
+    c.h(k);
+  }
+  // Controlled powers: counting qubit k picks up phase * 2^k turns.
+  for (Qubit k = 0; k < precisionBits; ++k) {
+    const fp angle = 2 * PI * phase * static_cast<fp>(Index{1} << k);
+    c.cp(angle, k, eigen);
+  }
+  // Inverse QFT on the counting register (qubits [0, precisionBits)).
+  for (Qubit q = 0; q < precisionBits / 2; ++q) {
+    c.swap(q, precisionBits - 1 - q);
+  }
+  for (Qubit q = 0; q < precisionBits; ++q) {
+    for (Qubit j = 0; j < q; ++j) {
+      c.cp(-PI / static_cast<fp>(Index{1} << (q - j)), j, q);
+    }
+    c.h(q);
+  }
+  return c;
+}
+
+qc::Circuit qaoa(Qubit n, unsigned rounds, std::uint64_t seed, fp edgeFactor) {
+  if (n < 2) {
+    throw std::invalid_argument("qaoa: need at least 2 qubits");
+  }
+  qc::Circuit c{n, "qaoa_n" + std::to_string(n)};
+  Xoshiro256 rng{seed};
+  // Random graph: ring (connectivity) + extra random chords.
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  for (Qubit q = 0; q < n; ++q) {
+    edges.emplace_back(q, static_cast<Qubit>((q + 1) % n));
+  }
+  const auto extra = static_cast<std::size_t>(
+      std::max<fp>(0, edgeFactor - 1.0) * static_cast<fp>(n));
+  for (std::size_t e = 0; e < extra; ++e) {
+    const auto a = static_cast<Qubit>(rng.below(n));
+    auto b = static_cast<Qubit>(rng.below(n));
+    while (b == a) {
+      b = static_cast<Qubit>(rng.below(n));
+    }
+    edges.emplace_back(a, b);
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (unsigned r = 0; r < rounds; ++r) {
+    const fp gamma = rng.uniform(0, PI);
+    const fp beta = rng.uniform(0, PI);
+    for (const auto& [a, b] : edges) {
+      c.cx(a, b).rz(2 * gamma, b).cx(a, b);  // e^{-i gamma Z_a Z_b}
+    }
+    for (Qubit q = 0; q < n; ++q) {
+      c.rx(2 * beta, q);
+    }
+  }
+  return c;
+}
+
+qc::Circuit hiddenShift(Qubit n, std::uint64_t shift, std::uint64_t seed) {
+  if (n < 2 || n % 2 != 0) {
+    throw std::invalid_argument("hiddenShift: need an even qubit count");
+  }
+  qc::Circuit c{n, "hiddenshift_n" + std::to_string(n)};
+  Xoshiro256 rng{seed};
+  // Bent function f(x) = prod CZ on a random perfect matching + T seasoning.
+  std::vector<Qubit> perm(static_cast<std::size_t>(n));
+  for (Qubit q = 0; q < n; ++q) {
+    perm[static_cast<std::size_t>(q)] = q;
+  }
+  for (std::size_t i = perm.size() - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.below(i + 1)]);
+  }
+  auto applyFunction = [&] {
+    for (std::size_t i = 0; i + 1 < perm.size(); i += 2) {
+      c.cz(perm[i], perm[i + 1]);
+    }
+  };
+  auto applyShift = [&] {
+    for (Qubit q = 0; q < n; ++q) {
+      if (testBit(shift, q)) {
+        c.x(q);
+      }
+    }
+  };
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  applyShift();
+  applyFunction();
+  applyShift();
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  applyFunction();
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+qc::Circuit quantumVolume(Qubit n, unsigned depth, std::uint64_t seed) {
+  if (n < 2) {
+    throw std::invalid_argument("quantumVolume: need at least 2 qubits");
+  }
+  qc::Circuit c{n, "qv_n" + std::to_string(n)};
+  Xoshiro256 rng{seed};
+  std::vector<Qubit> perm(static_cast<std::size_t>(n));
+  for (Qubit q = 0; q < n; ++q) {
+    perm[static_cast<std::size_t>(q)] = q;
+  }
+  auto randomU3 = [&](Qubit q) {
+    c.u3(rng.uniform(0, PI), rng.uniform(0, 2 * PI), rng.uniform(0, 2 * PI),
+         q);
+  };
+  for (unsigned d = 0; d < depth; ++d) {
+    // Random pairing via a Fisher-Yates shuffle.
+    for (std::size_t i = perm.size() - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.below(i + 1)]);
+    }
+    for (std::size_t i = 0; i + 1 < perm.size(); i += 2) {
+      const Qubit a = perm[i];
+      const Qubit b = perm[i + 1];
+      // SU(4)-ish block: u3 pair, entangle, u3 pair, entangle, u3 pair.
+      randomU3(a);
+      randomU3(b);
+      c.cx(a, b);
+      randomU3(a);
+      randomU3(b);
+      c.cx(b, a);
+      randomU3(a);
+      randomU3(b);
+    }
+  }
+  return c;
+}
+
+qc::Circuit randomUniversal(Qubit n, std::size_t gates, std::uint64_t seed) {
+  qc::Circuit c{n, "random_n" + std::to_string(n)};
+  Xoshiro256 rng{seed};
+  for (std::size_t g = 0; g < gates; ++g) {
+    const auto target = static_cast<Qubit>(rng.below(n));
+    switch (rng.below(6)) {
+      case 0:
+        c.h(target);
+        break;
+      case 1:
+        c.t(target);
+        break;
+      case 2:
+        c.rz(rng.uniform(0, 2 * PI), target);
+        break;
+      case 3:
+        c.ry(rng.uniform(0, 2 * PI), target);
+        break;
+      case 4: {
+        if (n < 2) {
+          c.x(target);
+          break;
+        }
+        auto ctrl = static_cast<Qubit>(rng.below(n));
+        while (ctrl == target) {
+          ctrl = static_cast<Qubit>(rng.below(n));
+        }
+        c.cx(ctrl, target);
+        break;
+      }
+      default: {
+        if (n < 2) {
+          c.sx(target);
+          break;
+        }
+        auto ctrl = static_cast<Qubit>(rng.below(n));
+        while (ctrl == target) {
+          ctrl = static_cast<Qubit>(rng.below(n));
+        }
+        c.cp(rng.uniform(0, 2 * PI), ctrl, target);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+qc::Circuit swapTest(Qubit n, std::uint64_t seed) {
+  return swapTestScaffold(n, seed, "swaptest", false);
+}
+
+qc::Circuit knn(Qubit n, std::uint64_t seed) {
+  return swapTestScaffold(n, seed, "knn", true);
+}
+
+}  // namespace fdd::circuits

@@ -1,0 +1,88 @@
+#pragma once
+// Generators for the benchmark circuit families of the paper's evaluation
+// (QASMBench [69], MQT-Bench [88]) plus a few classics used in tests and
+// examples. All parameterized circuits take a seed so workloads reproduce
+// bit-identically.
+//
+// Regularity character (drives which simulator wins, per Fig. 1 / Table 1):
+//   regular   — ghz, wState, adder, bernsteinVazirani (basis-ish states)
+//   irregular — dnn, vqe, qft on superpositions, knn/swapTest after H,
+//               supremacy (see supremacy.hpp)
+
+#include <cstdint>
+
+#include "qc/circuit.hpp"
+
+namespace fdd::circuits {
+
+/// GHZ state on n qubits: H(0) then a CX chain. DD size stays O(n).
+[[nodiscard]] qc::Circuit ghz(Qubit n);
+
+/// W state on n qubits via the RY-cascade construction.
+[[nodiscard]] qc::Circuit wState(Qubit n);
+
+/// Cuccaro ripple-carry adder computing b <- a + b on two k-bit registers.
+/// Uses 2k + 2 qubits (carry-in, a, b interleaved, carry-out). `a` and `b`
+/// are loaded as computational-basis constants with X gates, so the state
+/// stays a basis state throughout — the paper's canonical regular circuit.
+[[nodiscard]] qc::Circuit adder(Qubit bitsPerOperand, std::uint64_t a,
+                                std::uint64_t b);
+
+/// Quantum Fourier transform on n qubits (with final reordering swaps).
+/// `inputState` is loaded first with X gates.
+[[nodiscard]] qc::Circuit qft(Qubit n, std::uint64_t inputState = 0);
+
+/// Grover search marking |11...1>, `iterations` rounds (0 = use the optimal
+/// floor(pi/4 * sqrt(2^n)) count).
+[[nodiscard]] qc::Circuit grover(Qubit n, unsigned iterations = 0);
+
+/// Bernstein-Vazirani with an n-bit secret (n data qubits + 1 ancilla).
+[[nodiscard]] qc::Circuit bernsteinVazirani(Qubit n, std::uint64_t secret);
+
+/// Quantum-DNN-style layered ansatz [10]: per layer, RY+RZ rotations on every
+/// qubit followed by a CX entangling ring, with random angles. Produces the
+/// paper's canonical irregular state-amplitude distribution.
+[[nodiscard]] qc::Circuit dnn(Qubit n, unsigned layers,
+                              std::uint64_t seed = 7);
+
+/// VQE hardware-efficient ansatz: RY/RZ columns with a CZ chain, random
+/// angles. `depth` repetitions.
+[[nodiscard]] qc::Circuit vqe(Qubit n, unsigned depth,
+                              std::uint64_t seed = 11);
+
+/// Swap test between two (n-1)/2-qubit registers prepared in random product
+/// states; qubit 0 is the ancilla. n must be odd.
+[[nodiscard]] qc::Circuit swapTest(Qubit n, std::uint64_t seed = 13);
+
+/// QASMBench-style quantum KNN kernel: a swap-test distance estimator over
+/// two data registers prepared with angle-encoded features. n must be odd.
+[[nodiscard]] qc::Circuit knn(Qubit n, std::uint64_t seed = 17);
+
+/// Quantum phase estimation of the eigenphase `phase` (in turns, [0, 1)) of
+/// a phase gate, using `precisionBits` counting qubits + 1 eigenstate qubit.
+/// With a dyadic phase k/2^precisionBits the counting register ends in the
+/// exact basis state |k>.
+[[nodiscard]] qc::Circuit qpe(Qubit precisionBits, fp phase);
+
+/// MaxCut QAOA ansatz on a random graph with `edgeFactor * n` edges:
+/// per round, ZZ phase separators (cx-rz-cx) on the edges plus RX mixers.
+[[nodiscard]] qc::Circuit qaoa(Qubit n, unsigned rounds,
+                               std::uint64_t seed = 29, fp edgeFactor = 1.5);
+
+/// Hidden-shift circuit for bent functions (H wall / shift / CZ product
+/// function / shift / H wall / function / H wall). n must be even; the
+/// output register measures the shift exactly.
+[[nodiscard]] qc::Circuit hiddenShift(Qubit n, std::uint64_t shift,
+                                      std::uint64_t seed = 31);
+
+/// Quantum-volume style model circuit: `depth` layers of a random qubit
+/// pairing, each pair receiving a Haar-ish SU(4) block (u3-cx-u3-cx-u3).
+[[nodiscard]] qc::Circuit quantumVolume(Qubit n, unsigned depth,
+                                        std::uint64_t seed = 37);
+
+/// Uniformly random circuit over {H, T, RZ, RY, CX, CP} — the library's
+/// general-purpose fuzz workload.
+[[nodiscard]] qc::Circuit randomUniversal(Qubit n, std::size_t gates,
+                                          std::uint64_t seed = 41);
+
+}  // namespace fdd::circuits

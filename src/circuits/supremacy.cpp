@@ -1,0 +1,101 @@
+#include "circuits/supremacy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace fdd::circuits {
+
+qc::Circuit supremacy(const SupremacyOptions& opt) {
+  const Qubit rows = opt.rows;
+  const Qubit cols = opt.cols;
+  if (rows < 1 || cols < 1 || rows * cols < 2) {
+    throw std::invalid_argument("supremacy: grid too small");
+  }
+  const Qubit n = rows * cols;
+  qc::Circuit c{n, "supremacy_n" + std::to_string(n)};
+  Xoshiro256 rng{opt.seed};
+  auto at = [cols](Qubit r, Qubit col) {
+    return static_cast<Qubit>(r * cols + col);
+  };
+
+  // Initial Hadamard wall.
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+
+  // Track each qubit's previous 1q gate so we never repeat it (rule of [7]).
+  constexpr int kNoGate = -1;
+  std::vector<int> last(static_cast<std::size_t>(n), kNoGate);
+  const qc::GateKind oneQ[3] = {qc::GateKind::SX, qc::GateKind::SY,
+                                qc::GateKind::SW};
+
+  for (unsigned cycle = 0; cycle < opt.cycles; ++cycle) {
+    // Random single-qubit layer.
+    for (Qubit q = 0; q < n; ++q) {
+      int pick = static_cast<int>(rng.below(3));
+      if (pick == last[static_cast<std::size_t>(q)]) {
+        pick = (pick + 1 + static_cast<int>(rng.below(2))) % 3;
+      }
+      last[static_cast<std::size_t>(q)] = pick;
+      c.gate(oneQ[pick], {}, q);
+    }
+    // CZ layer: cycle through 4 coupler orientations (horizontal even,
+    // horizontal odd, vertical even, vertical odd).
+    switch (cycle % 4) {
+      case 0:
+        for (Qubit r = 0; r < rows; ++r) {
+          for (Qubit col = 0; col + 1 < cols; col += 2) {
+            c.cz(at(r, col), at(r, col + 1));
+          }
+        }
+        break;
+      case 1:
+        for (Qubit r = 0; r + 1 < rows; r += 2) {
+          for (Qubit col = 0; col < cols; ++col) {
+            c.cz(at(r, col), at(r + 1, col));
+          }
+        }
+        break;
+      case 2:
+        for (Qubit r = 0; r < rows; ++r) {
+          for (Qubit col = 1; col + 1 < cols; col += 2) {
+            c.cz(at(r, col), at(r, col + 1));
+          }
+        }
+        break;
+      default:
+        for (Qubit r = 1; r + 1 < rows; r += 2) {
+          for (Qubit col = 0; col < cols; ++col) {
+            c.cz(at(r, col), at(r + 1, col));
+          }
+        }
+        break;
+    }
+  }
+
+  if (opt.finalHadamards) {
+    for (Qubit q = 0; q < n; ++q) {
+      c.h(q);
+    }
+  }
+  return c;
+}
+
+qc::Circuit supremacy(Qubit n, unsigned cycles, std::uint64_t seed) {
+  // Near-square factorization of n.
+  Qubit rows = static_cast<Qubit>(std::sqrt(static_cast<double>(n)));
+  while (rows > 1 && n % rows != 0) {
+    --rows;
+  }
+  SupremacyOptions opt;
+  opt.rows = rows;
+  opt.cols = n / rows;
+  opt.cycles = cycles;
+  opt.seed = seed;
+  return supremacy(opt);
+}
+
+}  // namespace fdd::circuits

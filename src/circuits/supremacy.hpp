@@ -1,0 +1,30 @@
+#pragma once
+// Google quantum-supremacy-style random circuits [7]: a 2-D qubit grid,
+// alternating layers of random single-qubit gates from {sqrt(X), sqrt(Y),
+// sqrt(W)} (never repeating the previous choice on a qubit) and CZ layers
+// cycling through four coupler orientations. These circuits have no
+// exploitable regularity, which is the paper's canonical DD-hostile workload.
+
+#include <cstdint>
+
+#include "qc/circuit.hpp"
+
+namespace fdd::circuits {
+
+struct SupremacyOptions {
+  Qubit rows = 4;
+  Qubit cols = 5;
+  unsigned cycles = 10;       // one cycle = 1q layer + CZ layer
+  std::uint64_t seed = 23;
+  bool finalHadamards = true; // Hadamard wall before measurement, as in [7]
+};
+
+/// Builds a rows*cols-qubit random circuit. Qubit (r, c) maps to index
+/// r*cols + c.
+[[nodiscard]] qc::Circuit supremacy(const SupremacyOptions& options);
+
+/// Convenience overload picking a near-square grid for n qubits.
+[[nodiscard]] qc::Circuit supremacy(Qubit n, unsigned cycles,
+                                    std::uint64_t seed = 23);
+
+}  // namespace fdd::circuits

@@ -1,0 +1,54 @@
+#pragma once
+// Bit-manipulation helpers used by the simulators' index arithmetic.
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fdd {
+
+[[nodiscard]] constexpr bool isPowerOfTwo(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); x must be nonzero.
+[[nodiscard]] constexpr std::uint32_t ilog2(std::uint64_t x) noexcept {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// Largest power of two <= x; x must be nonzero.
+[[nodiscard]] constexpr std::uint64_t floorPowerOfTwo(std::uint64_t x) noexcept {
+  return std::uint64_t{1} << ilog2(x);
+}
+
+/// Inserts a zero bit at position `pos`, shifting higher bits left.
+/// insertBit(0b101, 1) == 0b1001. Used to enumerate amplitude pairs that a
+/// single-qubit gate on qubit `pos` acts on (Eq. 2 of the paper).
+[[nodiscard]] constexpr Index insertBit(Index x, Qubit pos) noexcept {
+  const Index low = x & ((Index{1} << pos) - 1);
+  const Index high = (x >> pos) << (pos + 1);
+  return high | low;
+}
+
+/// Inserts two zero bits at distinct positions p0 < p1 (post-insertion
+/// positions). Enumerates the 4-amplitude groups of a two-qubit gate.
+[[nodiscard]] constexpr Index insertTwoBits(Index x, Qubit p0, Qubit p1) noexcept {
+  assert(p0 < p1);
+  return insertBit(insertBit(x, p0), p1);
+}
+
+[[nodiscard]] constexpr bool testBit(Index x, Qubit pos) noexcept {
+  return ((x >> pos) & 1u) != 0;
+}
+
+[[nodiscard]] constexpr Index setBit(Index x, Qubit pos) noexcept {
+  return x | (Index{1} << pos);
+}
+
+[[nodiscard]] constexpr Index clearBit(Index x, Qubit pos) noexcept {
+  return x & ~(Index{1} << pos);
+}
+
+}  // namespace fdd

@@ -1,0 +1,42 @@
+#include "common/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace fdd {
+namespace {
+
+// Scans /proc/self/status for a "Key:   <n> kB" line and returns n in bytes.
+std::size_t readStatusField(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  std::size_t bytes = 0;
+  const std::size_t keyLen = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, keyLen) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + keyLen, ": %llu kB", &kb) == 1) {
+        bytes = static_cast<std::size_t>(kb) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t currentRSS() { return readStatusField("VmRSS"); }
+
+std::size_t peakRSS() {
+  // Some container kernels do not expose VmHWM; fall back to the current
+  // RSS so callers always get a usable lower bound.
+  const std::size_t hwm = readStatusField("VmHWM");
+  return hwm != 0 ? hwm : currentRSS();
+}
+
+}  // namespace fdd

@@ -1,0 +1,15 @@
+#pragma once
+// Resident-set-size probes. The paper measures memory as the maximum RSS
+// reported by /bin/time; we read the same counters from /proc.
+
+#include <cstddef>
+
+namespace fdd {
+
+/// Current resident set size in bytes (VmRSS), or 0 if unavailable.
+[[nodiscard]] std::size_t currentRSS();
+
+/// Peak resident set size in bytes (VmHWM), or 0 if unavailable.
+[[nodiscard]] std::size_t peakRSS();
+
+}  // namespace fdd

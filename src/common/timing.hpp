@@ -1,0 +1,27 @@
+#pragma once
+// Monotonic wall-clock stopwatch for benchmarks and the per-gate profiler.
+
+#include <chrono>
+
+namespace fdd {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_{Clock::now()} {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fdd

@@ -1,0 +1,52 @@
+#pragma once
+// Fundamental scalar types and numeric constants shared by every subsystem.
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace fdd {
+
+/// Floating-point precision used for all amplitudes and edge weights.
+using fp = double;
+
+/// A complex amplitude.
+using Complex = std::complex<fp>;
+
+/// Index into a flat state vector (supports up to 63 qubits).
+using Index = std::uint64_t;
+
+/// Qubit label. Qubit 0 is the least-significant bit of a basis-state index.
+using Qubit = std::int32_t;
+
+inline constexpr fp SQRT2 = 1.4142135623730950488016887242096980786;
+inline constexpr fp SQRT2_INV = 0.7071067811865475244008443621048490393;
+inline constexpr fp PI = 3.1415926535897932384626433832795028842;
+
+/// Tolerance under which two amplitudes are considered equal. This is the
+/// same role as DDSIM's complex-table tolerance: it controls when decision
+/// diagram nodes merge.
+inline constexpr fp EPS = 1e-12;
+
+/// |z| squared without the sqrt of std::abs.
+[[nodiscard]] inline fp norm2(const Complex& z) noexcept {
+  return z.real() * z.real() + z.imag() * z.imag();
+}
+
+/// Approximate equality under EPS, component-wise.
+[[nodiscard]] inline bool approxEqual(const Complex& a, const Complex& b,
+                                      fp tol = EPS) noexcept {
+  const fp dr = a.real() - b.real();
+  const fp di = a.imag() - b.imag();
+  return dr < tol && dr > -tol && di < tol && di > -tol;
+}
+
+[[nodiscard]] inline bool approxZero(const Complex& z, fp tol = EPS) noexcept {
+  return approxEqual(z, Complex{0.0, 0.0}, tol);
+}
+
+[[nodiscard]] inline bool approxOne(const Complex& z, fp tol = EPS) noexcept {
+  return approxEqual(z, Complex{1.0, 0.0}, tol);
+}
+
+}  // namespace fdd

@@ -1,0 +1,246 @@
+// Advanced DD-package operations: kronecker products, dense-matrix import,
+// and state approximation [97] (the technique DDSIM uses to cap DD growth
+// at a bounded fidelity cost).
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "dd/package.hpp"
+
+namespace fdd::dd {
+
+namespace {
+
+template <typename EdgeT, typename MakeNode>
+EdgeT kronImpl(Package& pkg, const EdgeT& top, const EdgeT& bottom,
+               Qubit bottomQubits, MakeNode&& makeNode) {
+  using NodeT = std::remove_pointer_t<decltype(top.n)>;
+  std::unordered_map<const NodeT*, EdgeT> memo;
+  auto rec = [&](auto&& self, const EdgeT& t) -> EdgeT {
+    if (t.isZero()) {
+      return EdgeT::zero();
+    }
+    if (t.isTerminal()) {
+      // Attach the bottom DD, scaled by the path weight into this terminal.
+      if (bottom.isZero()) {
+        return EdgeT::zero();
+      }
+      const Complex w = pkg.canonical(t.w * bottom.w);
+      return w == Complex{} ? EdgeT::zero() : EdgeT{bottom.n, w};
+    }
+    const auto it = memo.find(t.n);
+    if (it != memo.end()) {
+      const EdgeT& cached = it->second;
+      if (cached.isZero()) {
+        return EdgeT::zero();
+      }
+      const Complex w = pkg.canonical(cached.w * t.w);
+      return w == Complex{} ? EdgeT::zero() : EdgeT{cached.n, w};
+    }
+    std::array<EdgeT, NodeT::kRadix> children;
+    for (std::size_t i = 0; i < NodeT::kRadix; ++i) {
+      children[i] = self(self, t.n->e[i]);
+    }
+    const EdgeT res =
+        makeNode(static_cast<Qubit>(t.n->v + bottomQubits), children);
+    memo.emplace(t.n, res);
+    if (res.isZero()) {
+      return EdgeT::zero();
+    }
+    const Complex w = pkg.canonical(res.w * t.w);
+    return w == Complex{} ? EdgeT::zero() : EdgeT{res.n, w};
+  };
+  return rec(rec, top);
+}
+
+}  // namespace
+
+vEdge Package::kronecker(const vEdge& top, const vEdge& bottom,
+                         Qubit bottomQubits) {
+  if (bottomQubits < 0 || bottomQubits >= nQubits_) {
+    throw std::out_of_range("kronecker: bottom qubit count out of range");
+  }
+  return kronImpl(*this, top, bottom, bottomQubits,
+                  [this](Qubit level, const std::array<vEdge, 2>& e) {
+                    return makeVectorNode(level, e);
+                  });
+}
+
+mEdge Package::kronecker(const mEdge& top, const mEdge& bottom,
+                         Qubit bottomQubits) {
+  if (bottomQubits < 0 || bottomQubits >= nQubits_) {
+    throw std::out_of_range("kronecker: bottom qubit count out of range");
+  }
+  return kronImpl(*this, top, bottom, bottomQubits,
+                  [this](Qubit level, const std::array<mEdge, 4>& e) {
+                    return makeMatrixNode(level, e);
+                  });
+}
+
+mEdge Package::fromDenseMatrix(std::span<const Complex> rowMajor) {
+  // Infer the dimension: size must be 4^k.
+  Index dim = 1;
+  while (dim * dim < rowMajor.size()) {
+    dim *= 2;
+  }
+  if (dim * dim != rowMajor.size()) {
+    throw std::invalid_argument("fromDenseMatrix: size must be 4^k");
+  }
+  const Qubit levels = dim == 1 ? 0 : static_cast<Qubit>(ilog2(dim));
+  if (levels > nQubits_) {
+    throw std::invalid_argument("fromDenseMatrix: matrix larger than package");
+  }
+  auto rec = [&](auto&& self, Index rowOff, Index colOff,
+                 Index size) -> mEdge {
+    if (size == 1) {
+      const Complex w = canonical(rowMajor[rowOff * dim + colOff]);
+      return w == Complex{} ? mEdge::zero() : mEdge{mNode::terminal(), w};
+    }
+    const Index half = size / 2;
+    const std::array<mEdge, 4> children{
+        self(self, rowOff, colOff, half),
+        self(self, rowOff, colOff + half, half),
+        self(self, rowOff + half, colOff, half),
+        self(self, rowOff + half, colOff + half, half)};
+    return makeMatrixNode(static_cast<Qubit>(ilog2(size) - 1), children);
+  };
+  if (dim == 1) {
+    const Complex w = canonical(rowMajor[0]);
+    return w == Complex{} ? mEdge::zero() : mEdge{mNode::terminal(), w};
+  }
+  return rec(rec, 0, 0, dim);
+}
+
+vEdge Package::approximate(const vEdge& state, fp budget) {
+  if (budget < 0) {
+    throw std::invalid_argument("approximate: budget must be >= 0");
+  }
+  if (state.isZero() || state.isTerminal() || budget == 0) {
+    return state;
+  }
+
+  // 1. Downward mass: U(node) = sum over root paths of |prefix|^2.
+  const auto norms = annotateSubtreeNorms(state);
+  std::unordered_map<const vNode*, fp> upstream;
+  {
+    // Collect nodes in descending level order (children strictly below).
+    std::vector<const vNode*> order;
+    std::unordered_map<const vNode*, bool> seen;
+    std::vector<const vNode*> stack{state.n};
+    seen[state.n] = true;
+    while (!stack.empty()) {
+      const vNode* n = stack.back();
+      stack.pop_back();
+      order.push_back(n);
+      for (const auto& child : n->e) {
+        if (!child.isZero() && !child.isTerminal() && !seen[child.n]) {
+          seen[child.n] = true;
+          stack.push_back(child.n);
+        }
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [](const vNode* a, const vNode* b) { return a->v > b->v; });
+    upstream[state.n] = norm2(state.w);
+    for (const vNode* n : order) {
+      const fp u = upstream[n];
+      for (const auto& child : n->e) {
+        if (!child.isZero() && !child.isTerminal()) {
+          upstream[child.n] += u * norm2(child.w);
+        }
+      }
+    }
+  }
+
+  // 2. Score every (node, childIndex) edge by the squared-norm mass that
+  //    flows through it, and greedily mark the cheapest for removal.
+  struct Cut {
+    const vNode* parent;
+    int childIndex;
+    fp mass;
+  };
+  std::vector<Cut> cuts;
+  for (const auto& [node, u] : upstream) {
+    for (int i = 0; i < 2; ++i) {
+      const vEdge& child = node->e[static_cast<std::size_t>(i)];
+      if (child.isZero()) {
+        continue;
+      }
+      const fp sub = child.isTerminal() ? 1.0 : norms.at(child.n);
+      cuts.push_back(Cut{node, i, u * norm2(child.w) * sub});
+    }
+  }
+  std::sort(cuts.begin(), cuts.end(),
+            [](const Cut& a, const Cut& b) { return a.mass < b.mass; });
+  std::unordered_map<const vNode*, unsigned> removeMask;
+  fp spent = 0;
+  for (const Cut& cut : cuts) {
+    if (spent + cut.mass > budget) {
+      break;
+    }
+    // Never cut a node's last surviving edge (that would zero whole paths
+    // beyond the accounted mass when the sibling was already cut).
+    const unsigned mask = removeMask[cut.parent];
+    if (mask != 0) {
+      continue;
+    }
+    removeMask[cut.parent] = 1u << cut.childIndex;
+    spent += cut.mass;
+  }
+  if (spent == 0) {
+    return state;
+  }
+
+  // 3. Rebuild with the marked edges zeroed, then renormalize.
+  std::unordered_map<const vNode*, vEdge> memo;
+  auto rebuild = [&](auto&& self, const vEdge& e, Qubit level) -> vEdge {
+    if (e.isZero()) {
+      return vEdge::zero();
+    }
+    if (level < 0) {
+      return e;
+    }
+    const auto it = memo.find(e.n);
+    if (it != memo.end()) {
+      const vEdge& cached = it->second;
+      if (cached.isZero()) {
+        return vEdge::zero();
+      }
+      const Complex w = canonical(cached.w * e.w);
+      return w == Complex{} ? vEdge::zero() : vEdge{cached.n, w};
+    }
+    const unsigned mask = removeMask.count(e.n) ? removeMask.at(e.n) : 0;
+    std::array<vEdge, 2> children;
+    for (int i = 0; i < 2; ++i) {
+      if ((mask & (1u << i)) != 0) {
+        children[static_cast<std::size_t>(i)] = vEdge::zero();
+      } else {
+        children[static_cast<std::size_t>(i)] =
+            self(self, e.n->e[static_cast<std::size_t>(i)], level - 1);
+      }
+    }
+    const vEdge res = makeVectorNode(level, children);
+    memo.emplace(e.n, res);
+    if (res.isZero()) {
+      return vEdge::zero();
+    }
+    const Complex w = canonical(res.w * e.w);
+    return w == Complex{} ? vEdge::zero() : vEdge{res.n, w};
+  };
+  vEdge approx = rebuild(rebuild, state, nQubits_ - 1);
+  if (approx.isZero()) {
+    return state;  // refuse to approximate everything away
+  }
+  const Complex ip = innerProduct(approx, approx);
+  const fp norm = std::sqrt(ip.real());
+  if (norm > 0) {
+    approx.w = canonical(approx.w / norm);
+  }
+  return approx;
+}
+
+}  // namespace fdd::dd

@@ -1,0 +1,86 @@
+#include "dd/complex_table.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace fdd::dd {
+
+RealTable::RealTable(fp tolerance) : tol_{tolerance}, bucketWidth_{4 * tolerance} {
+  // Pre-seed the values virtually every gate set produces, so they become
+  // the representatives rather than whatever jittered variant shows up first.
+  for (const fp v : {0.0, 1.0, -1.0, 0.5, -0.5, SQRT2_INV, -SQRT2_INV}) {
+    (void)lookup(v);
+  }
+}
+
+std::int64_t RealTable::bucketOf(fp x) const noexcept {
+  return static_cast<std::int64_t>(std::floor(x / bucketWidth_));
+}
+
+fp RealTable::lookup(fp x) {
+  // Exact and near-zero values snap to canonical +0.0 (zero is special: it
+  // decides edge zero-ness, so it must never be "merely close").
+  if (x == 0.0 || (x <= tol_ && x >= -tol_)) {
+    return 0.0;
+  }
+  const std::int64_t b = bucketOf(x);
+  for (std::int64_t probe = b - 1; probe <= b + 1; ++probe) {
+    const auto it = buckets_.find(probe);
+    if (it == buckets_.end()) {
+      continue;
+    }
+    for (const fp v : it->second) {
+      if (std::abs(v - x) <= tol_) {
+        return v;
+      }
+    }
+  }
+  buckets_[b].push_back(x);
+  ++count_;
+  return x;
+}
+
+void RealTable::insertExact(fp x) {
+  if (x == 0.0) {
+    return;  // zero is implicit
+  }
+  auto& bucket = buckets_[bucketOf(x)];
+  for (const fp v : bucket) {
+    if (v == x) {
+      return;
+    }
+  }
+  bucket.push_back(x);
+  ++count_;
+}
+
+void RealTable::clear() {
+  buckets_.clear();
+  count_ = 0;
+  for (const fp v : {0.0, 1.0, -1.0, 0.5, -0.5, SQRT2_INV, -SQRT2_INV}) {
+    (void)lookup(v);
+  }
+}
+
+std::size_t RealTable::memoryBytes() const noexcept {
+  std::size_t bytes = buckets_.size() *
+                      (sizeof(std::int64_t) + sizeof(std::vector<fp>) + 16);
+  bytes += count_ * sizeof(fp);
+  return bytes;
+}
+
+ComplexTable::ComplexTable(fp tolerance) : table_{tolerance} {}
+
+Complex ComplexTable::lookup(Complex z) {
+  return {table_.lookup(z.real()), table_.lookup(z.imag())};
+}
+
+std::uint64_t weightHash(const Complex& w) noexcept {
+  const auto re = std::bit_cast<std::uint64_t>(w.real());
+  const auto im = std::bit_cast<std::uint64_t>(w.imag());
+  std::uint64_t h = re * 0x9e3779b97f4a7c15ULL;
+  h ^= (im + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return h;
+}
+
+}  // namespace fdd::dd

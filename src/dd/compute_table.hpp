@@ -1,0 +1,100 @@
+#pragma once
+// Direct-mapped operation cache ("compute table"). DD operations are
+// memoized on their operands; a collision simply overwrites the slot, which
+// bounds memory and needs no eviction policy. Flushed on garbage collection
+// because results may reference reclaimed nodes.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dd/edge.hpp"
+
+namespace fdd::dd {
+
+template <typename KeyT, typename ResultT, std::size_t BitsV = 14>
+class ComputeTable {
+ public:
+  static constexpr std::size_t kSlots = std::size_t{1} << BitsV;
+
+  ComputeTable() : slots_(kSlots) {}
+
+  /// Returns the cached result for `key`, or nullptr on miss.
+  [[nodiscard]] const ResultT* lookup(const KeyT& key) noexcept {
+    const Slot& s = slots_[key.hash() & (kSlots - 1)];
+    if (s.valid && s.key == key) {
+      ++hits_;
+      return &s.result;
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  void insert(const KeyT& key, const ResultT& result) noexcept {
+    Slot& s = slots_[key.hash() & (kSlots - 1)];
+    s.key = key;
+    s.result = result;
+    s.valid = true;
+  }
+
+  void flush() noexcept {
+    for (auto& s : slots_) {
+      s.valid = false;
+    }
+  }
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t memoryBytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    KeyT key{};
+    ResultT result{};
+    bool valid = false;
+  };
+  std::vector<Slot> slots_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Key for multiply(left, right) with weights factored out of the cache.
+template <typename LeftT, typename RightT>
+struct MulKey {
+  const LeftT* left = nullptr;
+  const RightT* right = nullptr;
+
+  [[nodiscard]] bool operator==(const MulKey&) const noexcept = default;
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(left);
+    const auto b = reinterpret_cast<std::uintptr_t>(right);
+    std::uint64_t h = a * 0xff51afd7ed558ccdULL;
+    h ^= b * 0xc4ceb9fe1a85ec53ULL + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
+/// Key for add(a, b); weights participate because addition does not factor.
+template <typename NodeT>
+struct AddKey {
+  Edge<NodeT> a{};
+  Edge<NodeT> b{};
+
+  [[nodiscard]] bool operator==(const AddKey& o) const noexcept {
+    return a == o.a && b == o.b;
+  }
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = reinterpret_cast<std::uintptr_t>(a.n) *
+                      0xff51afd7ed558ccdULL;
+    h ^= weightHash(a.w) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= reinterpret_cast<std::uintptr_t>(b.n) * 0xc4ceb9fe1a85ec53ULL +
+         0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= weightHash(b.w) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace fdd::dd

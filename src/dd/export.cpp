@@ -1,0 +1,146 @@
+// DD <-> flat-array conversion, amplitude queries, inner products, and node
+// counting. toArray here is the *sequential* conversion used by DDSIM — the
+// baseline of Fig. 13; FlatDD's parallel conversion lives in
+// flatdd/conversion.cpp.
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bits.hpp"
+#include "dd/package.hpp"
+#include "qc/gate.hpp"
+
+namespace fdd::dd {
+
+void Package::toArray(const vEdge& state, std::span<Complex> out) const {
+  const Index dim = Index{1} << nQubits_;
+  if (out.size() != dim) {
+    throw std::invalid_argument("toArray: output span has wrong size");
+  }
+  for (auto& amp : out) {
+    amp = Complex{};
+  }
+  toArrayRec(state, nQubits_ - 1, 0, Complex{1.0}, out);
+}
+
+AlignedVector<Complex> Package::toArray(const vEdge& state) const {
+  AlignedVector<Complex> out(Index{1} << nQubits_);
+  toArray(state, out);
+  return out;
+}
+
+void Package::toArrayRec(const vEdge& e, Qubit level, Index offset,
+                         Complex factor, std::span<Complex> out) const {
+  if (e.isZero()) {
+    return;  // output is pre-zeroed
+  }
+  const Complex f = factor * e.w;
+  if (level < 0) {
+    out[offset] = f;
+    return;
+  }
+  assert(!e.isTerminal() && e.n->v == level);
+  toArrayRec(e.n->e[0], level - 1, offset, f, out);
+  toArrayRec(e.n->e[1], level - 1, offset + (Index{1} << level), f, out);
+}
+
+vEdge Package::fromArray(std::span<const Complex> amplitudes) {
+  const Index dim = Index{1} << nQubits_;
+  if (amplitudes.size() != dim) {
+    throw std::invalid_argument("fromArray: input span has wrong size");
+  }
+  return fromArrayRec(amplitudes, nQubits_ - 1);
+}
+
+vEdge Package::fromArrayRec(std::span<const Complex> amps, Qubit level) {
+  if (level < 0) {
+    const Complex w = ctable_.lookup(amps[0]);
+    return w == Complex{} ? vEdge::zero() : vEdge{vNode::terminal(), w};
+  }
+  const std::size_t half = amps.size() / 2;
+  const vEdge lo = fromArrayRec(amps.first(half), level - 1);
+  const vEdge hi = fromArrayRec(amps.last(half), level - 1);
+  return makeVectorNode(level, {lo, hi});
+}
+
+Complex Package::getAmplitude(const vEdge& state, Index i) const {
+  if (nQubits_ < 62 && i >= (Index{1} << nQubits_)) {
+    throw std::out_of_range("getAmplitude: basis index out of range");
+  }
+  vEdge e = state;
+  Complex amp = Complex{1.0};
+  for (Qubit l = nQubits_ - 1; l >= 0; --l) {
+    if (e.isZero()) {
+      return Complex{};
+    }
+    amp *= e.w;
+    e = e.n->e[testBit(i, l) ? 1 : 0];
+  }
+  if (e.isZero()) {
+    return Complex{};
+  }
+  return amp * e.w;
+}
+
+Complex Package::innerProduct(const vEdge& a, const vEdge& b) {
+  // <a|b>, memoized per node pair (weights factored out; a's side conjugated).
+  std::unordered_map<std::uint64_t, Complex> memo;
+  auto keyOf = [](const vNode* x, const vNode* y) {
+    return (reinterpret_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL) ^
+           reinterpret_cast<std::uint64_t>(y);
+  };
+  auto rec = [&](auto&& self, const vEdge& x, const vEdge& y,
+                 Qubit level) -> Complex {
+    if (x.isZero() || y.isZero()) {
+      return Complex{};
+    }
+    const Complex w = std::conj(x.w) * y.w;
+    if (level < 0) {
+      return w;
+    }
+    const std::uint64_t key = keyOf(x.n, y.n);
+    const auto it = memo.find(key);
+    if (it != memo.end()) {
+      return w * it->second;
+    }
+    Complex sum{};
+    for (std::size_t i = 0; i < 2; ++i) {
+      sum += self(self, x.n->e[i], y.n->e[i], level - 1);
+    }
+    memo.emplace(key, sum);
+    return w * sum;
+  };
+  return rec(rec, a, b, nQubits_ - 1);
+}
+
+namespace {
+
+template <typename NodeT>
+std::size_t countNodes(const Edge<NodeT>& root) {
+  if (root.isZero() || root.isTerminal()) {
+    return 0;
+  }
+  std::unordered_set<const NodeT*> seen;
+  std::vector<const NodeT*> stack{root.n};
+  seen.insert(root.n);
+  while (!stack.empty()) {
+    const NodeT* n = stack.back();
+    stack.pop_back();
+    for (const auto& child : n->e) {
+      if (!child.isZero() && !child.isTerminal() &&
+          seen.insert(child.n).second) {
+        stack.push_back(child.n);
+      }
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+std::size_t Package::nodeCount(const vEdge& e) const { return countNodes(e); }
+std::size_t Package::nodeCount(const mEdge& e) const { return countNodes(e); }
+
+}  // namespace fdd::dd

@@ -1,0 +1,205 @@
+// Additional DD operations beyond the core simulation loop: adjoints (for
+// uncomputation / equivalence checking), mixed DD-array inner products,
+// single-qubit measurement probabilities, and graphviz export.
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+#include "dd/package.hpp"
+
+namespace fdd::dd {
+
+namespace {
+
+/// Recursive adjoint with per-call memoization: transpose the 2x2 block
+/// structure (swap the off-diagonal children) and conjugate every weight.
+mEdge adjointRec(Package& pkg, const mEdge& m, Qubit level,
+                 std::unordered_map<const mNode*, mEdge>& memo) {
+  if (m.isZero()) {
+    return mEdge::zero();
+  }
+  const Complex w = pkg.canonical(std::conj(m.w));
+  if (level < 0) {
+    return {mNode::terminal(), w};
+  }
+  const auto it = memo.find(m.n);
+  if (it != memo.end()) {
+    const mEdge& cached = it->second;
+    if (cached.isZero()) {
+      return mEdge::zero();
+    }
+    const Complex scaled = pkg.canonical(cached.w * w);
+    return scaled == Complex{} ? mEdge::zero() : mEdge{cached.n, scaled};
+  }
+  const std::array<mEdge, 4> children{
+      adjointRec(pkg, m.n->e[0], level - 1, memo),
+      adjointRec(pkg, m.n->e[2], level - 1, memo),  // transposed
+      adjointRec(pkg, m.n->e[1], level - 1, memo),
+      adjointRec(pkg, m.n->e[3], level - 1, memo)};
+  const mEdge res = pkg.makeMatrixNode(level, children);
+  memo.emplace(m.n, res);
+  if (res.isZero()) {
+    return mEdge::zero();
+  }
+  const Complex scaled = pkg.canonical(res.w * w);
+  return scaled == Complex{} ? mEdge::zero() : mEdge{res.n, scaled};
+}
+
+}  // namespace
+
+mEdge Package::adjoint(const mEdge& m) {
+  std::unordered_map<const mNode*, mEdge> memo;
+  return adjointRec(*this, m, nQubits_ - 1, memo);
+}
+
+Complex Package::innerProduct(const vEdge& a,
+                              std::span<const Complex> flat) const {
+  const Index dim = Index{1} << nQubits_;
+  if (flat.size() != dim) {
+    throw std::invalid_argument("innerProduct: flat vector size mismatch");
+  }
+  // <a|flat> = sum_i conj(a_i) flat_i; traverse the DD so zero subtrees are
+  // skipped in O(1) and shared nodes are still walked per position (the
+  // flat side differs, so no memoization applies).
+  auto rec = [&](auto&& self, const vEdge& e, Qubit level, Index offset,
+                 Complex factor) -> Complex {
+    if (e.isZero()) {
+      return Complex{};
+    }
+    const Complex f = factor * std::conj(e.w);
+    if (level < 0) {
+      return f * flat[offset];
+    }
+    return self(self, e.n->e[0], level - 1, offset, f) +
+           self(self, e.n->e[1], level - 1, offset + (Index{1} << level), f);
+  };
+  return rec(rec, a, nQubits_ - 1, 0, Complex{1.0});
+}
+
+fp Package::probabilityOfOne(const vEdge& state, Qubit q) const {
+  if (q < 0 || q >= nQubits_) {
+    throw std::out_of_range("probabilityOfOne: qubit out of range");
+  }
+  // Sum |amplitude|^2 over the |1>_q branches. Memoize the squared norm of
+  // whole subtrees (keyed by node) for the levels below q.
+  std::unordered_map<const vNode*, fp> normMemo;
+  auto subtreeNorm = [&](auto&& self, const vEdge& e, Qubit level) -> fp {
+    if (e.isZero()) {
+      return 0;
+    }
+    const fp w2 = norm2(e.w);
+    if (level < 0) {
+      return w2;
+    }
+    const auto it = normMemo.find(e.n);
+    if (it != normMemo.end()) {
+      return w2 * it->second;
+    }
+    const fp below = self(self, e.n->e[0], level - 1) +
+                     self(self, e.n->e[1], level - 1);
+    normMemo.emplace(e.n, below);
+    return w2 * below;
+  };
+  auto rec = [&](auto&& self, const vEdge& e, Qubit level,
+                 fp factor) -> fp {
+    if (e.isZero()) {
+      return 0;
+    }
+    const fp f = factor * norm2(e.w);
+    if (level == q) {
+      return f * subtreeNorm(subtreeNorm, e.n->e[1], level - 1);
+    }
+    return self(self, e.n->e[0], level - 1, f) +
+           self(self, e.n->e[1], level - 1, f);
+  };
+  return rec(rec, state, nQubits_ - 1, 1.0);
+}
+
+std::unordered_map<const vNode*, fp> Package::annotateSubtreeNorms(
+    const vEdge& state) const {
+  std::unordered_map<const vNode*, fp> norms;
+  auto rec = [&](auto&& self, const vNode* n) -> fp {
+    if (n->isTerminal()) {
+      return 1.0;
+    }
+    const auto it = norms.find(n);
+    if (it != norms.end()) {
+      return it->second;
+    }
+    fp total = 0;
+    for (const auto& child : n->e) {
+      if (!child.isZero()) {
+        total += norm2(child.w) *
+                 (child.isTerminal() ? 1.0 : self(self, child.n));
+      }
+    }
+    norms.emplace(n, total);
+    return total;
+  };
+  if (!state.isZero() && !state.isTerminal()) {
+    (void)rec(rec, state.n);
+  }
+  return norms;
+}
+
+std::string Package::toDot(const vEdge& state) const {
+  std::ostringstream os;
+  os << "digraph dd {\n  rankdir=TB;\n  node [shape=circle];\n";
+  os << "  root [shape=point];\n";
+  std::unordered_map<const vNode*, int> ids;
+  auto idOf = [&](const vNode* n) {
+    const auto [it, inserted] = ids.emplace(n, static_cast<int>(ids.size()));
+    return it->second;
+  };
+  auto fmtW = [](const Complex& w) {
+    std::ostringstream ws;
+    ws.precision(4);
+    ws << '(' << w.real() << (w.imag() < 0 ? "" : "+") << w.imag() << "i)";
+    return ws.str();
+  };
+  os << "  terminal [shape=box,label=\"1\"];\n";
+  if (state.isZero()) {
+    os << "  root -> terminal [label=\"0\"];\n}\n";
+    return os.str();
+  }
+  // Collect reachable nodes first, then emit declarations and edges.
+  std::vector<const vNode*> order;
+  std::vector<const vNode*> stack{state.n};
+  ids.emplace(state.n, 0);
+  order.push_back(state.n);
+  while (!stack.empty()) {
+    const vNode* n = stack.back();
+    stack.pop_back();
+    for (const auto& child : n->e) {
+      if (!child.isZero() && !child.isTerminal() &&
+          ids.emplace(child.n, static_cast<int>(ids.size())).second) {
+        order.push_back(child.n);
+        stack.push_back(child.n);
+      }
+    }
+  }
+  auto emitEdge = [&](const std::string& from, const vEdge& e,
+                      const char* style) {
+    if (e.isZero()) {
+      return;
+    }
+    const std::string to =
+        e.isTerminal() ? "terminal" : "n" + std::to_string(idOf(e.n));
+    os << "  " << from << " -> " << to << " [label=\"" << fmtW(e.w) << "\""
+       << style << "];\n";
+  };
+  for (const vNode* n : order) {
+    os << "  n" << idOf(n) << " [label=\"q" << n->v << "\"];\n";
+  }
+  emitEdge("root", state, "");
+  for (const vNode* n : order) {
+    const std::string name = "n" + std::to_string(idOf(n));
+    emitEdge(name, n->e[0], ",style=dashed");  // |0> branch dashed
+    emitEdge(name, n->e[1], "");
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fdd::dd

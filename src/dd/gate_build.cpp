@@ -1,0 +1,98 @@
+// Construction of gate-matrix DDs: identity operators and (multi-)controlled
+// single-qubit gates positioned anywhere in the register. This is the "DD-
+// based gate matrix" half of the paper's DMAV hybrid — gate DDs stay tiny
+// (O(n) nodes) regardless of circuit irregularity because gate matrices
+// decompose through the Kronecker product (Section 1 of the paper).
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dd/package.hpp"
+
+namespace fdd::dd {
+
+mEdge Package::makeIdent(Qubit level) {
+  if (level < 0) {
+    return mEdge::one();
+  }
+  if (level >= nQubits_) {
+    throw std::out_of_range("makeIdent: level out of range");
+  }
+  while (static_cast<Qubit>(identCache_.size()) <= level) {
+    const Qubit l = static_cast<Qubit>(identCache_.size());
+    const mEdge below = l == 0 ? mEdge::one() : identCache_[l - 1];
+    const mEdge id =
+        makeMatrixNode(l, {below, mEdge::zero(), mEdge::zero(), below});
+    incRef(id);  // pin: the identity cache must survive garbage collection
+    identCache_.push_back(id);
+  }
+  return identCache_[static_cast<std::size_t>(level)];
+}
+
+mEdge Package::makeGateDD(const qc::Matrix2& u, Qubit target,
+                          std::span<const Qubit> controls) {
+  if (target < 0 || target >= nQubits_) {
+    throw std::out_of_range("makeGateDD: target out of range");
+  }
+  for (const Qubit c : controls) {
+    if (c < 0 || c >= nQubits_) {
+      throw std::out_of_range("makeGateDD: control out of range");
+    }
+    if (c == target) {
+      throw std::invalid_argument("makeGateDD: control equals target");
+    }
+  }
+  auto isControl = [&](Qubit l) {
+    return std::find(controls.begin(), controls.end(), l) != controls.end();
+  };
+
+  // em[k] accumulates the operator block for gate-matrix entry k in {00, 01,
+  // 10, 11}, built bottom-up over the levels below the target.
+  std::array<mEdge, 4> em;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const Complex w = ctable_.lookup(u[k]);
+    em[k] = w == Complex{} ? mEdge::zero() : mEdge{mNode::terminal(), w};
+  }
+
+  for (Qubit l = 0; l < target; ++l) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (isControl(l)) {
+        // Control below the target: when the control reads 0 the whole
+        // operator must behave as identity, which contributes the identity
+        // block on the diagonal entries (k == 00 or k == 11) even when the
+        // gate-matrix entry itself is zero (think CX: u00 = 0 but the
+        // control-0 branch still passes |0> through).
+        const mEdge ctrlOff =
+            (k == 0 || k == 3) ? makeIdent(l - 1) : mEdge::zero();
+        if (ctrlOff.isZero() && em[k].isZero()) {
+          continue;
+        }
+        em[k] =
+            makeMatrixNode(l, {ctrlOff, mEdge::zero(), mEdge::zero(), em[k]});
+      } else if (!em[k].isZero()) {
+        em[k] = makeMatrixNode(l, {em[k], mEdge::zero(), mEdge::zero(), em[k]});
+      }
+    }
+  }
+
+  mEdge e = makeMatrixNode(target, em);
+
+  for (Qubit l = target + 1; l < nQubits_; ++l) {
+    if (isControl(l)) {
+      // Control above the target: the control-0 block is the identity on
+      // everything below (gate not applied), control-1 applies the gate.
+      e = makeMatrixNode(l,
+                         {makeIdent(l - 1), mEdge::zero(), mEdge::zero(), e});
+    } else {
+      e = makeMatrixNode(l, {e, mEdge::zero(), mEdge::zero(), e});
+    }
+  }
+  return e;
+}
+
+mEdge Package::makeGateDD(const qc::Operation& op) {
+  return makeGateDD(op.matrix(), op.target,
+                    std::span<const Qubit>{op.controls});
+}
+
+}  // namespace fdd::dd

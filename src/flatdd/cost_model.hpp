@@ -1,0 +1,39 @@
+#pragma once
+// DMAV computational cost model (Section 3.2.3). The unit of cost is one
+// MAC operation; the model decides (a) whether a given gate benefits from
+// the DMAV cache (Eq. 5 vs Eq. 6) and (b) whether fusing two gates lowers
+// total cost (Algorithm 3 uses Eq. 5).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dd/edge.hpp"
+
+namespace fdd::flat {
+
+/// Total MAC operations of a DMAV with this gate matrix: the paper's
+/// DFS-with-lookup-table count of Fig. 8 (terminal edge = 1 MAC; node =
+/// sum over nonzero children; identical nodes share one table entry).
+[[nodiscard]] std::uint64_t macCount(const dd::mEdge& m);
+
+/// Cost of DMAV without caching: C1 = K1 / t (Eq. 5).
+[[nodiscard]] fp costNoCache(const dd::mEdge& m, unsigned threads);
+
+/// Cost of DMAV with caching (Eq. 6):
+///   C2 = K2/t + 2^n/(d*t) * (H/t + b)
+/// where K2 counts MACs with repeated border nodes deduplicated, H is the
+/// number of cache hits under the column-space assignment, b the number of
+/// partial-output buffers, and d the SIMD width. Requires simulating the
+/// assignment, so it is costlier to evaluate than Eq. 5.
+[[nodiscard]] fp costWithCache(const dd::mEdge& m, Qubit nQubits,
+                               unsigned threads, unsigned simdWidth);
+
+/// min(C1, C2) — the cost FlatDD charges a DMAV (Section 3.2.3).
+[[nodiscard]] fp dmavCost(const dd::mEdge& m, Qubit nQubits, unsigned threads,
+                          unsigned simdWidth);
+
+/// True when the cost model picks the cached variant (C2 < C1).
+[[nodiscard]] bool cachingBeneficial(const dd::mEdge& m, Qubit nQubits,
+                                     unsigned threads, unsigned simdWidth);
+
+}  // namespace fdd::flat

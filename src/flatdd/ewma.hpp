@@ -1,0 +1,48 @@
+#pragma once
+// Conversion-timing monitor (Section 3.1.1): an exponentially weighted moving
+// average of the state vector's DD size. When the current size s_i spikes
+// above epsilon times the (bias-corrected) average, the state's regularity
+// has collapsed and the simulation should convert from DD to DMAV.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace fdd::flat {
+
+class EwmaMonitor {
+ public:
+  /// beta: history weight of Eq. 4 (paper default 0.9).
+  /// epsilon: trigger threshold (paper default 2).
+  /// warmupGates: observations before conversion may trigger; with v_0 = 0
+  ///   the raw EWMA underestimates wildly for the first ~1/(1-beta) gates,
+  ///   so we both bias-correct (v / (1 - beta^i)) and require a warmup.
+  /// minSize: DD sizes below this never trigger — converting a tiny DD to a
+  ///   2^n array can only lose.
+  EwmaMonitor(fp beta = 0.9, fp epsilon = 2.0, std::size_t warmupGates = 8,
+              std::size_t minSize = 64);
+
+  /// Records the DD size after gate i and returns true when the simulation
+  /// should convert to DMAV (Eq. 4 check: epsilon * v_i < s_i).
+  [[nodiscard]] bool observe(std::size_t ddSize);
+
+  [[nodiscard]] fp value() const noexcept { return corrected_; }
+  [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+  [[nodiscard]] fp beta() const noexcept { return beta_; }
+  [[nodiscard]] fp epsilon() const noexcept { return epsilon_; }
+
+  void reset() noexcept;
+
+ private:
+  fp beta_;
+  fp epsilon_;
+  std::size_t warmup_;
+  std::size_t minSize_;
+
+  fp value_ = 0;         // raw EWMA v_i
+  fp corrected_ = 0;     // bias-corrected v_i / (1 - beta^i)
+  fp betaPow_ = 1;       // beta^i
+  std::size_t count_ = 0;
+};
+
+}  // namespace fdd::flat

@@ -1,0 +1,178 @@
+#include "flatdd/flatdd_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "flatdd/conversion.hpp"
+#include "flatdd/cost_model.hpp"
+#include "flatdd/dmav.hpp"
+#include "flatdd/fusion.hpp"
+#include "simd/kernels.hpp"
+
+namespace fdd::flat {
+
+FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
+    : nQubits_{nQubits},
+      options_{options},
+      ddSim_{nQubits, options.tolerance},
+      ewma_{options.beta, options.epsilon, options.warmupGates,
+            options.minDDSize} {}
+
+void FlatDDSimulator::simulate(const qc::Circuit& circuit) {
+  if (circuit.numQubits() != nQubits_) {
+    throw std::invalid_argument("simulate: circuit qubit count mismatch");
+  }
+  const auto& ops = circuit.operations();
+  std::size_t i = 0;
+
+  // ---- Phase 1: DD-based simulation with the EWMA monitor ----------------
+  Stopwatch ddPhase;
+  for (; i < ops.size() && !flatPhase_; ++i) {
+    Stopwatch gate;
+    ddSim_.applyOperation(ops[i]);
+    const std::size_t size = ddSim_.stateNodeCount();
+    stats_.peakDDSize = std::max(stats_.peakDDSize, size);
+    ++stats_.ddGates;
+    bool trigger = ewma_.observe(size);
+    if (options_.forceConversionAtGate) {
+      trigger = (i + 1 >= *options_.forceConversionAtGate);
+    }
+    if (options_.recordPerGate) {
+      stats_.perGate.push_back(
+          PerGateRecord{i, true, gate.seconds(), size});
+    }
+    if (trigger && i + 1 < ops.size()) {
+      convertToFlat(i + 1);
+    }
+  }
+  stats_.ddPhaseSeconds = ddPhase.seconds();
+  if (!flatPhase_) {
+    return;  // the whole circuit stayed regular (e.g. Adder, GHZ)
+  }
+
+  // ---- Fusion of the remaining gates (optional) ---------------------------
+  auto& pkg = ddSim_.package();
+  Stopwatch fusionClock;
+  std::vector<dd::mEdge> gates;
+  gates.reserve(ops.size() - i);
+  for (std::size_t g = i; g < ops.size(); ++g) {
+    const dd::mEdge m = pkg.makeGateDD(ops[g]);
+    pkg.incRef(m);
+    gates.push_back(m);
+  }
+  if (options_.fusion == FusionMode::DmavAware) {
+    gates = dmavAwareFusion(pkg, gates, options_.threads);
+  } else if (options_.fusion == FusionMode::KOperations) {
+    gates = kOperationsFusion(pkg, gates, options_.kOperations,
+                              options_.threads);
+  }
+  stats_.fusionSeconds = fusionClock.seconds();
+
+  // ---- Phase 2: DMAV --------------------------------------------------------
+  Stopwatch dmavPhase;
+  for (const dd::mEdge& gate : gates) {
+    Stopwatch gateClock;
+    applyDmav(gate);
+    pkg.decRef(gate);
+    ++stats_.dmavGates;
+    if (options_.recordPerGate) {
+      stats_.perGate.push_back(
+          PerGateRecord{stats_.conversionGateIndex + stats_.dmavGates - 1,
+                        false, gateClock.seconds(), 0});
+    }
+  }
+  pkg.garbageCollect(true);
+  stats_.dmavPhaseSeconds = dmavPhase.seconds();
+}
+
+void FlatDDSimulator::convertToFlat(std::size_t gateIndex) {
+  Stopwatch clock;
+  v_.resize(Index{1} << nQubits_);
+  w_.resize(Index{1} << nQubits_);
+  ddToArrayParallel(ddSim_.state(), nQubits_, v_, options_.threads);
+  ddSim_.releaseState();  // the irregular state DD is no longer needed
+  flatPhase_ = true;
+  stats_.converted = true;
+  stats_.conversionGateIndex = gateIndex;
+  stats_.conversionSeconds = clock.seconds();
+}
+
+void FlatDDSimulator::applyDmav(const dd::mEdge& gate) {
+  const Index dim = Index{1} << nQubits_;
+  const unsigned threads =
+      dim < options_.parallelThresholdDim ? 1 : options_.threads;
+  bool useCache = options_.forceCaching;
+  if (!useCache && options_.useCostModel) {
+    useCache = cachingBeneficial(gate, nQubits_, threads, simd::lanes());
+  }
+  stats_.dmavModelCost += dmavCost(gate, nQubits_, threads, simd::lanes());
+  if (useCache) {
+    const DmavCacheStats s =
+        dmavCached(gate, nQubits_, v_, w_, threads, workspace_);
+    ++stats_.cachedGates;
+    stats_.cacheHits += s.cacheHits;
+  } else {
+    dmav(gate, nQubits_, v_, w_, threads);
+  }
+  std::swap(v_, w_);
+}
+
+Complex FlatDDSimulator::amplitude(Index i) const {
+  if (flatPhase_) {
+    return v_[i];
+  }
+  return ddSim_.amplitude(i);
+}
+
+AlignedVector<Complex> FlatDDSimulator::stateVector() const {
+  if (flatPhase_) {
+    return v_;
+  }
+  return ddToArrayParallel(ddSim_.state(), nQubits_, options_.threads);
+}
+
+std::vector<Index> FlatDDSimulator::sample(std::size_t shots,
+                                           Xoshiro256& rng) const {
+  if (!flatPhase_) {
+    return ddSim_.package().sample(ddSim_.state(), shots, rng);
+  }
+  // Cumulative distribution + binary search: O(2^n) setup, O(log 2^n)/shot.
+  std::vector<fp> cdf(v_.size());
+  fp acc = 0;
+  for (Index i = 0; i < v_.size(); ++i) {
+    acc += norm2(v_[i]);
+    cdf[i] = acc;
+  }
+  std::vector<Index> out;
+  out.reserve(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const fp r = rng.uniform() * acc;
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+    out.push_back(static_cast<Index>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1)));
+  }
+  return out;
+}
+
+std::string FlatDDStats::perGateCsv() const {
+  std::string csv = "gate,phase,seconds,dd_size\n";
+  for (const auto& rec : perGate) {
+    csv += std::to_string(rec.gateIndex);
+    csv += rec.inDDPhase ? ",dd," : ",dmav,";
+    csv += std::to_string(rec.seconds);
+    csv += ',';
+    csv += std::to_string(rec.ddSize);
+    csv += '\n';
+  }
+  return csv;
+}
+
+std::size_t FlatDDSimulator::memoryBytes() const {
+  std::size_t bytes = ddSim_.package().stats().memoryBytes;
+  bytes += (v_.size() + w_.size()) * sizeof(Complex);
+  bytes += workspace_.memoryBytes();
+  return bytes;
+}
+
+}  // namespace fdd::flat

@@ -1,0 +1,177 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace fdd::par {
+
+namespace {
+
+inline void cpuRelax() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#endif
+}
+
+// Spin iterations before falling back to the condition variable. Short
+// enough that a fully loaded machine degrades gracefully, long enough that
+// back-to-back gate regions (microseconds apart) never sleep. Spinners
+// yield periodically so oversubscribed pools don't starve the workers that
+// actually hold work.
+constexpr int kSpinIterations = 2048;
+constexpr int kSpinsPerYield = 64;
+
+template <typename Pred>
+bool spinUntil(Pred&& pred) noexcept {
+  for (int spin = 0; spin < kSpinIterations; ++spin) {
+    if (pred()) {
+      return true;
+    }
+    if (spin % kSpinsPerYield == kSpinsPerYield - 1) {
+      std::this_thread::yield();
+    } else {
+      cpuRelax();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : threads_{std::max(threads, 1u)} {
+  slots_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& slot : slots_) {
+    {
+      std::lock_guard lock{slot->m};
+      slot->epoch.fetch_add(1, std::memory_order_release);
+    }
+    slot->cv.notify_one();
+  }
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::run(unsigned t, const std::function<void(unsigned)>& f) {
+  assert(t >= 1 && t <= threads_);
+  if (t == 1) {
+    f(0);
+    return;
+  }
+  job_ = &f;
+  pending_.store(t - 1, std::memory_order_release);
+  for (unsigned i = 1; i < t; ++i) {
+    Slot& slot = *slots_[i - 1];
+    // seq_cst pairs with the worker's seq_cst sleeping-store / epoch-load:
+    // either the worker sees the new epoch and skips sleeping, or we see
+    // sleeping == true and notify. Weaker orders would allow both sides to
+    // read stale values (Dekker) and deadlock.
+    slot.epoch.fetch_add(1, std::memory_order_seq_cst);
+    if (slot.sleeping.load(std::memory_order_seq_cst)) {
+      {
+        std::lock_guard lock{slot.m};  // pair with the sleeper's re-check
+      }
+      slot.cv.notify_one();
+    }
+  }
+
+  f(0);  // the caller is worker 0
+
+  // Join: spin briefly, then sleep.
+  if (spinUntil(
+          [this] { return pending_.load(std::memory_order_acquire) == 0; })) {
+    job_ = nullptr;
+    return;
+  }
+  std::unique_lock lock{doneMutex_};
+  doneCv_.wait(lock,
+               [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallelFor(
+    unsigned t, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& f) {
+  const std::size_t total = end - begin;
+  if (total == 0) {
+    return;
+  }
+  t = static_cast<unsigned>(std::min<std::size_t>(std::max(t, 1u), total));
+  const std::size_t chunk = (total + t - 1) / t;
+  run(t, [&](unsigned i) {
+    const std::size_t lo = begin + i * chunk;
+    const std::size_t hi = std::min(lo + chunk, end);
+    if (lo < hi) {
+      f(lo, hi);
+    }
+  });
+}
+
+void ThreadPool::workerLoop(unsigned index) {
+  Slot& slot = *slots_[index - 1];
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for our epoch to advance: spin first, then sleep.
+    const bool advanced = spinUntil([&] {
+      return slot.epoch.load(std::memory_order_acquire) != seen;
+    });
+    if (!advanced) {
+      slot.sleeping.store(true, std::memory_order_seq_cst);
+      std::unique_lock lock{slot.m};
+      slot.cv.wait(lock, [&] {
+        return slot.epoch.load(std::memory_order_seq_cst) != seen;
+      });
+      slot.sleeping.store(false, std::memory_order_seq_cst);
+    }
+    seen = slot.epoch.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    (*job_)(index);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      {
+        std::lock_guard lock{doneMutex_};  // pair with the joiner's wait
+      }
+      doneCv_.notify_one();
+    }
+  }
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& poolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& globalPool() {
+  auto& slot = poolSlot();
+  if (!slot) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    // Benchmarks sweep past the physical core count to show saturation, so
+    // provision generously; idle workers cost nothing but a blocked thread.
+    slot = std::make_unique<ThreadPool>(std::max(16u, hw));
+  }
+  return *slot;
+}
+
+void resizePool(unsigned threads) {
+  poolSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace fdd::par

@@ -1,0 +1,75 @@
+#pragma once
+// A fixed-size thread pool with fork/join semantics. DMAV repeatedly launches
+// short parallel regions (one per gate), so two properties matter:
+//   * worker threads persist across regions (no thread creation per gate);
+//   * region entry/exit latency is minimal — each worker has its own wake
+//     slot (only participating workers are signalled) and spins briefly
+//     before sleeping, so back-to-back regions avoid the condvar round trip.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fdd::par {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` logical workers (>= 1). Worker index 0 is the calling
+  /// thread itself: run(t, f) executes f(0) on the caller and f(1..t-1) on
+  /// pool workers, so a pool of size t uses t OS threads total.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of logical workers (including the caller slot).
+  [[nodiscard]] unsigned size() const noexcept { return threads_; }
+
+  /// Runs f(i) for i in [0, t) across the pool and blocks until all finish.
+  /// t must be <= size(). f must be callable concurrently.
+  void run(unsigned t, const std::function<void(unsigned)>& f);
+
+  /// Splits [begin, end) into contiguous chunks over `t` workers and calls
+  /// f(lo, hi) on each nonempty chunk.
+  void parallelFor(unsigned t, std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& f);
+
+ private:
+  /// Per-worker wake slot: workers wait on their own epoch so launching a
+  /// width-t region signals exactly t-1 threads.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::mutex m;
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+  };
+
+  void workerLoop(unsigned index);
+
+  unsigned threads_;
+  std::vector<std::unique_ptr<Slot>> slots_;  // [1, threads_)
+  std::vector<std::thread> workers_;
+
+  const std::function<void(unsigned)>* job_ = nullptr;  // valid during a run
+  std::atomic<unsigned> pending_{0};
+  std::mutex doneMutex_;
+  std::condition_variable doneCv_;
+  std::atomic<bool> stop_{false};
+};
+
+/// Process-wide pool sized to the maximum thread count the benchmarks sweep.
+/// Thread-safe lazy construction; resizePool() is not thread-safe and must be
+/// called from a single-threaded context (e.g. the start of main()).
+ThreadPool& globalPool();
+
+/// Recreates the global pool with `threads` workers.
+void resizePool(unsigned threads);
+
+}  // namespace fdd::par

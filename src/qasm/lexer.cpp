@@ -1,0 +1,118 @@
+#include "qasm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fdd::qasm {
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokenKind k, std::string text = {}, fp value = 0) {
+    out.push_back(Token{k, std::move(text), value, line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      std::string word{src.substr(i, j - i)};
+      if (word == "pi") {
+        push(TokenKind::Pi);
+      } else {
+        push(TokenKind::Identifier, std::move(word));
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      const std::string num{src.substr(i, j - i)};
+      char* end = nullptr;
+      const fp value = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) {
+        throw QasmError("malformed number '" + num + "'", line);
+      }
+      push(TokenKind::Real, num, value);
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\n') {
+          throw QasmError("unterminated string literal", line);
+        }
+        ++j;
+      }
+      if (j >= n) {
+        throw QasmError("unterminated string literal", line);
+      }
+      push(TokenKind::String, std::string{src.substr(i + 1, j - i - 1)});
+      i = j + 1;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokenKind::Arrow);
+      i += 2;
+      continue;
+    }
+    if (c == '=' && i + 1 < n && src[i + 1] == '=') {
+      push(TokenKind::Equals);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case ';': push(TokenKind::Semicolon); break;
+      case ',': push(TokenKind::Comma); break;
+      case '(': push(TokenKind::LParen); break;
+      case ')': push(TokenKind::RParen); break;
+      case '{': push(TokenKind::LBrace); break;
+      case '}': push(TokenKind::RBrace); break;
+      case '[': push(TokenKind::LBracket); break;
+      case ']': push(TokenKind::RBracket); break;
+      case '+': push(TokenKind::Plus); break;
+      case '-': push(TokenKind::Minus); break;
+      case '*': push(TokenKind::Star); break;
+      case '/': push(TokenKind::Slash); break;
+      case '^': push(TokenKind::Caret); break;
+      default:
+        throw QasmError(std::string("unexpected character '") + c + "'", line);
+    }
+    ++i;
+  }
+  push(TokenKind::Eof);
+  return out;
+}
+
+}  // namespace fdd::qasm

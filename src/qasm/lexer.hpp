@@ -1,0 +1,59 @@
+#pragma once
+// Tokenizer for the OpenQASM 2.0 subset accepted by qasm::parse.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fdd::qasm {
+
+enum class TokenKind {
+  Identifier,
+  Real,       // numeric literal (integer or real); value in Token::value
+  Pi,
+  String,     // quoted, quotes stripped
+  Semicolon,
+  Comma,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Caret,
+  Arrow,      // ->
+  Equals,     // ==
+  Eof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;   // identifier / string spelling
+  fp value = 0;       // numeric literals
+  std::size_t line = 0;
+};
+
+/// Exception raised on malformed input, carrying the offending line number.
+class QasmError : public std::runtime_error {
+ public:
+  QasmError(const std::string& message, std::size_t line)
+      : std::runtime_error("qasm:" + std::to_string(line) + ": " + message),
+        line_{line} {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Tokenizes `source`; strips // comments; throws QasmError on bad input.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace fdd::qasm

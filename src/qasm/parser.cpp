@@ -1,0 +1,672 @@
+#include "qasm/parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "qasm/lexer.hpp"
+
+namespace fdd::qasm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parameter-expression AST. Gate bodies are stored unevaluated; parameters
+// bind at expansion time.
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { Number, Param, Unary, Binary, Call } kind;
+  fp number = 0;
+  std::string name;      // Param: parameter name; Call: function name
+  char op = 0;           // Binary: + - * / ^ ; Unary: -
+  ExprPtr lhs;
+  ExprPtr rhs;           // Binary only
+};
+
+using Env = std::map<std::string, fp>;
+
+fp evalExpr(const Expr& e, const Env& env, std::size_t line) {
+  switch (e.kind) {
+    case Expr::Kind::Number:
+      return e.number;
+    case Expr::Kind::Param: {
+      const auto it = env.find(e.name);
+      if (it == env.end()) {
+        throw QasmError("unbound parameter '" + e.name + "'", line);
+      }
+      return it->second;
+    }
+    case Expr::Kind::Unary:
+      return -evalExpr(*e.lhs, env, line);
+    case Expr::Kind::Binary: {
+      const fp a = evalExpr(*e.lhs, env, line);
+      const fp b = evalExpr(*e.rhs, env, line);
+      switch (e.op) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/':
+          if (b == 0) {
+            throw QasmError("division by zero in parameter expression", line);
+          }
+          return a / b;
+        case '^': return std::pow(a, b);
+        default: break;
+      }
+      throw QasmError("bad operator in expression", line);
+    }
+    case Expr::Kind::Call: {
+      const fp a = evalExpr(*e.lhs, env, line);
+      if (e.name == "sin") return std::sin(a);
+      if (e.name == "cos") return std::cos(a);
+      if (e.name == "tan") return std::tan(a);
+      if (e.name == "exp") return std::exp(a);
+      if (e.name == "ln") return std::log(a);
+      if (e.name == "sqrt") return std::sqrt(a);
+      throw QasmError("unknown function '" + e.name + "'", line);
+    }
+  }
+  throw QasmError("bad expression", line);
+}
+
+// ---------------------------------------------------------------------------
+// User-defined gates (macros).
+// ---------------------------------------------------------------------------
+
+/// One statement inside a gate body: a call to another gate.
+struct BodyCall {
+  std::string name;
+  std::vector<ExprPtr> params;
+  std::vector<std::string> qargs;  // names of the enclosing gate's qubit args
+  std::size_t line = 0;
+};
+
+struct GateDef {
+  std::vector<std::string> paramNames;
+  std::vector<std::string> qargNames;
+  std::vector<BodyCall> body;
+};
+
+/// Argument of a top-level statement: whole register or one element.
+struct QArg {
+  std::string reg;
+  std::optional<Index> index;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::string_view src, std::string name)
+      : tokens_{tokenize(src)}, circuitName_{std::move(name)} {}
+
+  qc::Circuit run() {
+    parseHeader();
+    // First pass: find total qubit count so the Circuit can be constructed.
+    // We parse statements in order; qregs must precede their first use, as
+    // OpenQASM requires, so we build incrementally into a staging list.
+    while (peek().kind != TokenKind::Eof) {
+      statement();
+    }
+    if (totalQubits_ == 0) {
+      throw QasmError("no qreg declared", 1);
+    }
+    qc::Circuit c{static_cast<Qubit>(totalQubits_), circuitName_};
+    for (auto& op : staged_) {
+      c.append(std::move(op));
+    }
+    return c;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool match(TokenKind k) {
+    if (peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(TokenKind k, const char* what) {
+    if (peek().kind != k) {
+      throw QasmError(std::string("expected ") + what, peek().line);
+    }
+    return tokens_[pos_++];
+  }
+  std::string expectIdentifier(const char* what) {
+    return expect(TokenKind::Identifier, what).text;
+  }
+
+  // ---- grammar ----
+  void parseHeader() {
+    // OPENQASM <real>; — optional to accept bare gate files.
+    if (peek().kind == TokenKind::Identifier && peek().text == "OPENQASM") {
+      advance();
+      expect(TokenKind::Real, "version number");
+      expect(TokenKind::Semicolon, "';'");
+    }
+  }
+
+  void statement() {
+    const Token& tok = peek();
+    if (tok.kind != TokenKind::Identifier) {
+      throw QasmError("expected statement", tok.line);
+    }
+    const std::string& kw = tok.text;
+    if (kw == "include") {
+      advance();
+      expect(TokenKind::String, "include path");
+      expect(TokenKind::Semicolon, "';'");
+      return;  // qelib1 built-ins are always available
+    }
+    if (kw == "qreg") {
+      advance();
+      const std::string name = expectIdentifier("register name");
+      expect(TokenKind::LBracket, "'['");
+      const auto size = static_cast<Index>(
+          expect(TokenKind::Real, "register size").value);
+      expect(TokenKind::RBracket, "']'");
+      expect(TokenKind::Semicolon, "';'");
+      if (size == 0) {
+        throw QasmError("zero-sized qreg '" + name + "'", tok.line);
+      }
+      if (qregs_.count(name) != 0) {
+        throw QasmError("redefinition of qreg '" + name + "'", tok.line);
+      }
+      qregs_[name] = {totalQubits_, size};
+      totalQubits_ += size;
+      return;
+    }
+    if (kw == "creg") {
+      advance();
+      expectIdentifier("register name");
+      expect(TokenKind::LBracket, "'['");
+      expect(TokenKind::Real, "register size");
+      expect(TokenKind::RBracket, "']'");
+      expect(TokenKind::Semicolon, "';'");
+      return;  // classical registers are irrelevant to strong simulation
+    }
+    if (kw == "gate") {
+      parseGateDef();
+      return;
+    }
+    if (kw == "opaque") {
+      // opaque name(params) qargs; — skip to semicolon.
+      skipToSemicolon();
+      return;
+    }
+    if (kw == "barrier") {
+      skipToSemicolon();
+      return;
+    }
+    if (kw == "measure" || kw == "reset") {
+      skipToSemicolon();
+      return;
+    }
+    if (kw == "if") {
+      throw QasmError("classically controlled operations are not supported",
+                      tok.line);
+    }
+    parseGateCallStatement();
+  }
+
+  void skipToSemicolon() {
+    while (peek().kind != TokenKind::Semicolon &&
+           peek().kind != TokenKind::Eof) {
+      advance();
+    }
+    match(TokenKind::Semicolon);
+  }
+
+  void parseGateDef() {
+    const std::size_t line = peek().line;
+    advance();  // 'gate'
+    const std::string name = expectIdentifier("gate name");
+    GateDef def;
+    if (match(TokenKind::LParen)) {
+      if (peek().kind != TokenKind::RParen) {
+        do {
+          def.paramNames.push_back(expectIdentifier("parameter name"));
+        } while (match(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "')'");
+    }
+    do {
+      def.qargNames.push_back(expectIdentifier("qubit argument"));
+    } while (match(TokenKind::Comma));
+    expect(TokenKind::LBrace, "'{'");
+    while (!match(TokenKind::RBrace)) {
+      if (peek().kind == TokenKind::Eof) {
+        throw QasmError("unterminated gate body", line);
+      }
+      if (peek().kind == TokenKind::Identifier && peek().text == "barrier") {
+        skipToSemicolon();
+        continue;
+      }
+      def.body.push_back(parseBodyCall(def));
+    }
+    gateDefs_[name] = std::move(def);
+  }
+
+  BodyCall parseBodyCall(const GateDef& enclosing) {
+    BodyCall call;
+    call.line = peek().line;
+    call.name = expectIdentifier("gate name");
+    if (match(TokenKind::LParen)) {
+      if (peek().kind != TokenKind::RParen) {
+        do {
+          call.params.push_back(parseExpr(enclosing.paramNames));
+        } while (match(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "')'");
+    }
+    do {
+      const std::string q = expectIdentifier("qubit argument");
+      bool known = false;
+      for (const auto& a : enclosing.qargNames) {
+        known |= (a == q);
+      }
+      if (!known) {
+        throw QasmError("unknown qubit argument '" + q + "' in gate body",
+                        call.line);
+      }
+      call.qargs.push_back(q);
+    } while (match(TokenKind::Comma));
+    expect(TokenKind::Semicolon, "';'");
+    return call;
+  }
+
+  // expr := term (('+'|'-') term)*
+  // term := factor (('*'|'/') factor)*
+  // factor := unary ('^' factor)?      (right-associative power)
+  // unary := '-' unary | primary
+  // primary := number | pi | ident | ident '(' expr ')' | '(' expr ')'
+  ExprPtr parseExpr(const std::vector<std::string>& params) {
+    ExprPtr lhs = parseTerm(params);
+    while (peek().kind == TokenKind::Plus || peek().kind == TokenKind::Minus) {
+      const char op = peek().kind == TokenKind::Plus ? '+' : '-';
+      advance();
+      ExprPtr rhs = parseTerm(params);
+      lhs = std::make_shared<Expr>(
+          Expr{Expr::Kind::Binary, 0, {}, op, lhs, rhs});
+    }
+    return lhs;
+  }
+
+  ExprPtr parseTerm(const std::vector<std::string>& params) {
+    ExprPtr lhs = parseFactor(params);
+    while (peek().kind == TokenKind::Star || peek().kind == TokenKind::Slash) {
+      const char op = peek().kind == TokenKind::Star ? '*' : '/';
+      advance();
+      ExprPtr rhs = parseFactor(params);
+      lhs = std::make_shared<Expr>(
+          Expr{Expr::Kind::Binary, 0, {}, op, lhs, rhs});
+    }
+    return lhs;
+  }
+
+  ExprPtr parseFactor(const std::vector<std::string>& params) {
+    ExprPtr base = parseUnary(params);
+    if (match(TokenKind::Caret)) {
+      ExprPtr exp = parseFactor(params);
+      return std::make_shared<Expr>(
+          Expr{Expr::Kind::Binary, 0, {}, '^', base, exp});
+    }
+    return base;
+  }
+
+  ExprPtr parseUnary(const std::vector<std::string>& params) {
+    if (match(TokenKind::Minus)) {
+      ExprPtr inner = parseUnary(params);
+      return std::make_shared<Expr>(
+          Expr{Expr::Kind::Unary, 0, {}, '-', inner, nullptr});
+    }
+    return parsePrimary(params);
+  }
+
+  ExprPtr parsePrimary(const std::vector<std::string>& params) {
+    const Token& tok = peek();
+    if (tok.kind == TokenKind::Real) {
+      advance();
+      return std::make_shared<Expr>(
+          Expr{Expr::Kind::Number, tok.value, {}, 0, nullptr, nullptr});
+    }
+    if (tok.kind == TokenKind::Pi) {
+      advance();
+      return std::make_shared<Expr>(
+          Expr{Expr::Kind::Number, PI, {}, 0, nullptr, nullptr});
+    }
+    if (tok.kind == TokenKind::LParen) {
+      advance();
+      ExprPtr inner = parseExpr(params);
+      expect(TokenKind::RParen, "')'");
+      return inner;
+    }
+    if (tok.kind == TokenKind::Identifier) {
+      advance();
+      if (peek().kind == TokenKind::LParen) {  // function call
+        advance();
+        ExprPtr arg = parseExpr(params);
+        expect(TokenKind::RParen, "')'");
+        return std::make_shared<Expr>(
+            Expr{Expr::Kind::Call, 0, tok.text, 0, arg, nullptr});
+      }
+      for (const auto& p : params) {
+        if (p == tok.text) {
+          return std::make_shared<Expr>(
+              Expr{Expr::Kind::Param, 0, tok.text, 0, nullptr, nullptr});
+        }
+      }
+      throw QasmError("unknown identifier '" + tok.text + "' in expression",
+                      tok.line);
+    }
+    throw QasmError("expected expression", tok.line);
+  }
+
+  // ---- top-level gate applications ----
+
+  void parseGateCallStatement() {
+    const std::size_t line = peek().line;
+    const std::string name = expectIdentifier("gate name");
+    std::vector<fp> params;
+    if (match(TokenKind::LParen)) {
+      if (peek().kind != TokenKind::RParen) {
+        do {
+          // Top-level parameters are closed expressions.
+          params.push_back(evalExpr(*parseExpr({}), {}, line));
+        } while (match(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "')'");
+    }
+    std::vector<QArg> args;
+    do {
+      QArg a;
+      a.reg = expectIdentifier("qubit operand");
+      if (match(TokenKind::LBracket)) {
+        a.index = static_cast<Index>(
+            expect(TokenKind::Real, "qubit index").value);
+        expect(TokenKind::RBracket, "']'");
+      }
+      args.push_back(std::move(a));
+    } while (match(TokenKind::Comma));
+    expect(TokenKind::Semicolon, "';'");
+    broadcast(name, params, args, line);
+  }
+
+  /// Resolves register broadcasting: whole-register operands apply the gate
+  /// elementwise; sizes of all whole registers in one statement must agree.
+  void broadcast(const std::string& name, const std::vector<fp>& params,
+                 const std::vector<QArg>& args, std::size_t line) {
+    Index width = 1;
+    for (const auto& a : args) {
+      if (!a.index) {
+        const Index size = regSize(a.reg, line);
+        if (width != 1 && size != width) {
+          throw QasmError("register size mismatch in broadcast", line);
+        }
+        width = std::max(width, size);
+      }
+    }
+    for (Index k = 0; k < width; ++k) {
+      std::vector<Qubit> qubits;
+      qubits.reserve(args.size());
+      for (const auto& a : args) {
+        qubits.push_back(resolve(a, k, line));
+      }
+      applyGate(name, params, qubits, line, 0);
+    }
+  }
+
+  Index regSize(const std::string& reg, std::size_t line) const {
+    const auto it = qregs_.find(reg);
+    if (it == qregs_.end()) {
+      throw QasmError("unknown qreg '" + reg + "'", line);
+    }
+    return it->second.second;
+  }
+
+  Qubit resolve(const QArg& a, Index k, std::size_t line) const {
+    const auto it = qregs_.find(a.reg);
+    if (it == qregs_.end()) {
+      throw QasmError("unknown qreg '" + a.reg + "'", line);
+    }
+    const auto [offset, size] = it->second;
+    const Index idx = a.index.value_or(k);
+    if (idx >= size) {
+      throw QasmError("qubit index out of range for '" + a.reg + "'", line);
+    }
+    return static_cast<Qubit>(offset + idx);
+  }
+
+  /// Applies a (possibly user-defined) gate to concrete qubits.
+  void applyGate(const std::string& name, const std::vector<fp>& params,
+                 const std::vector<Qubit>& qubits, std::size_t line,
+                 unsigned depth) {
+    if (depth > 64) {
+      throw QasmError("gate expansion too deep (recursive definition?)", line);
+    }
+    if (emitBuiltin(name, params, qubits, line)) {
+      return;
+    }
+    const auto it = gateDefs_.find(name);
+    if (it == gateDefs_.end()) {
+      throw QasmError("unknown gate '" + name + "'", line);
+    }
+    const GateDef& def = it->second;
+    if (params.size() != def.paramNames.size()) {
+      throw QasmError("gate '" + name + "' parameter count mismatch", line);
+    }
+    if (qubits.size() != def.qargNames.size()) {
+      throw QasmError("gate '" + name + "' qubit count mismatch", line);
+    }
+    Env env;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      env[def.paramNames[i]] = params[i];
+    }
+    std::map<std::string, Qubit> qmap;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      qmap[def.qargNames[i]] = qubits[i];
+    }
+    for (const auto& call : def.body) {
+      std::vector<fp> callParams;
+      callParams.reserve(call.params.size());
+      for (const auto& e : call.params) {
+        callParams.push_back(evalExpr(*e, env, call.line));
+      }
+      std::vector<Qubit> callQubits;
+      callQubits.reserve(call.qargs.size());
+      for (const auto& q : call.qargs) {
+        callQubits.push_back(qmap.at(q));
+      }
+      applyGate(call.name, callParams, callQubits, call.line, depth + 1);
+    }
+  }
+
+  /// qelib1 + OpenQASM built-ins. Returns false if `name` is not built in.
+  bool emitBuiltin(const std::string& name, const std::vector<fp>& p,
+                   const std::vector<Qubit>& q, std::size_t line) {
+    using K = qc::GateKind;
+    auto emit = [&](K kind, std::vector<Qubit> controls, Qubit target,
+                    std::vector<fp> params = {}) {
+      staged_.push_back(qc::Operation{kind, target, std::move(controls),
+                                      std::move(params)});
+    };
+    auto need = [&](std::size_t nq, std::size_t np) {
+      if (q.size() != nq || p.size() != np) {
+        throw QasmError("gate '" + name + "' arity mismatch", line);
+      }
+    };
+    if (name == "U" || name == "u3" || name == "u") {
+      need(1, 3);
+      emit(K::U3, {}, q[0], {p[0], p[1], p[2]});
+    } else if (name == "u2") {
+      need(1, 2);
+      emit(K::U2, {}, q[0], {p[0], p[1]});
+    } else if (name == "u1" || name == "p") {
+      need(1, 1);
+      emit(K::P, {}, q[0], {p[0]});
+    } else if (name == "CX" || name == "cx") {
+      need(2, 0);
+      emit(K::X, {q[0]}, q[1]);
+    } else if (name == "id") {
+      need(1, 0);
+      emit(K::I, {}, q[0]);
+    } else if (name == "h") {
+      need(1, 0);
+      emit(K::H, {}, q[0]);
+    } else if (name == "x") {
+      need(1, 0);
+      emit(K::X, {}, q[0]);
+    } else if (name == "y") {
+      need(1, 0);
+      emit(K::Y, {}, q[0]);
+    } else if (name == "z") {
+      need(1, 0);
+      emit(K::Z, {}, q[0]);
+    } else if (name == "s") {
+      need(1, 0);
+      emit(K::S, {}, q[0]);
+    } else if (name == "sdg") {
+      need(1, 0);
+      emit(K::Sdg, {}, q[0]);
+    } else if (name == "t") {
+      need(1, 0);
+      emit(K::T, {}, q[0]);
+    } else if (name == "tdg") {
+      need(1, 0);
+      emit(K::Tdg, {}, q[0]);
+    } else if (name == "sx") {
+      need(1, 0);
+      emit(K::SX, {}, q[0]);
+    } else if (name == "sxdg") {
+      need(1, 0);
+      emit(K::SXdg, {}, q[0]);
+    } else if (name == "rx") {
+      need(1, 1);
+      emit(K::RX, {}, q[0], {p[0]});
+    } else if (name == "ry") {
+      need(1, 1);
+      emit(K::RY, {}, q[0], {p[0]});
+    } else if (name == "rz") {
+      need(1, 1);
+      emit(K::RZ, {}, q[0], {p[0]});
+    } else if (name == "cy") {
+      need(2, 0);
+      emit(K::Y, {q[0]}, q[1]);
+    } else if (name == "cz") {
+      need(2, 0);
+      emit(K::Z, {q[0]}, q[1]);
+    } else if (name == "ch") {
+      need(2, 0);
+      emit(K::H, {q[0]}, q[1]);
+    } else if (name == "cp" || name == "cu1") {
+      need(2, 1);
+      emit(K::P, {q[0]}, q[1], {p[0]});
+    } else if (name == "crx") {
+      need(2, 1);
+      emit(K::RX, {q[0]}, q[1], {p[0]});
+    } else if (name == "cry") {
+      need(2, 1);
+      emit(K::RY, {q[0]}, q[1], {p[0]});
+    } else if (name == "crz") {
+      need(2, 1);
+      emit(K::RZ, {q[0]}, q[1], {p[0]});
+    } else if (name == "ccx") {
+      need(3, 0);
+      emit(K::X, {q[0], q[1]}, q[2]);
+    } else if (name == "ccz") {
+      need(3, 0);
+      emit(K::Z, {q[0], q[1]}, q[2]);
+    } else if (name == "swap") {
+      need(2, 0);
+      emit(K::X, {q[0]}, q[1]);
+      emit(K::X, {q[1]}, q[0]);
+      emit(K::X, {q[0]}, q[1]);
+    } else if (name == "cswap") {
+      need(3, 0);
+      emit(K::X, {q[2]}, q[1]);
+      emit(K::X, {q[0], q[1]}, q[2]);
+      emit(K::X, {q[2]}, q[1]);
+    } else if (name == "sy") {
+      need(1, 0);
+      emit(K::SY, {}, q[0]);
+    } else if (name == "sydg") {
+      need(1, 0);
+      emit(K::SYdg, {}, q[0]);
+    } else if (name == "sw") {
+      need(1, 0);
+      emit(K::SW, {}, q[0]);
+    } else if (name == "swdg") {
+      need(1, 0);
+      emit(K::SWdg, {}, q[0]);
+    } else if (name.size() > 2 && name.rfind("mc", 0) == 0) {
+      // Extension mnemonics (written by Circuit::toQasm): mc<gate> applies
+      // <gate> to the last operand under all preceding operands as controls.
+      const std::string inner = name.substr(2);
+      static const std::map<std::string, std::pair<K, unsigned>> kInnerGates{
+          {"x", {K::X, 0}},   {"y", {K::Y, 0}},     {"z", {K::Z, 0}},
+          {"h", {K::H, 0}},   {"p", {K::P, 1}},     {"rx", {K::RX, 1}},
+          {"ry", {K::RY, 1}}, {"rz", {K::RZ, 1}},   {"u2", {K::U2, 2}},
+          {"u3", {K::U3, 3}}, {"s", {K::S, 0}},     {"sdg", {K::Sdg, 0}},
+          {"t", {K::T, 0}},   {"tdg", {K::Tdg, 0}}, {"sx", {K::SX, 0}},
+          {"sxdg", {K::SXdg, 0}}, {"sy", {K::SY, 0}}, {"sydg", {K::SYdg, 0}},
+          {"sw", {K::SW, 0}}, {"swdg", {K::SWdg, 0}}, {"id", {K::I, 0}}};
+      const auto it = kInnerGates.find(inner);
+      if (it == kInnerGates.end()) {
+        return false;
+      }
+      if (q.size() < 2 || p.size() != it->second.second) {
+        throw QasmError("gate '" + name + "' arity mismatch", line);
+      }
+      const std::vector<Qubit> controls(q.begin(), q.end() - 1);
+      emit(it->second.first, controls, q.back(), p);
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string circuitName_;
+  std::map<std::string, std::pair<Index, Index>> qregs_;  // name->(offset,size)
+  Index totalQubits_ = 0;
+  std::map<std::string, GateDef> gateDefs_;
+  std::vector<qc::Operation> staged_;
+};
+
+}  // namespace
+
+qc::Circuit parse(std::string_view source, std::string name) {
+  return Parser{source, std::move(name)}.run();
+}
+
+qc::Circuit parseFile(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("cannot open QASM file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string base = path;
+  if (const auto slash = base.find_last_of('/'); slash != std::string::npos) {
+    base = base.substr(slash + 1);
+  }
+  return parse(buf.str(), base);
+}
+
+}  // namespace fdd::qasm

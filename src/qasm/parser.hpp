@@ -1,0 +1,26 @@
+#pragma once
+// Recursive-descent parser for an OpenQASM 2.0 subset sufficient for
+// QASMBench / MQT-Bench style circuit files:
+//   - OPENQASM 2.0; include "...";          (includes resolved as qelib1)
+//   - qreg / creg declarations               (qregs concatenated LSB-first)
+//   - built-in U / CX plus the qelib1 gate set
+//   - user `gate` definitions with parameter expressions (macro-expanded)
+//   - barrier (ignored), measure / reset (ignored: strong simulation)
+//   - parameter expressions over + - * / ^, unary -, pi, and the functions
+//     sin cos tan exp ln sqrt
+
+#include <string>
+#include <string_view>
+
+#include "qc/circuit.hpp"
+
+namespace fdd::qasm {
+
+/// Parses QASM source text into a lowered Circuit. Throws QasmError.
+[[nodiscard]] qc::Circuit parse(std::string_view source,
+                                std::string name = "qasm");
+
+/// Reads and parses a .qasm file. Throws std::runtime_error if unreadable.
+[[nodiscard]] qc::Circuit parseFile(const std::string& path);
+
+}  // namespace fdd::qasm

@@ -1,0 +1,168 @@
+#include "qc/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdd::qc {
+
+Circuit::Circuit(Qubit nQubits, std::string name)
+    : nQubits_{nQubits}, name_{std::move(name)} {
+  if (nQubits < 1 || nQubits > 62) {
+    throw std::invalid_argument("Circuit: qubit count must be in [1, 62]");
+  }
+}
+
+void Circuit::validate(const Operation& op) const {
+  if (op.target < 0 || op.target >= nQubits_) {
+    throw std::out_of_range("Circuit: target qubit out of range");
+  }
+  for (const auto c : op.controls) {
+    if (c < 0 || c >= nQubits_) {
+      throw std::out_of_range("Circuit: control qubit out of range");
+    }
+    if (c == op.target) {
+      throw std::invalid_argument("Circuit: control equals target");
+    }
+  }
+  if (op.params.size() < gateParamCount(op.kind)) {
+    throw std::invalid_argument("Circuit: missing gate parameters");
+  }
+}
+
+Circuit& Circuit::append(Operation op) {
+  std::sort(op.controls.begin(), op.controls.end());
+  if (std::adjacent_find(op.controls.begin(), op.controls.end()) !=
+      op.controls.end()) {
+    throw std::invalid_argument("Circuit: duplicate control qubit");
+  }
+  validate(op);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Circuit& Circuit::gate(GateKind kind, std::vector<Qubit> controls,
+                       Qubit target, std::vector<fp> params) {
+  return append(Operation{kind, target, std::move(controls),
+                          std::move(params)});
+}
+
+Circuit& Circuit::swap(Qubit a, Qubit b) {
+  if (a == b) {
+    throw std::invalid_argument("Circuit: swap on identical qubits");
+  }
+  return cx(a, b).cx(b, a).cx(a, b);
+}
+
+Circuit& Circuit::cswap(Qubit c, Qubit a, Qubit b) {
+  if (a == b) {
+    throw std::invalid_argument("Circuit: cswap on identical targets");
+  }
+  return cx(b, a).ccx(c, a, b).cx(b, a);
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  if (other.numQubits() != nQubits_) {
+    throw std::invalid_argument("Circuit: qubit count mismatch on append");
+  }
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv{nQubits_, name_ + "_inv"};
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    inv.append(inverseOperation(*it));
+  }
+  return inv;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(static_cast<std::size_t>(nQubits_), 0);
+  std::size_t depth = 0;
+  for (const auto& op : ops_) {
+    std::size_t lvl = level[static_cast<std::size_t>(op.target)];
+    for (const Qubit c : op.controls) {
+      lvl = std::max(lvl, level[static_cast<std::size_t>(c)]);
+    }
+    ++lvl;
+    level[static_cast<std::size_t>(op.target)] = lvl;
+    for (const Qubit c : op.controls) {
+      level[static_cast<std::size_t>(c)] = lvl;
+    }
+    depth = std::max(depth, lvl);
+  }
+  return depth;
+}
+
+std::map<GateKind, std::size_t> Circuit::countByKind() const {
+  std::map<GateKind, std::size_t> counts;
+  for (const auto& op : ops_) {
+    ++counts[op.kind];
+  }
+  return counts;
+}
+
+std::size_t Circuit::controlledGateCount() const {
+  std::size_t count = 0;
+  for (const auto& op : ops_) {
+    count += !op.controls.empty();
+  }
+  return count;
+}
+
+std::string Circuit::toString() const {
+  std::ostringstream os;
+  os << name_ << ": " << nQubits_ << " qubits, " << ops_.size() << " gates\n";
+  for (const auto& op : ops_) {
+    os << "  " << op.toString() << '\n';
+  }
+  return os.str();
+}
+
+std::string Circuit::toQasm() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  os << "qreg q[" << nQubits_ << "];\n";
+  for (const auto& op : ops_) {
+    const std::string base = gateName(op.kind);
+    std::string mnemonic;
+    if (op.controls.empty()) {
+      mnemonic = base;  // sy / sw / swdg etc. are parser extensions
+    } else if (op.controls.size() == 1 &&
+               (op.kind == GateKind::X || op.kind == GateKind::Y ||
+                op.kind == GateKind::Z || op.kind == GateKind::H ||
+                op.kind == GateKind::P || op.kind == GateKind::RX ||
+                op.kind == GateKind::RY || op.kind == GateKind::RZ)) {
+      mnemonic = "c" + base;
+    } else if (op.controls.size() == 2 && op.kind == GateKind::X) {
+      mnemonic = "ccx";
+    } else if (op.kind == GateKind::X) {
+      mnemonic = "mcx";  // extension: N-controlled X
+    } else if (op.kind == GateKind::Z) {
+      mnemonic = "mcz";  // extension: N-controlled Z
+    } else if (op.kind == GateKind::P) {
+      mnemonic = "mcp";  // extension: N-controlled phase
+    } else {
+      // Generic fallback: our parser accepts mc<name> with any controls.
+      mnemonic = "mc" + base;
+    }
+    os << mnemonic;
+    if (!op.params.empty()) {
+      os << '(';
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        os << (i ? "," : "") << op.params[i];
+      }
+      os << ')';
+    }
+    os << ' ';
+    for (const auto c : op.controls) {
+      os << "q[" << c << "],";
+    }
+    os << "q[" << op.target << "];\n";
+  }
+  return os.str();
+}
+
+}  // namespace fdd::qc

@@ -1,0 +1,121 @@
+#pragma once
+// Circuit container and fluent builder. Multi-target gates (SWAP, Fredkin)
+// are decomposed into the canonical controlled-single-qubit form on append,
+// so every downstream consumer sees one uniform operation stream.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qc/gate.hpp"
+
+namespace fdd::qc {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(Qubit nQubits, std::string name = "circuit");
+
+  [[nodiscard]] Qubit numQubits() const noexcept { return nQubits_; }
+  [[nodiscard]] std::size_t numGates() const noexcept { return ops_.size(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::vector<Operation>& operations() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] const Operation& operator[](std::size_t i) const {
+    return ops_[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return ops_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ops_.end(); }
+
+  /// Appends a validated operation (throws std::out_of_range /
+  /// std::invalid_argument on bad qubits).
+  Circuit& append(Operation op);
+
+  /// Generic controlled gate; `controls` may be empty.
+  Circuit& gate(GateKind kind, std::vector<Qubit> controls, Qubit target,
+                std::vector<fp> params = {});
+
+  // -- single-qubit shorthands ------------------------------------------
+  Circuit& i(Qubit q) { return gate(GateKind::I, {}, q); }
+  Circuit& h(Qubit q) { return gate(GateKind::H, {}, q); }
+  Circuit& x(Qubit q) { return gate(GateKind::X, {}, q); }
+  Circuit& y(Qubit q) { return gate(GateKind::Y, {}, q); }
+  Circuit& z(Qubit q) { return gate(GateKind::Z, {}, q); }
+  Circuit& s(Qubit q) { return gate(GateKind::S, {}, q); }
+  Circuit& sdg(Qubit q) { return gate(GateKind::Sdg, {}, q); }
+  Circuit& t(Qubit q) { return gate(GateKind::T, {}, q); }
+  Circuit& tdg(Qubit q) { return gate(GateKind::Tdg, {}, q); }
+  Circuit& sx(Qubit q) { return gate(GateKind::SX, {}, q); }
+  Circuit& sy(Qubit q) { return gate(GateKind::SY, {}, q); }
+  Circuit& sw(Qubit q) { return gate(GateKind::SW, {}, q); }
+  Circuit& rx(fp theta, Qubit q) { return gate(GateKind::RX, {}, q, {theta}); }
+  Circuit& ry(fp theta, Qubit q) { return gate(GateKind::RY, {}, q, {theta}); }
+  Circuit& rz(fp theta, Qubit q) { return gate(GateKind::RZ, {}, q, {theta}); }
+  Circuit& p(fp lambda, Qubit q) { return gate(GateKind::P, {}, q, {lambda}); }
+  Circuit& u2(fp phi, fp lam, Qubit q) {
+    return gate(GateKind::U2, {}, q, {phi, lam});
+  }
+  Circuit& u3(fp theta, fp phi, fp lam, Qubit q) {
+    return gate(GateKind::U3, {}, q, {theta, phi, lam});
+  }
+
+  // -- controlled shorthands --------------------------------------------
+  Circuit& cx(Qubit c, Qubit t) { return gate(GateKind::X, {c}, t); }
+  Circuit& cy(Qubit c, Qubit t) { return gate(GateKind::Y, {c}, t); }
+  Circuit& cz(Qubit c, Qubit t) { return gate(GateKind::Z, {c}, t); }
+  Circuit& ch(Qubit c, Qubit t) { return gate(GateKind::H, {c}, t); }
+  Circuit& cp(fp lambda, Qubit c, Qubit t) {
+    return gate(GateKind::P, {c}, t, {lambda});
+  }
+  Circuit& crz(fp theta, Qubit c, Qubit t) {
+    return gate(GateKind::RZ, {c}, t, {theta});
+  }
+  Circuit& ccx(Qubit c0, Qubit c1, Qubit t) {
+    return gate(GateKind::X, {c0, c1}, t);
+  }
+
+  // -- decomposed multi-target gates -------------------------------------
+  /// SWAP(a, b) = CX(a,b) CX(b,a) CX(a,b); appends three operations.
+  Circuit& swap(Qubit a, Qubit b);
+  /// Fredkin / controlled-SWAP; appends CX(b,a) CCX(c,a,b) CX(b,a).
+  Circuit& cswap(Qubit c, Qubit a, Qubit b);
+
+  /// Concatenates another circuit over the same qubit count.
+  Circuit& append(const Circuit& other);
+
+  /// The adjoint circuit: gates reversed and individually inverted.
+  /// inverse().append-ed after *this yields the identity.
+  [[nodiscard]] Circuit inverse() const;
+
+  /// Circuit depth: the longest chain of operations sharing qubits (each
+  /// lowered operation counts as one layer on target + controls).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Gate-count histogram by kind (post-lowering).
+  [[nodiscard]] std::map<GateKind, std::size_t> countByKind() const;
+
+  /// Number of operations with at least one control.
+  [[nodiscard]] std::size_t controlledGateCount() const;
+
+  /// Multi-line human-readable listing.
+  [[nodiscard]] std::string toString() const;
+
+  /// OpenQASM 2.0 serialization. Gates outside qelib1 (sy, sw, multi-
+  /// controlled x/z/p) are emitted with this library's extension mnemonics,
+  /// which qasm::parse accepts, so every circuit round-trips exactly.
+  [[nodiscard]] std::string toQasm() const;
+
+  [[nodiscard]] bool operator==(const Circuit&) const = default;
+
+ private:
+  void validate(const Operation& op) const;
+
+  Qubit nQubits_ = 0;
+  std::string name_ = "circuit";
+  std::vector<Operation> ops_;
+};
+
+}  // namespace fdd::qc

@@ -1,0 +1,233 @@
+#include "qc/gate.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdd::qc {
+
+namespace {
+
+Complex expi(fp theta) { return {std::cos(theta), std::sin(theta)}; }
+
+}  // namespace
+
+Matrix2 gateMatrix(GateKind kind, const std::vector<fp>& params) {
+  if (params.size() < gateParamCount(kind)) {
+    throw std::invalid_argument("gateMatrix: missing parameters for " +
+                                gateName(kind));
+  }
+  const Complex i{0.0, 1.0};
+  switch (kind) {
+    case GateKind::I:
+      return {Complex{1}, Complex{}, Complex{}, Complex{1}};
+    case GateKind::H:
+      return {Complex{SQRT2_INV}, Complex{SQRT2_INV}, Complex{SQRT2_INV},
+              Complex{-SQRT2_INV}};
+    case GateKind::X:
+      return {Complex{}, Complex{1}, Complex{1}, Complex{}};
+    case GateKind::Y:
+      return {Complex{}, -i, i, Complex{}};
+    case GateKind::Z:
+      return {Complex{1}, Complex{}, Complex{}, Complex{-1}};
+    case GateKind::S:
+      return {Complex{1}, Complex{}, Complex{}, i};
+    case GateKind::Sdg:
+      return {Complex{1}, Complex{}, Complex{}, -i};
+    case GateKind::T:
+      return {Complex{1}, Complex{}, Complex{}, expi(PI / 4)};
+    case GateKind::Tdg:
+      return {Complex{1}, Complex{}, Complex{}, expi(-PI / 4)};
+    case GateKind::SX: {
+      const Complex p{0.5, 0.5};
+      const Complex m{0.5, -0.5};
+      return {p, m, m, p};
+    }
+    case GateKind::SXdg: {
+      const Complex p{0.5, 0.5};
+      const Complex m{0.5, -0.5};
+      return {m, p, p, m};
+    }
+    case GateKind::SY: {
+      // sqrt(Y) = 1/2 [[1+i, -1-i], [1+i, 1+i]]
+      const Complex p{0.5, 0.5};
+      return {p, -p, p, p};
+    }
+    case GateKind::SYdg: {
+      const Complex m{0.5, -0.5};
+      return {m, m, -m, m};
+    }
+    case GateKind::SW: {
+      // sqrt(W) with W = (X + Y)/sqrt(2), per the supremacy gate set [7]:
+      // [[1, -sqrt(i)], [sqrt(-i), 1]] / sqrt(2), sqrt(i) = e^{i pi/4}.
+      const Complex sqrtI = expi(PI / 4);
+      const Complex sqrtMinusI = expi(-PI / 4);
+      return {Complex{SQRT2_INV}, -sqrtI * SQRT2_INV, sqrtMinusI * SQRT2_INV,
+              Complex{SQRT2_INV}};
+    }
+    case GateKind::SWdg: {
+      // Conjugate transpose of SW: [[1, sqrt(i)], [-sqrt(-i), 1]] / sqrt(2).
+      const Complex sqrtI = expi(PI / 4);
+      const Complex sqrtMinusI = expi(-PI / 4);
+      return {Complex{SQRT2_INV}, sqrtI * SQRT2_INV, -sqrtMinusI * SQRT2_INV,
+              Complex{SQRT2_INV}};
+    }
+    case GateKind::RX: {
+      const fp t = params[0] / 2;
+      return {Complex{std::cos(t)}, -i * std::sin(t), -i * std::sin(t),
+              Complex{std::cos(t)}};
+    }
+    case GateKind::RY: {
+      const fp t = params[0] / 2;
+      return {Complex{std::cos(t)}, Complex{-std::sin(t)},
+              Complex{std::sin(t)}, Complex{std::cos(t)}};
+    }
+    case GateKind::RZ: {
+      const fp t = params[0] / 2;
+      return {expi(-t), Complex{}, Complex{}, expi(t)};
+    }
+    case GateKind::P:
+      return {Complex{1}, Complex{}, Complex{}, expi(params[0])};
+    case GateKind::U2: {
+      const fp phi = params[0];
+      const fp lam = params[1];
+      return {Complex{SQRT2_INV}, -expi(lam) * SQRT2_INV,
+              expi(phi) * SQRT2_INV, expi(phi + lam) * SQRT2_INV};
+    }
+    case GateKind::U3: {
+      const fp t = params[0] / 2;
+      const fp phi = params[1];
+      const fp lam = params[2];
+      return {Complex{std::cos(t)}, -expi(lam) * std::sin(t),
+              expi(phi) * std::sin(t), expi(phi + lam) * std::cos(t)};
+    }
+  }
+  throw std::logic_error("gateMatrix: unknown gate kind");
+}
+
+unsigned gateParamCount(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+      return 1;
+    case GateKind::U2:
+      return 2;
+    case GateKind::U3:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+std::string gateName(GateKind kind) {
+  switch (kind) {
+    case GateKind::I: return "id";
+    case GateKind::H: return "h";
+    case GateKind::X: return "x";
+    case GateKind::Y: return "y";
+    case GateKind::Z: return "z";
+    case GateKind::S: return "s";
+    case GateKind::Sdg: return "sdg";
+    case GateKind::T: return "t";
+    case GateKind::Tdg: return "tdg";
+    case GateKind::SX: return "sx";
+    case GateKind::SXdg: return "sxdg";
+    case GateKind::SY: return "sy";
+    case GateKind::SYdg: return "sydg";
+    case GateKind::SW: return "sw";
+    case GateKind::SWdg: return "swdg";
+    case GateKind::RX: return "rx";
+    case GateKind::RY: return "ry";
+    case GateKind::RZ: return "rz";
+    case GateKind::P: return "p";
+    case GateKind::U2: return "u2";
+    case GateKind::U3: return "u3";
+  }
+  return "?";
+}
+
+std::string Operation::toString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    os << 'c';
+  }
+  os << gateName(kind);
+  if (!params.empty()) {
+    os << '(';
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      os << (i ? "," : "") << params[i];
+    }
+    os << ')';
+  }
+  os << ' ';
+  for (const auto c : controls) {
+    os << 'q' << c << ',';
+  }
+  os << 'q' << target;
+  return os.str();
+}
+
+Operation inverseOperation(const Operation& op) {
+  Operation inv = op;
+  switch (op.kind) {
+    case GateKind::I:
+    case GateKind::H:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+      break;  // self-inverse
+    case GateKind::S: inv.kind = GateKind::Sdg; break;
+    case GateKind::Sdg: inv.kind = GateKind::S; break;
+    case GateKind::T: inv.kind = GateKind::Tdg; break;
+    case GateKind::Tdg: inv.kind = GateKind::T; break;
+    case GateKind::SX: inv.kind = GateKind::SXdg; break;
+    case GateKind::SXdg: inv.kind = GateKind::SX; break;
+    case GateKind::SY: inv.kind = GateKind::SYdg; break;
+    case GateKind::SYdg: inv.kind = GateKind::SY; break;
+    case GateKind::SW: inv.kind = GateKind::SWdg; break;
+    case GateKind::SWdg: inv.kind = GateKind::SW; break;
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+      inv.params[0] = -op.params[0];
+      break;
+    case GateKind::U2:
+      // u2(phi, lambda)^-1 = u3(-pi/2, -lambda, -phi)
+      inv.kind = GateKind::U3;
+      inv.params = {-PI / 2, -op.params[1], -op.params[0]};
+      break;
+    case GateKind::U3:
+      inv.params = {-op.params[0], -op.params[2], -op.params[1]};
+      break;
+  }
+  return inv;
+}
+
+Matrix2 matMul2(const Matrix2& a, const Matrix2& b) noexcept {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Matrix2 adjoint2(const Matrix2& m) noexcept {
+  return {std::conj(m[0]), std::conj(m[2]), std::conj(m[1]), std::conj(m[3])};
+}
+
+fp matDistance(const Matrix2& a, const Matrix2& b) noexcept {
+  fp d = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+bool isUnitary2(const Matrix2& m, fp tol) noexcept {
+  const Matrix2 prod = matMul2(m, adjoint2(m));
+  const Matrix2 id{Complex{1}, {}, {}, Complex{1}};
+  return matDistance(prod, id) < tol;
+}
+
+}  // namespace fdd::qc

@@ -1,0 +1,82 @@
+#pragma once
+// Gate definitions. After lowering, every operation in the IR is a 2x2
+// unitary applied to one target qubit under zero or more positive controls;
+// SWAP-like gates are decomposed at circuit-construction time. This single
+// canonical form is what both the array kernels (Eq. 2-3 of the paper) and
+// the DD gate constructor consume.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fdd::qc {
+
+enum class GateKind : std::uint8_t {
+  I,
+  H,
+  X,
+  Y,
+  Z,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,    // sqrt(X), used by supremacy circuits
+  SXdg,
+  SY,    // sqrt(Y)
+  SYdg,
+  SW,    // sqrt(W), W = (X+Y)/sqrt(2), used by supremacy circuits [7]
+  SWdg,
+  RX,    // params: theta
+  RY,    // params: theta
+  RZ,    // params: theta
+  P,     // phase gate diag(1, e^{i*lambda}); params: lambda
+  U2,    // params: phi, lambda
+  U3,    // params: theta, phi, lambda
+};
+
+/// 2x2 unitary in row-major order {u00, u01, u10, u11}.
+using Matrix2 = std::array<Complex, 4>;
+
+/// The 2x2 matrix of `kind` with the given parameters (unused ones ignored).
+[[nodiscard]] Matrix2 gateMatrix(GateKind kind, const std::vector<fp>& params);
+
+/// Number of parameters `kind` expects.
+[[nodiscard]] unsigned gateParamCount(GateKind kind) noexcept;
+
+/// Lower-case mnemonic ("h", "rz", ...).
+[[nodiscard]] std::string gateName(GateKind kind);
+
+/// The inverse (adjoint) of an operation: same target/controls, inverted
+/// gate kind / negated parameters.
+struct Operation;
+[[nodiscard]] Operation inverseOperation(const Operation& op);
+
+/// One lowered operation: controls (all positive) + single target.
+struct Operation {
+  GateKind kind = GateKind::I;
+  Qubit target = 0;
+  std::vector<Qubit> controls;  // sorted, duplicate-free, excludes target
+  std::vector<fp> params;
+
+  [[nodiscard]] Matrix2 matrix() const { return gateMatrix(kind, params); }
+  [[nodiscard]] std::string toString() const;
+  [[nodiscard]] bool operator==(const Operation&) const = default;
+};
+
+/// 2x2 complex matrix product a*b.
+[[nodiscard]] Matrix2 matMul2(const Matrix2& a, const Matrix2& b) noexcept;
+
+/// Conjugate transpose.
+[[nodiscard]] Matrix2 adjoint2(const Matrix2& m) noexcept;
+
+/// Max-norm distance between two 2x2 matrices.
+[[nodiscard]] fp matDistance(const Matrix2& a, const Matrix2& b) noexcept;
+
+/// True if m is unitary within tolerance.
+[[nodiscard]] bool isUnitary2(const Matrix2& m, fp tol = 1e-9) noexcept;
+
+}  // namespace fdd::qc

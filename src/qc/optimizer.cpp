@@ -1,0 +1,159 @@
+#include "qc/optimizer.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace fdd::qc {
+
+namespace {
+
+/// All wires an operation touches (target + controls).
+std::vector<Qubit> wiresOf(const Operation& op) {
+  std::vector<Qubit> wires = op.controls;
+  wires.push_back(op.target);
+  return wires;
+}
+
+bool sameWires(const Operation& a, const Operation& b) {
+  return a.target == b.target && a.controls == b.controls;
+}
+
+bool isRotationKind(GateKind k) {
+  return k == GateKind::RX || k == GateKind::RY || k == GateKind::RZ ||
+         k == GateKind::P;
+}
+
+/// theta reduced to (-pi, pi] — identity iff ~0 for RX/RY/RZ; P is identity
+/// iff its angle is ~0 mod 2*pi (same test).
+fp reduceAngle(fp theta) {
+  theta = std::fmod(theta, 2 * PI);
+  if (theta > PI) {
+    theta -= 2 * PI;
+  }
+  if (theta <= -PI) {
+    theta += 2 * PI;
+  }
+  return theta;
+}
+
+bool isIdentityOp(const Operation& op, fp angleEpsilon) {
+  if (op.kind == GateKind::I) {
+    return true;
+  }
+  if (isRotationKind(op.kind)) {
+    const fp reduced = reduceAngle(op.params[0]);
+    // RX/RY/RZ(2*pi) == -I (a global phase on the controlled subspace!),
+    // so only treat an exact multiple of 4*pi — or, for P, 2*pi — as the
+    // identity. Controlled rotations by 2*pi are NOT identity.
+    if (op.kind == GateKind::P) {
+      return std::abs(reduced) <= angleEpsilon;
+    }
+    const fp mod4pi = std::fmod(std::abs(op.params[0]), 4 * PI);
+    return mod4pi <= angleEpsilon || (4 * PI - mod4pi) <= angleEpsilon;
+  }
+  return false;
+}
+
+/// True if b == a^-1 structurally (cheap kinds only; rotation pairs are
+/// handled by merging instead).
+bool areInversePair(const Operation& a, const Operation& b) {
+  if (!sameWires(a, b)) {
+    return false;
+  }
+  const Operation inv = inverseOperation(a);
+  return inv.kind == b.kind && inv.params == b.params;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& circuit, const OptimizerOptions& options,
+                 OptimizerStats* stats) {
+  OptimizerStats local;
+  local.inputGates = circuit.numGates();
+
+  // Stack of emitted operations plus, per qubit, the index of the last
+  // emitted operation touching it (SIZE_MAX = none). Cancelling or merging
+  // pops the stack, which naturally re-exposes earlier gates.
+  std::vector<Operation> out;
+  out.reserve(circuit.numGates());
+  std::vector<std::size_t> lastOnWire(
+      static_cast<std::size_t>(circuit.numQubits()), SIZE_MAX);
+
+  auto rebuildWireIndex = [&] {
+    std::fill(lastOnWire.begin(), lastOnWire.end(), SIZE_MAX);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      for (const Qubit q : wiresOf(out[i])) {
+        lastOnWire[static_cast<std::size_t>(q)] = i;
+      }
+    }
+  };
+
+  for (const Operation& incoming : circuit) {
+    Operation op = incoming;
+
+    if (options.dropIdentities && isIdentityOp(op, options.angleEpsilon)) {
+      ++local.droppedIdentities;
+      continue;
+    }
+
+    // The candidate predecessor: the most recent emitted op on any of our
+    // wires. A rewrite is only sound if that op sits on *exactly* our wires
+    // (otherwise another gate interposes on a shared wire).
+    std::size_t prev = SIZE_MAX;
+    bool prevIsLatestOnAllWires = true;
+    for (const Qubit q : wiresOf(op)) {
+      const std::size_t idx = lastOnWire[static_cast<std::size_t>(q)];
+      if (prev == SIZE_MAX) {
+        prev = idx;
+      } else if (idx != prev) {
+        prevIsLatestOnAllWires = false;
+      }
+    }
+    // `prev` does not have to be the absolute last emitted gate — only the
+    // last on every wire we share — for the rewrite to commute soundly.
+    const bool rewritable =
+        prev != SIZE_MAX && prevIsLatestOnAllWires && sameWires(out[prev], op);
+
+    if (rewritable && options.cancelInversePairs &&
+        areInversePair(out[prev], op)) {
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(prev));
+      ++local.cancelledPairs;
+      rebuildWireIndex();
+      continue;
+    }
+
+    if (rewritable && options.mergeRotations && isRotationKind(op.kind) &&
+        out[prev].kind == op.kind) {
+      const fp merged = out[prev].params[0] + op.params[0];
+      Operation mergedOp = op;
+      mergedOp.params[0] = merged;
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(prev));
+      ++local.mergedRotations;
+      rebuildWireIndex();
+      if (options.dropIdentities &&
+          isIdentityOp(mergedOp, options.angleEpsilon)) {
+        ++local.droppedIdentities;
+        continue;
+      }
+      op = std::move(mergedOp);
+      // fall through to emit the merged rotation
+    }
+
+    for (const Qubit q : wiresOf(op)) {
+      lastOnWire[static_cast<std::size_t>(q)] = out.size();
+    }
+    out.push_back(std::move(op));
+  }
+
+  Circuit result{circuit.numQubits(), circuit.name() + "_opt"};
+  for (auto& op : out) {
+    result.append(std::move(op));
+  }
+  local.outputGates = result.numGates();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return result;
+}
+
+}  // namespace fdd::qc

@@ -1,0 +1,36 @@
+#pragma once
+// Peephole circuit optimizer: cancels adjacent inverse pairs, merges
+// adjacent rotations on the same wires, and drops identity operations.
+// Useful as a preprocessing pass before simulation — it composes with (and
+// is independent of) FlatDD's DMAV-aware gate fusion, which operates on
+// gate-matrix DDs after the conversion point.
+
+#include <cstddef>
+
+#include "qc/circuit.hpp"
+
+namespace fdd::qc {
+
+struct OptimizerOptions {
+  bool cancelInversePairs = true;
+  bool mergeRotations = true;
+  bool dropIdentities = true;
+  /// Rotation angles within this of 0 (mod 2*pi) are treated as identity.
+  fp angleEpsilon = 1e-12;
+};
+
+struct OptimizerStats {
+  std::size_t inputGates = 0;
+  std::size_t outputGates = 0;
+  std::size_t cancelledPairs = 0;
+  std::size_t mergedRotations = 0;
+  std::size_t droppedIdentities = 0;
+};
+
+/// Returns the optimized circuit (same unitary up to nothing — all rewrites
+/// are exact, no global-phase changes).
+[[nodiscard]] Circuit optimize(const Circuit& circuit,
+                               const OptimizerOptions& options = {},
+                               OptimizerStats* stats = nullptr);
+
+}  // namespace fdd::qc

@@ -1,0 +1,44 @@
+#include "sim/dd_simulator.hpp"
+
+#include <stdexcept>
+
+namespace fdd::sim {
+
+DDSimulator::DDSimulator(Qubit nQubits, fp tolerance)
+    : pkg_{std::make_unique<dd::Package>(nQubits, tolerance)} {
+  reset();
+}
+
+void DDSimulator::reset() {
+  root_ = pkg_->makeZeroState();
+  pkg_->incRef(root_);
+  gates_ = 0;
+}
+
+void DDSimulator::applyOperation(const qc::Operation& op) {
+  const dd::mEdge gate = pkg_->makeGateDD(op);
+  const dd::vEdge next = pkg_->multiply(gate, root_);
+  pkg_->incRef(next);
+  pkg_->decRef(root_);
+  root_ = next;
+  ++gates_;
+  pkg_->garbageCollect();
+}
+
+void DDSimulator::releaseState() {
+  pkg_->decRef(root_);
+  root_ = pkg_->makeZeroState();
+  pkg_->incRef(root_);
+  pkg_->garbageCollect(true);
+}
+
+void DDSimulator::simulate(const qc::Circuit& circuit) {
+  if (circuit.numQubits() != numQubits()) {
+    throw std::invalid_argument("simulate: circuit qubit count mismatch");
+  }
+  for (const auto& op : circuit) {
+    applyOperation(op);
+  }
+}
+
+}  // namespace fdd::sim

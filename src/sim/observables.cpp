@@ -1,0 +1,147 @@
+#include "sim/observables.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace fdd::sim {
+
+PauliString PauliString::parse(const std::string& text) {
+  PauliString p;
+  const auto n = static_cast<Qubit>(text.size());
+  for (Qubit i = 0; i < n; ++i) {
+    // Leftmost character = highest qubit.
+    p.set(n - 1 - i, text[static_cast<std::size_t>(i)]);
+  }
+  return p;
+}
+
+PauliString& PauliString::set(Qubit qubit, char axis) {
+  if (qubit < 0 || qubit > 62) {
+    throw std::out_of_range("PauliString: qubit out of range");
+  }
+  const Index bit = Index{1} << qubit;
+  x_ &= ~bit;
+  z_ &= ~bit;
+  switch (axis) {
+    case 'I':
+    case 'i':
+      break;
+    case 'X':
+    case 'x':
+      x_ |= bit;
+      break;
+    case 'Y':
+    case 'y':
+      x_ |= bit;
+      z_ |= bit;
+      break;
+    case 'Z':
+    case 'z':
+      z_ |= bit;
+      break;
+    default:
+      throw std::invalid_argument("PauliString: axis must be one of IXYZ");
+  }
+  return *this;
+}
+
+unsigned PauliString::weight() const noexcept {
+  return static_cast<unsigned>(std::popcount(x_ | z_));
+}
+
+std::string PauliString::toString(Qubit nQubits) const {
+  std::string out;
+  for (Qubit q = nQubits - 1; q >= 0; --q) {
+    const bool x = testBit(x_, q);
+    const bool z = testBit(z_, q);
+    out += x && z ? 'Y' : x ? 'X' : z ? 'Z' : 'I';
+  }
+  return out;
+}
+
+Complex expectation(std::span<const Complex> state, const PauliString& p) {
+  if (!isPowerOfTwo(state.size())) {
+    throw std::invalid_argument("expectation: state size must be 2^n");
+  }
+  // P|i> = phase(i) |i ^ xMask> with
+  //   phase(i) = (-1)^{popcount(i & zMask)} * (+i)^{#Y on |1>...}
+  // Concretely, for each Y qubit: Y|0> = i|1>, Y|1> = -i|0>;
+  // for each Z qubit: Z|b> = (-1)^b |b>; X flips with no phase.
+  const Index xm = p.xMask();
+  const Index zm = p.zMask();
+  const Index ym = xm & zm;
+  const unsigned yCount = static_cast<unsigned>(std::popcount(ym));
+  Complex sum{};
+  for (Index i = 0; i < state.size(); ++i) {
+    const Index j = i ^ xm;
+    // Phase from Z-type action on the *input* bits (Y contributes its Z
+    // part and an extra i per Y acting on |0>, -i on |1> -> net factor
+    // i^{yCount} * (-1)^{popcount(i & zm)} with zm including Y's z-bit:
+    int minusCount = std::popcount(i & zm) & 1;
+    Complex phase = minusCount != 0 ? Complex{-1.0} : Complex{1.0};
+    // i^yCount cycle
+    switch (yCount & 3u) {
+      case 1: phase *= Complex{0, 1}; break;
+      case 2: phase *= Complex{-1, 0}; break;
+      case 3: phase *= Complex{0, -1}; break;
+      default: break;
+    }
+    sum += std::conj(state[j]) * phase * state[i];
+  }
+  return sum;
+}
+
+Complex expectation(dd::Package& pkg, const dd::vEdge& state,
+                    const PauliString& p) {
+  const Qubit n = pkg.numQubits();
+  dd::vEdge transformed = state;
+  for (Qubit q = 0; q < n; ++q) {
+    const bool x = testBit(p.xMask(), q);
+    const bool z = testBit(p.zMask(), q);
+    if (!x && !z) {
+      continue;
+    }
+    const qc::GateKind kind = x && z   ? qc::GateKind::Y
+                              : x      ? qc::GateKind::X
+                                       : qc::GateKind::Z;
+    transformed =
+        pkg.multiply(pkg.makeGateDD(qc::gateMatrix(kind, {}), q), transformed);
+  }
+  return pkg.innerProduct(state, transformed);
+}
+
+fp Hamiltonian::expectation(std::span<const Complex> state) const {
+  fp total = 0;
+  for (const auto& [weight, pauli] : terms) {
+    total += weight * sim::expectation(state, pauli).real();
+  }
+  return total;
+}
+
+fp Hamiltonian::expectation(dd::Package& pkg, const dd::vEdge& state) const {
+  fp total = 0;
+  for (const auto& [weight, pauli] : terms) {
+    total += weight * sim::expectation(pkg, state, pauli).real();
+  }
+  return total;
+}
+
+Hamiltonian tfim(Qubit n, fp j, fp h) {
+  Hamiltonian ham;
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    PauliString zz;
+    zz.set(q, 'Z');
+    zz.set(q + 1, 'Z');
+    ham.terms.emplace_back(-j, zz);
+  }
+  for (Qubit q = 0; q < n; ++q) {
+    PauliString x;
+    x.set(q, 'X');
+    ham.terms.emplace_back(-h, x);
+  }
+  return ham;
+}
+
+}  // namespace fdd::sim

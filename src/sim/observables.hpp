@@ -1,0 +1,65 @@
+#pragma once
+// Pauli-string observables: <psi|P|psi> for P a tensor product of I/X/Y/Z,
+// evaluated directly on flat state vectors (one pass, no operator matrix)
+// or on DD states (via a gate-DD product). Used by the VQE example and by
+// cross-representation consistency tests.
+
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/prng.hpp"
+#include "common/types.hpp"
+#include "dd/package.hpp"
+
+namespace fdd::sim {
+
+/// A Pauli string over n qubits, stored as X/Y/Z bit masks.
+/// Qubit k's letter: Y if x&y bits... encoded as xMask/zMask pairs:
+///   I: neither, X: x only, Z: z only, Y: both.
+class PauliString {
+ public:
+  PauliString() = default;
+
+  /// Parses "XIZY..." with the leftmost letter on the highest qubit
+  /// (mirroring ket notation); length fixes the qubit count.
+  [[nodiscard]] static PauliString parse(const std::string& text);
+
+  /// Programmatic construction: axis in {'I','X','Y','Z'} per qubit.
+  PauliString& set(Qubit qubit, char axis);
+
+  [[nodiscard]] Index xMask() const noexcept { return x_; }
+  [[nodiscard]] Index zMask() const noexcept { return z_; }
+  [[nodiscard]] bool isIdentity() const noexcept { return x_ == 0 && z_ == 0; }
+
+  /// The string's weight (number of non-identity letters).
+  [[nodiscard]] unsigned weight() const noexcept;
+
+  [[nodiscard]] std::string toString(Qubit nQubits) const;
+
+ private:
+  Index x_ = 0;
+  Index z_ = 0;
+};
+
+/// <state|P|state> on a flat vector; `state` must have power-of-two size.
+[[nodiscard]] Complex expectation(std::span<const Complex> state,
+                                  const PauliString& p);
+
+/// <state|P|state> on a DD state (builds P's gate DDs once).
+[[nodiscard]] Complex expectation(dd::Package& pkg, const dd::vEdge& state,
+                                  const PauliString& p);
+
+/// A weighted sum of Pauli strings; real weights (Hermitian observables).
+struct Hamiltonian {
+  std::vector<std::pair<fp, PauliString>> terms;
+
+  [[nodiscard]] fp expectation(std::span<const Complex> state) const;
+  [[nodiscard]] fp expectation(dd::Package& pkg,
+                               const dd::vEdge& state) const;
+};
+
+/// Transverse-field Ising chain: -J sum Z_i Z_{i+1} - h sum X_i.
+[[nodiscard]] Hamiltonian tfim(Qubit n, fp j, fp h);
+
+}  // namespace fdd::sim

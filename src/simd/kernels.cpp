@@ -1,0 +1,131 @@
+#include "simd/kernels.hpp"
+
+#include <cstring>
+
+#if defined(FLATDD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace fdd::simd {
+
+#if defined(FLATDD_AVX2)
+
+unsigned lanes() noexcept { return 4; }
+bool avx2Enabled() noexcept { return true; }
+
+namespace {
+
+// A 256-bit lane holds two interleaved complex doubles [r0 i0 r1 i1].
+// Complex scalar product per lane:
+//   even slots:  sr*r - si*i
+//   odd  slots:  sr*i + si*r
+// which is exactly vaddsubpd(v*sr, swap(v)*si).
+inline __m256d complexScale(__m256d v, __m256d sr, __m256d si) noexcept {
+  const __m256d swapped = _mm256_permute_pd(v, 0b0101);
+  return _mm256_addsub_pd(_mm256_mul_pd(v, sr), _mm256_mul_pd(swapped, si));
+}
+
+}  // namespace
+
+void scale(Complex* out, const Complex* in, Complex s, std::size_t n) noexcept {
+  const __m256d sr = _mm256_set1_pd(s.real());
+  const __m256d si = _mm256_set1_pd(s.imag());
+  auto* o = reinterpret_cast<double*>(out);
+  const auto* p = reinterpret_cast<const double*>(in);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d v = _mm256_loadu_pd(p + 2 * i);
+    _mm256_storeu_pd(o + 2 * i, complexScale(v, sr, si));
+  }
+  for (; i < n; ++i) {
+    out[i] = s * in[i];
+  }
+}
+
+void scaleAccumulate(Complex* out, const Complex* in, Complex s,
+                     std::size_t n) noexcept {
+  const __m256d sr = _mm256_set1_pd(s.real());
+  const __m256d si = _mm256_set1_pd(s.imag());
+  auto* o = reinterpret_cast<double*>(out);
+  const auto* p = reinterpret_cast<const double*>(in);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d v = _mm256_loadu_pd(p + 2 * i);
+    const __m256d acc = _mm256_loadu_pd(o + 2 * i);
+    _mm256_storeu_pd(o + 2 * i, _mm256_add_pd(acc, complexScale(v, sr, si)));
+  }
+  for (; i < n; ++i) {
+    out[i] += s * in[i];
+  }
+}
+
+void accumulate(Complex* out, const Complex* in, std::size_t n) noexcept {
+  auto* o = reinterpret_cast<double*>(out);
+  const auto* p = reinterpret_cast<const double*>(in);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d a = _mm256_loadu_pd(o + 2 * i);
+    const __m256d b = _mm256_loadu_pd(p + 2 * i);
+    _mm256_storeu_pd(o + 2 * i, _mm256_add_pd(a, b));
+  }
+  for (; i < n; ++i) {
+    out[i] += in[i];
+  }
+}
+
+fp normSquared(const Complex* v, std::size_t n) noexcept {
+  const auto* p = reinterpret_cast<const double*>(v);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d x = _mm256_loadu_pd(p + 2 * i);
+    acc = _mm256_fmadd_pd(x, x, acc);
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  fp sum = lane[0] + lane[1] + lane[2] + lane[3];
+  for (; i < n; ++i) {
+    sum += norm2(v[i]);
+  }
+  return sum;
+}
+
+#else  // scalar fallback
+
+unsigned lanes() noexcept { return 1; }
+bool avx2Enabled() noexcept { return false; }
+
+void scale(Complex* out, const Complex* in, Complex s, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = s * in[i];
+  }
+}
+
+void scaleAccumulate(Complex* out, const Complex* in, Complex s,
+                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] += s * in[i];
+  }
+}
+
+void accumulate(Complex* out, const Complex* in, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] += in[i];
+  }
+}
+
+fp normSquared(const Complex* v, std::size_t n) noexcept {
+  fp sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += norm2(v[i]);
+  }
+  return sum;
+}
+
+#endif
+
+void zeroFill(Complex* out, std::size_t n) noexcept {
+  std::memset(static_cast<void*>(out), 0, n * sizeof(Complex));
+}
+
+}  // namespace fdd::simd

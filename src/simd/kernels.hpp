@@ -1,0 +1,38 @@
+#pragma once
+// SIMD kernels over contiguous complex arrays. These implement the paper's
+// "SIMD-enabled scalar multiplication" (used by both the parallel DD-to-array
+// conversion, Fig. 4b, and the DMAV cache, Alg. 2 line 7) and the buffer
+// summation of Alg. 2 lines 11-13. Compiled with AVX2+FMA when available;
+// a scalar fallback keeps the library portable.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace fdd::simd {
+
+/// Number of double-precision MACs one vector instruction retires; this is
+/// the `d` of the paper's cost model (Eq. 6). 4 with AVX2, 1 in fallback.
+[[nodiscard]] unsigned lanes() noexcept;
+
+/// True when the AVX2 path is compiled in.
+[[nodiscard]] bool avx2Enabled() noexcept;
+
+/// out[i] = s * in[i] for i in [0, n). out and in may not overlap, except
+/// out == in (in-place scaling) which is allowed.
+void scale(Complex* out, const Complex* in, Complex s, std::size_t n) noexcept;
+
+/// out[i] += s * in[i] for i in [0, n). No overlap.
+void scaleAccumulate(Complex* out, const Complex* in, Complex s,
+                     std::size_t n) noexcept;
+
+/// out[i] += in[i] for i in [0, n). No overlap.
+void accumulate(Complex* out, const Complex* in, std::size_t n) noexcept;
+
+/// Sum of |v[i]|^2 — used for normalization checks.
+[[nodiscard]] fp normSquared(const Complex* v, std::size_t n) noexcept;
+
+/// out[i] = 0 for i in [0, n).
+void zeroFill(Complex* out, std::size_t n) noexcept;
+
+}  // namespace fdd::simd

@@ -1,0 +1,152 @@
+#pragma once
+// Shared test utilities: dense reference implementations (independent of the
+// DD package and the simulators under test) and comparison helpers.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/prng.hpp"
+#include "common/types.hpp"
+#include "qc/circuit.hpp"
+
+namespace fdd::test {
+
+using DenseVector = std::vector<Complex>;
+using DenseMatrix = std::vector<std::vector<Complex>>;
+
+/// Builds the full 2^n x 2^n matrix of a controlled single-qubit operation
+/// directly from its definition — the independent oracle for everything.
+inline DenseMatrix denseOperator(const qc::Operation& op, Qubit n) {
+  const Index dim = Index{1} << n;
+  DenseMatrix m(dim, std::vector<Complex>(dim, Complex{}));
+  const qc::Matrix2 u = op.matrix();
+  Index controlMask = 0;
+  for (const Qubit c : op.controls) {
+    controlMask |= Index{1} << c;
+  }
+  const Index tBit = Index{1} << op.target;
+  for (Index col = 0; col < dim; ++col) {
+    if ((col & controlMask) != controlMask) {
+      m[col][col] = Complex{1.0};
+      continue;
+    }
+    const bool t1 = (col & tBit) != 0;
+    const Index partner = col ^ tBit;
+    if (!t1) {
+      m[col][col] = u[0];       // u00: |0> -> |0>
+      m[partner][col] = u[2];   // u10: |0> -> |1>
+    } else {
+      m[partner][col] = u[1];   // u01: |1> -> |0>
+      m[col][col] = u[3];       // u11: |1> -> |1>
+    }
+  }
+  return m;
+}
+
+inline DenseVector denseApply(const DenseMatrix& m, const DenseVector& v) {
+  const std::size_t dim = v.size();
+  DenseVector out(dim, Complex{});
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      out[r] += m[r][c] * v[c];
+    }
+  }
+  return out;
+}
+
+/// Reference circuit simulation: dense matrices all the way.
+inline DenseVector denseSimulate(const qc::Circuit& circuit) {
+  const Index dim = Index{1} << circuit.numQubits();
+  DenseVector state(dim, Complex{});
+  state[0] = Complex{1.0};
+  for (const auto& op : circuit) {
+    state = denseApply(denseOperator(op, circuit.numQubits()), state);
+  }
+  return state;
+}
+
+/// Max-norm distance between two amplitude sequences.
+template <typename A, typename B>
+fp maxDistance(const A& a, const B& b) {
+  EXPECT_EQ(a.size(), b.size());
+  fp d = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    d = std::max(d, std::abs(Complex{a[i]} - Complex{b[i]}));
+  }
+  return d;
+}
+
+#define EXPECT_STATE_NEAR(a, b, tol)                               \
+  EXPECT_LT(::fdd::test::maxDistance((a), (b)), (tol))             \
+      << "state vectors differ beyond tolerance"
+
+/// Random normalized dense state.
+inline DenseVector randomState(Qubit n, std::uint64_t seed) {
+  Xoshiro256 rng{seed};
+  const Index dim = Index{1} << n;
+  DenseVector v(dim);
+  fp norm = 0;
+  for (auto& amp : v) {
+    amp = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    norm += norm2(amp);
+  }
+  const fp inv = 1.0 / std::sqrt(norm);
+  for (auto& amp : v) {
+    amp *= inv;
+  }
+  return v;
+}
+
+/// A random circuit mixing every gate kind the IR supports.
+inline qc::Circuit randomCircuit(Qubit n, std::size_t gates,
+                                 std::uint64_t seed) {
+  Xoshiro256 rng{seed};
+  qc::Circuit c{n, "random"};
+  for (std::size_t g = 0; g < gates; ++g) {
+    const Qubit target = static_cast<Qubit>(rng.below(n));
+    switch (rng.below(6)) {
+      case 0:
+        c.h(target);
+        break;
+      case 1:
+        c.rz(rng.uniform(0, 2 * PI), target);
+        break;
+      case 2:
+        c.ry(rng.uniform(0, 2 * PI), target);
+        break;
+      case 3:
+        c.t(target);
+        break;
+      case 4: {
+        if (n < 2) {
+          c.x(target);
+          break;
+        }
+        Qubit ctrl = static_cast<Qubit>(rng.below(n));
+        while (ctrl == target) {
+          ctrl = static_cast<Qubit>(rng.below(n));
+        }
+        c.cx(ctrl, target);
+        break;
+      }
+      default: {
+        if (n < 2) {
+          c.sx(target);
+          break;
+        }
+        Qubit ctrl = static_cast<Qubit>(rng.below(n));
+        while (ctrl == target) {
+          ctrl = static_cast<Qubit>(rng.below(n));
+        }
+        c.cp(rng.uniform(0, 2 * PI), ctrl, target);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace fdd::test

@@ -1,0 +1,136 @@
+// Circuit container: builder validation, decompositions, append semantics,
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "qc/circuit.hpp"
+
+namespace fdd::qc {
+namespace {
+
+TEST(Circuit, ConstructionValidatesQubitCount) {
+  EXPECT_THROW(Circuit(0), std::invalid_argument);
+  EXPECT_THROW(Circuit(-3), std::invalid_argument);
+  EXPECT_THROW(Circuit(63), std::invalid_argument);
+  EXPECT_NO_THROW(Circuit(1));
+  EXPECT_NO_THROW(Circuit(32));
+}
+
+TEST(Circuit, RejectsOutOfRangeTarget) {
+  Circuit c{3};
+  EXPECT_THROW(c.h(3), std::out_of_range);
+  EXPECT_THROW(c.h(-1), std::out_of_range);
+}
+
+TEST(Circuit, RejectsBadControls) {
+  Circuit c{3};
+  EXPECT_THROW(c.cx(0, 0), std::invalid_argument);  // control == target
+  EXPECT_THROW(c.cx(5, 1), std::out_of_range);
+  EXPECT_THROW(c.gate(GateKind::X, {0, 0}, 1), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsMissingParams) {
+  Circuit c{2};
+  EXPECT_THROW(c.gate(GateKind::RZ, {}, 0), std::invalid_argument);
+}
+
+TEST(Circuit, ControlsStoredSorted) {
+  Circuit c{4};
+  c.gate(GateKind::X, {3, 1}, 0);
+  EXPECT_EQ(c[0].controls, (std::vector<Qubit>{1, 3}));
+}
+
+TEST(Circuit, SwapDecomposesToThreeCx) {
+  Circuit c{2};
+  c.swap(0, 1);
+  ASSERT_EQ(c.numGates(), 3u);
+  for (const auto& op : c) {
+    EXPECT_EQ(op.kind, GateKind::X);
+    EXPECT_EQ(op.controls.size(), 1u);
+  }
+}
+
+TEST(Circuit, SwapSemantics) {
+  // SWAP |01> must give |10>.
+  Circuit c{2};
+  c.x(0);  // |01> (qubit 0 set)
+  c.swap(0, 1);
+  const auto state = test::denseSimulate(c);
+  EXPECT_NEAR(std::abs(state[2] - Complex{1.0}), 0.0, 1e-12);
+}
+
+TEST(Circuit, CswapSemantics) {
+  // Control set: swap happens.
+  Circuit c{3};
+  c.x(0);  // control
+  c.x(1);  // |q1=1, q2=0>
+  c.cswap(0, 1, 2);
+  const auto s1 = test::denseSimulate(c);
+  // Expect |q0=1, q1=0, q2=1> = index 0b101 = 5.
+  EXPECT_NEAR(std::abs(s1[5] - Complex{1.0}), 0.0, 1e-12);
+
+  // Control clear: nothing happens.
+  Circuit c2{3};
+  c2.x(1);
+  c2.cswap(0, 1, 2);
+  const auto s2 = test::denseSimulate(c2);
+  EXPECT_NEAR(std::abs(s2[2] - Complex{1.0}), 0.0, 1e-12);
+}
+
+TEST(Circuit, SwapIdenticalQubitsThrows) {
+  Circuit c{2};
+  EXPECT_THROW(c.swap(1, 1), std::invalid_argument);
+  Circuit c3{3};
+  EXPECT_THROW(c3.cswap(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Circuit, AppendCircuitConcatenates) {
+  Circuit a{2};
+  a.h(0);
+  Circuit b{2};
+  b.cx(0, 1);
+  a.append(b);
+  EXPECT_EQ(a.numGates(), 2u);
+  EXPECT_EQ(a[1].kind, GateKind::X);
+}
+
+TEST(Circuit, AppendMismatchedWidthThrows) {
+  Circuit a{2};
+  Circuit b{3};
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(Circuit, ToStringContainsEveryGate) {
+  Circuit c{3, "demo"};
+  c.h(0).cx(0, 1).rz(0.25, 2);
+  const std::string s = c.toString();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("h q0"), std::string::npos);
+  EXPECT_NE(s.find("cx q0,q1"), std::string::npos);
+  EXPECT_NE(s.find("rz(0.25) q2"), std::string::npos);
+}
+
+TEST(Circuit, EqualityIsStructural) {
+  Circuit a{2};
+  a.h(0).cx(0, 1);
+  Circuit b{2};
+  b.h(0).cx(0, 1);
+  EXPECT_EQ(a, b);
+  b.h(1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Circuit, ToQasmEmitsHeaderAndGates) {
+  Circuit c{2, "q"};
+  c.h(0).cx(0, 1).rz(0.5, 1);
+  const std::string s = c.toQasm();
+  EXPECT_NE(s.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(s.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(s.find("h q[0];"), std::string::npos);
+  EXPECT_NE(s.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(s.find("rz(0.5) q[1];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdd::qc

@@ -1,0 +1,210 @@
+// Circuit utilities (inverse, depth, histograms) and the new circuit
+// families (QPE, QAOA, hidden shift, quantum volume, randomUniversal).
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "helpers.hpp"
+#include "qasm/parser.hpp"
+#include "sim/array_simulator.hpp"
+
+namespace fdd {
+namespace {
+
+TEST(InverseOperation, EveryKindInvertsItsMatrix) {
+  Xoshiro256 rng{71};
+  using K = qc::GateKind;
+  for (const K kind :
+       {K::I, K::H, K::X, K::Y, K::Z, K::S, K::Sdg, K::T, K::Tdg, K::SX,
+        K::SXdg, K::SY, K::SYdg, K::SW, K::SWdg, K::RX, K::RY, K::RZ, K::P,
+        K::U2, K::U3}) {
+    std::vector<fp> params;
+    for (unsigned i = 0; i < qc::gateParamCount(kind); ++i) {
+      params.push_back(rng.uniform(0, 2 * PI));
+    }
+    const qc::Operation op{kind, 0, {}, params};
+    const qc::Operation inv = qc::inverseOperation(op);
+    const auto prod = qc::matMul2(inv.matrix(), op.matrix());
+    const qc::Matrix2 id{Complex{1}, Complex{}, Complex{}, Complex{1}};
+    EXPECT_LT(qc::matDistance(prod, id), 1e-12) << qc::gateName(kind);
+  }
+}
+
+TEST(CircuitInverse, UndoesTheCircuit) {
+  for (const auto& circuit :
+       {test::randomCircuit(5, 30, 72), circuits::qft(5, 9),
+        circuits::quantumVolume(5, 2, 73)}) {
+    qc::Circuit roundTrip = circuit;
+    roundTrip.append(circuit.inverse());
+    const auto state = test::denseSimulate(roundTrip);
+    EXPECT_NEAR(std::abs(state[0] - Complex{1.0}), 0.0, 1e-9)
+        << circuit.name();
+    for (Index i = 1; i < state.size(); ++i) {
+      EXPECT_NEAR(std::abs(state[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(CircuitInverse, PreservesControls) {
+  qc::Circuit c{4};
+  c.ccx(0, 1, 3).cp(0.7, 2, 0);
+  const auto inv = c.inverse();
+  ASSERT_EQ(inv.numGates(), 2u);
+  EXPECT_EQ(inv[0].kind, qc::GateKind::P);
+  EXPECT_DOUBLE_EQ(inv[0].params[0], -0.7);
+  EXPECT_EQ(inv[1].controls, (std::vector<Qubit>{0, 1}));
+}
+
+TEST(CircuitDepth, CountsCriticalPath) {
+  qc::Circuit c{3};
+  EXPECT_EQ(c.depth(), 0u);
+  c.h(0);         // depth 1
+  c.h(1);         // parallel: still 1
+  EXPECT_EQ(c.depth(), 1u);
+  c.cx(0, 1);     // 2
+  c.h(2);         // parallel: 2
+  c.cx(1, 2);     // 3
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(CircuitStats, HistogramAndControlledCount) {
+  qc::Circuit c{3};
+  c.h(0).h(1).cx(0, 1).rz(0.1, 2).ccx(0, 1, 2);
+  const auto hist = c.countByKind();
+  EXPECT_EQ(hist.at(qc::GateKind::H), 2u);
+  EXPECT_EQ(hist.at(qc::GateKind::X), 2u);  // cx + ccx
+  EXPECT_EQ(hist.at(qc::GateKind::RZ), 1u);
+  EXPECT_EQ(c.controlledGateCount(), 2u);
+}
+
+TEST(Qpe, RecoversDyadicPhaseExactly) {
+  for (const std::uint64_t k : {0ULL, 1ULL, 5ULL, 10ULL, 15ULL}) {
+    const Qubit bits = 4;
+    const auto c = circuits::qpe(bits, static_cast<fp>(k) / 16.0);
+    sim::ArraySimulator s{c.numQubits()};
+    s.simulate(c);
+    // Counting register (low 4 qubits) must hold |k> exactly; the
+    // eigenstate qubit stays |1>.
+    const Index expected = k | (Index{1} << bits);
+    EXPECT_GT(norm2(s.amplitude(expected)), 0.99) << "k=" << k;
+  }
+}
+
+TEST(Qpe, NonDyadicPhaseConcentratesNearTruth) {
+  const Qubit bits = 5;
+  const fp phase = 0.3;  // not dyadic: distribution peaks at round(0.3*32)=10
+  const auto c = circuits::qpe(bits, phase);
+  sim::ArraySimulator s{c.numQubits()};
+  s.simulate(c);
+  double best = 0;
+  Index argmax = 0;
+  for (Index k = 0; k < (Index{1} << bits); ++k) {
+    const double p = norm2(s.amplitude(k | (Index{1} << bits)));
+    if (p > best) {
+      best = p;
+      argmax = k;
+    }
+  }
+  EXPECT_EQ(argmax, 10u);
+  EXPECT_GT(best, 0.4);  // the main lobe of the sinc kernel
+}
+
+TEST(Qaoa, NormalizedAndDeterministic) {
+  const auto a = circuits::qaoa(8, 2, 29);
+  const auto b = circuits::qaoa(8, 2, 29);
+  EXPECT_EQ(a, b);
+  sim::ArraySimulator s{8};
+  s.simulate(a);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+}
+
+TEST(HiddenShift, MeasuresTheShift) {
+  for (const std::uint64_t shift : {0ULL, 0b101101ULL, 0b111111ULL}) {
+    const Qubit n = 6;
+    const auto c = circuits::hiddenShift(n, shift, 31);
+    sim::ArraySimulator s{n};
+    s.simulate(c);
+    EXPECT_GT(norm2(s.amplitude(shift)), 0.99) << "shift=" << shift;
+  }
+}
+
+TEST(HiddenShift, RequiresEvenQubitCount) {
+  EXPECT_THROW((void)circuits::hiddenShift(5, 1), std::invalid_argument);
+}
+
+TEST(QuantumVolume, UnitaryAndIrregular) {
+  const auto c = circuits::quantumVolume(7, 4, 37);
+  sim::ArraySimulator s{7};
+  s.simulate(c);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+  std::size_t nonzero = 0;
+  for (Index i = 0; i < (Index{1} << 7); ++i) {
+    nonzero += norm2(s.amplitude(i)) > 1e-9;
+  }
+  EXPECT_GT(nonzero, 100u);  // QV circuits scramble thoroughly
+}
+
+TEST(RandomUniversal, MatchesDenseReference) {
+  const auto c = circuits::randomUniversal(5, 50, 41);
+  sim::ArraySimulator s{5};
+  s.simulate(c);
+  EXPECT_STATE_NEAR(s.state(), test::denseSimulate(c), 1e-10);
+}
+
+TEST(QasmExtensions, FullRoundTripForEveryFamily) {
+  // toQasm must now serialize every circuit we can build, and qasm::parse
+  // must reproduce it exactly (gate-for-gate after lowering).
+  for (const auto& circuit :
+       {circuits::grover(5),                // multi-controlled Z
+        circuits::supremacy(6, 4, 23),      // sy / sw extension gates
+        circuits::quantumVolume(5, 2, 37),  // u3-heavy
+        circuits::qpe(4, 0.3125),           // cp ladders + swaps
+        circuits::hiddenShift(6, 0b1011, 31),
+        circuits::knn(7, 17)}) {
+    const auto reparsed = qasm::parse(circuit.toQasm(), circuit.name());
+    ASSERT_EQ(reparsed.numGates(), circuit.numGates()) << circuit.name();
+    sim::ArraySimulator a{circuit.numQubits()};
+    a.simulate(circuit);
+    sim::ArraySimulator b{circuit.numQubits()};
+    b.simulate(reparsed);
+    EXPECT_STATE_NEAR(a.state(), b.state(), 1e-9) << circuit.name();
+  }
+}
+
+TEST(QasmExtensions, McMnemonicsParse) {
+  const auto c = qasm::parse(R"(
+    qreg q[4];
+    mcx q[0],q[1],q[2],q[3];
+    mcz q[0],q[1],q[2];
+    mcp(0.5) q[0],q[3],q[1];
+    mcry(0.25) q[1],q[2];
+  )");
+  ASSERT_EQ(c.numGates(), 4u);
+  EXPECT_EQ(c[0].kind, qc::GateKind::X);
+  EXPECT_EQ(c[0].controls.size(), 3u);
+  EXPECT_EQ(c[1].kind, qc::GateKind::Z);
+  EXPECT_EQ(c[2].kind, qc::GateKind::P);
+  EXPECT_EQ(c[2].controls, (std::vector<Qubit>{0, 3}));
+  EXPECT_EQ(c[3].kind, qc::GateKind::RY);
+  EXPECT_EQ(c[3].controls, (std::vector<Qubit>{1}));
+}
+
+TEST(QasmExtensions, SupremacyGatesParse) {
+  const auto c = qasm::parse("qreg q[2]; sy q[0]; sw q[1]; swdg q[0];");
+  ASSERT_EQ(c.numGates(), 3u);
+  EXPECT_EQ(c[0].kind, qc::GateKind::SY);
+  EXPECT_EQ(c[1].kind, qc::GateKind::SW);
+  EXPECT_EQ(c[2].kind, qc::GateKind::SWdg);
+}
+
+TEST(Gates, SwDaggerInverts) {
+  const auto sw = qc::gateMatrix(qc::GateKind::SW, {});
+  const auto swdg = qc::gateMatrix(qc::GateKind::SWdg, {});
+  const qc::Matrix2 id{Complex{1}, Complex{}, Complex{}, Complex{1}};
+  EXPECT_LT(qc::matDistance(qc::matMul2(sw, swdg), id), 1e-12);
+  EXPECT_LT(qc::matDistance(swdg, qc::adjoint2(sw)), 1e-12);
+}
+
+}  // namespace
+}  // namespace fdd

@@ -1,0 +1,195 @@
+// Unit tests for src/common: bit tricks, PRNG, aligned storage, RSS probes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "common/aligned.hpp"
+#include "common/bits.hpp"
+#include "common/prng.hpp"
+#include "common/rss.hpp"
+#include "common/timing.hpp"
+#include "common/types.hpp"
+
+namespace fdd {
+namespace {
+
+TEST(Bits, IsPowerOfTwo) {
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+  EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1ULL << 33), 33u);
+}
+
+TEST(Bits, FloorPowerOfTwo) {
+  EXPECT_EQ(floorPowerOfTwo(1), 1u);
+  EXPECT_EQ(floorPowerOfTwo(5), 4u);
+  EXPECT_EQ(floorPowerOfTwo(8), 8u);
+  EXPECT_EQ(floorPowerOfTwo(1023), 512u);
+}
+
+TEST(Bits, InsertBitBasics) {
+  EXPECT_EQ(insertBit(0b101, 1), 0b1001u);
+  EXPECT_EQ(insertBit(0b11, 0), 0b110u);
+  EXPECT_EQ(insertBit(0, 5), 0u);
+}
+
+TEST(Bits, InsertBitEnumeratesPairsExactlyOnce) {
+  // For every qubit position, {insertBit(g,k), insertBit(g,k)|bit} must
+  // partition [0, 2^n) into disjoint pairs.
+  const Qubit n = 6;
+  for (Qubit k = 0; k < n; ++k) {
+    std::set<Index> seen;
+    for (Index g = 0; g < (Index{1} << (n - 1)); ++g) {
+      const Index i0 = insertBit(g, k);
+      const Index i1 = i0 | (Index{1} << k);
+      EXPECT_FALSE(testBit(i0, k));
+      EXPECT_TRUE(testBit(i1, k));
+      EXPECT_TRUE(seen.insert(i0).second);
+      EXPECT_TRUE(seen.insert(i1).second);
+    }
+    EXPECT_EQ(seen.size(), Index{1} << n);
+  }
+}
+
+TEST(Bits, InsertTwoBits) {
+  const Qubit p0 = 1;
+  const Qubit p1 = 3;
+  std::set<Index> seen;
+  for (Index g = 0; g < (1u << 4); ++g) {
+    const Index i = insertTwoBits(g, p0, p1);
+    EXPECT_FALSE(testBit(i, p0));
+    EXPECT_FALSE(testBit(i, p1));
+    EXPECT_TRUE(seen.insert(i).second);
+  }
+}
+
+TEST(Bits, SetClearTest) {
+  Index x = 0;
+  x = setBit(x, 3);
+  EXPECT_TRUE(testBit(x, 3));
+  x = clearBit(x, 3);
+  EXPECT_FALSE(testBit(x, 3));
+}
+
+TEST(Types, Norm2MatchesStdNorm) {
+  const Complex z{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(z), 25.0);
+}
+
+TEST(Types, ApproxEqualRespectsTolerance) {
+  EXPECT_TRUE(approxEqual({1.0, 0.0}, {1.0 + 1e-13, 0.0}));
+  EXPECT_FALSE(approxEqual({1.0, 0.0}, {1.0 + 1e-9, 0.0}));
+  EXPECT_TRUE(approxZero({1e-13, -1e-13}));
+  EXPECT_TRUE(approxOne({1.0, 0.0}));
+  EXPECT_FALSE(approxOne({0.0, 1.0}));
+}
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a{42};
+  Xoshiro256 b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a{1};
+  Xoshiro256 b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a() == b());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformInRange) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const fp u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const fp v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Prng, UniformMeanIsCentered) {
+  Xoshiro256 rng{11};
+  fp sum = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / samples, 0.5, 0.02);
+}
+
+TEST(Prng, WorksWithStdDistributions) {
+  Xoshiro256 rng{3};
+  std::uniform_int_distribution<int> dist{0, 9};
+  std::set<int> values;
+  for (int i = 0; i < 200; ++i) {
+    values.insert(dist(rng));
+  }
+  EXPECT_EQ(values.size(), 10u);
+}
+
+TEST(Aligned, VectorIsAligned) {
+  AlignedVector<Complex> v(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u);
+}
+
+TEST(Aligned, AllocatorEquality) {
+  AlignedAllocator<double> a;
+  AlignedAllocator<int> b;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Aligned, ZeroSizedAllocation) {
+  AlignedAllocator<double> a;
+  EXPECT_EQ(a.allocate(0), nullptr);
+}
+
+TEST(Timing, StopwatchMonotone) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(Rss, ReportsPlausibleValues) {
+  const std::size_t current = currentRSS();
+  const std::size_t peak = peakRSS();
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak, current / 2);  // peak >= current modulo measurement jitter
+}
+
+TEST(Rss, GrowsAfterLargeAllocation) {
+  const std::size_t before = currentRSS();
+  std::vector<char> big(64 * 1024 * 1024, 1);
+  // Touch every page so it becomes resident.
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < big.size(); i += 4096) {
+    sum += static_cast<std::size_t>(big[i]);
+  }
+  ASSERT_GT(sum, 0u);
+  EXPECT_GT(currentRSS(), before + 32 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace fdd

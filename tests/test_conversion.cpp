@@ -1,0 +1,152 @@
+// Parallel DD-to-array conversion (Section 3.1.2): equivalence with the
+// sequential conversion across circuit families and thread counts, plus the
+// load-balancing and scalar-multiplication special cases of Fig. 4.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "flatdd/conversion.hpp"
+#include "helpers.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd::flat {
+namespace {
+
+struct ConvCase {
+  qc::Circuit circuit;
+  unsigned threads;
+};
+
+class Conversion
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+qc::Circuit circuitByIndex(int idx) {
+  switch (idx) {
+    case 0: return circuits::ghz(9);
+    case 1: return circuits::wState(9);
+    case 2: return circuits::qft(8, 11);
+    case 3: return circuits::dnn(8, 3, 3);
+    case 4: return circuits::vqe(8, 2, 4);
+    case 5: return circuits::supremacy(8, 6, 6);
+    case 6: return circuits::adder(3, 5, 2);
+    default: return circuits::bernsteinVazirani(8, 0b1101101);
+  }
+}
+
+TEST_P(Conversion, MatchesSequentialToArray) {
+  const auto [idx, threads] = GetParam();
+  const auto circuit = circuitByIndex(idx);
+  sim::DDSimulator s{circuit.numQubits()};
+  s.simulate(circuit);
+  const auto ref = s.package().toArray(s.state());
+  const auto par =
+      ddToArrayParallel(s.state(), circuit.numQubits(), threads);
+  EXPECT_STATE_NEAR(par, ref, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsTimesThreads, Conversion,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)));
+
+TEST(ConversionUnit, ZeroEdgeGivesZeroVector) {
+  AlignedVector<Complex> out(16, Complex{3.0, 3.0});
+  ddToArrayParallel(dd::vEdge::zero(), 4, out, 4);
+  for (const auto& amp : out) {
+    EXPECT_EQ(amp, Complex{});
+  }
+}
+
+TEST(ConversionUnit, WrongSizeThrows) {
+  dd::Package p{3};
+  AlignedVector<Complex> out(4);
+  EXPECT_THROW(ddToArrayParallel(p.makeZeroState(), 3, out, 2),
+               std::invalid_argument);
+}
+
+TEST(ConversionUnit, OverwritesStaleOutput) {
+  dd::Package p{4};
+  AlignedVector<Complex> out(16, Complex{7.0, -7.0});
+  ddToArrayParallel(p.makeBasisState(5), 4, out, 4);
+  for (Index i = 0; i < 16; ++i) {
+    if (i == 5) {
+      EXPECT_NEAR(std::abs(out[i] - Complex{1.0}), 0.0, 1e-12);
+    } else {
+      EXPECT_EQ(out[i], Complex{});
+    }
+  }
+}
+
+TEST(ConversionUnit, BasisStateExercisesLoadBalancing) {
+  // A basis state is one long chain with a zero sibling at every level:
+  // the planner must route all threads down the nonzero edge and record a
+  // zero-skip per level, producing exactly one fill task.
+  const Qubit n = 10;
+  dd::Package p{n};
+  const dd::vEdge s = p.makeBasisState(777);
+  AlignedVector<Complex> out(Index{1} << n);
+  const ConversionStats stats = ddToArrayParallel(s, n, out, 8);
+  EXPECT_EQ(stats.fillTasks, 1u);
+  EXPECT_EQ(stats.zeroSkips, static_cast<std::size_t>(n));
+  EXPECT_NEAR(std::abs(out[777] - Complex{1.0}), 0.0, 1e-12);
+}
+
+TEST(ConversionUnit, UniformStateExercisesScalarMultiplication) {
+  // |+...+> has identical children at every level: with the optimization the
+  // planner emits scale tasks instead of dividing threads.
+  const Qubit n = 8;
+  sim::DDSimulator s{n};
+  qc::Circuit c{n};
+  for (Qubit q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  s.simulate(c);
+  AlignedVector<Complex> out(Index{1} << n);
+  const ConversionStats stats =
+      ddToArrayParallel(s.state(), n, out, 4);
+  EXPECT_GT(stats.scaleTasks, 0u);
+  const fp expected = 1.0 / std::sqrt(static_cast<fp>(Index{1} << n));
+  for (const auto& amp : out) {
+    EXPECT_NEAR(std::abs(amp - Complex{expected}), 0.0, 1e-10);
+  }
+}
+
+TEST(ConversionUnit, GhzWithSignsViaScalePath) {
+  // GHZ then Z on the top qubit gives (|0..0> - |1..1>)/sqrt(2); the top
+  // node has identical children with opposite weights, so the scale path
+  // must reproduce the sign.
+  const Qubit n = 6;
+  sim::DDSimulator s{n};
+  auto c = circuits::ghz(n);
+  c.z(n - 1);
+  s.simulate(c);
+  const auto out = ddToArrayParallel(s.state(), n, 4);
+  EXPECT_NEAR(std::abs(out.front() - Complex{SQRT2_INV}), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(out.back() + Complex{SQRT2_INV}), 0.0, 1e-10);
+}
+
+TEST(ConversionUnit, NonPowerOfTwoThreadsClamped) {
+  const Qubit n = 7;
+  dd::Package p{n};
+  const auto v = test::randomState(n, 8);
+  const dd::vEdge e = p.fromArray(v);
+  for (const unsigned t : {3u, 5u, 6u, 7u, 9u, 15u}) {
+    const auto out = ddToArrayParallel(e, n, t);
+    EXPECT_STATE_NEAR(out, v, 1e-9) << "threads=" << t;
+  }
+}
+
+TEST(ConversionUnit, RandomStatesRoundTrip) {
+  const Qubit n = 9;
+  dd::Package p{n};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto v = test::randomState(n, seed);
+    const dd::vEdge e = p.fromArray(v);
+    const auto out = ddToArrayParallel(e, n, 8);
+    EXPECT_STATE_NEAR(out, v, 1e-9) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fdd::flat

@@ -1,0 +1,227 @@
+// Advanced DD operations: kronecker products, dense-matrix import, state
+// approximation, FlatDD sampling, and the per-gate CSV trace.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "dd/package.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "helpers.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd {
+namespace {
+
+TEST(Kronecker, ProductStateComposition) {
+  // |psi> = |top> (x) |bottom> over 2 + 3 qubits.
+  const Qubit n = 5;
+  const Qubit bottomQ = 3;
+  dd::Package p{n};
+  const auto topAmps = test::randomState(2, 101);
+  const auto botAmps = test::randomState(bottomQ, 102);
+
+  // Build both parts as DDs over the package's *low* qubits (the kronecker
+  // contract), amplitude by amplitude.
+  auto buildLowQubitState = [&](std::span<const Complex> amps,
+                                Qubit width) -> dd::vEdge {
+    auto rec = [&](auto&& self, std::span<const Complex> a,
+                   Qubit level) -> dd::vEdge {
+      if (level < 0) {
+        const Complex w = p.canonical(a[0]);
+        return w == Complex{} ? dd::vEdge::zero()
+                              : dd::vEdge{dd::vNode::terminal(), w};
+      }
+      const std::size_t half = a.size() / 2;
+      return p.makeVectorNode(level, {self(self, a.first(half), level - 1),
+                                      self(self, a.last(half), level - 1)});
+    };
+    return rec(rec, amps, width - 1);
+  };
+  const dd::vEdge top = buildLowQubitState(topAmps, 2);
+  const dd::vEdge bottom = buildLowQubitState(botAmps, bottomQ);
+
+  const dd::vEdge composed = p.kronecker(top, bottom, bottomQ);
+  const auto dense = p.toArray(composed);
+  for (Index t = 0; t < 4; ++t) {
+    for (Index b = 0; b < (Index{1} << bottomQ); ++b) {
+      const Index idx = (t << bottomQ) | b;
+      EXPECT_NEAR(std::abs(dense[idx] - topAmps[t] * botAmps[b]), 0.0, 1e-10)
+          << idx;
+    }
+  }
+}
+
+TEST(Kronecker, MatrixProductActsIndependently) {
+  // (H on top qubit) (x) (X on bottom qubit) over 2 qubits.
+  const Qubit n = 2;
+  dd::Package p{n};
+  // Build 1-qubit gate DDs at level 0.
+  auto oneQubitDD = [&](qc::GateKind kind) {
+    const auto u = qc::gateMatrix(kind, {});
+    std::array<dd::mEdge, 4> leaves;
+    for (int i = 0; i < 4; ++i) {
+      const Complex w = p.canonical(u[static_cast<std::size_t>(i)]);
+      leaves[static_cast<std::size_t>(i)] =
+          w == Complex{} ? dd::mEdge::zero()
+                         : dd::mEdge{dd::mNode::terminal(), w};
+    }
+    return p.makeMatrixNode(0, leaves);
+  };
+  const dd::mEdge kron =
+      p.kronecker(oneQubitDD(qc::GateKind::H), oneQubitDD(qc::GateKind::X), 1);
+  // Compare against gate application: H(q1) X(q0).
+  const dd::mEdge ref = p.multiply(
+      p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), 1),
+      p.makeGateDD(qc::gateMatrix(qc::GateKind::X, {}), 0));
+  EXPECT_EQ(kron.n, ref.n);
+  EXPECT_LT(std::abs(kron.w - ref.w), 1e-10);
+}
+
+TEST(Kronecker, Validates) {
+  dd::Package p{3};
+  EXPECT_THROW((void)p.kronecker(p.makeZeroState(), p.makeZeroState(), 3),
+               std::out_of_range);
+}
+
+TEST(FromDenseMatrix, RoundTripsGateMatrices) {
+  const Qubit n = 3;
+  dd::Package p{n};
+  for (const auto& op :
+       {qc::Operation{qc::GateKind::H, 1, {}, {}},
+        qc::Operation{qc::GateKind::X, 0, {2}, {}},
+        qc::Operation{qc::GateKind::U3, 2, {}, {0.2, 0.4, 0.6}}}) {
+    const auto dense = test::denseOperator(op, n);
+    std::vector<Complex> flat;
+    flat.reserve(64);
+    for (const auto& row : dense) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    const dd::mEdge imported = p.fromDenseMatrix(flat);
+    const dd::mEdge built = p.makeGateDD(op);
+    EXPECT_EQ(imported.n, built.n) << op.toString();
+    EXPECT_LT(std::abs(imported.w - built.w), 1e-10);
+  }
+}
+
+TEST(FromDenseMatrix, Validates) {
+  dd::Package p{2};
+  const std::vector<Complex> bad(8);  // not 4^k
+  EXPECT_THROW((void)p.fromDenseMatrix(bad), std::invalid_argument);
+}
+
+TEST(Approximate, ZeroBudgetIsIdentityTransform) {
+  dd::Package p{6};
+  const dd::vEdge s = p.fromArray(test::randomState(6, 103));
+  const dd::vEdge a = p.approximate(s, 0.0);
+  EXPECT_EQ(a.n, s.n);
+}
+
+TEST(Approximate, StaysNormalizedAndClose) {
+  const Qubit n = 8;
+  dd::Package p{n};
+  const auto dense = test::randomState(n, 104);
+  const dd::vEdge s = p.fromArray(dense);
+  for (const fp budget : {0.01, 0.05, 0.2}) {
+    const dd::vEdge a = p.approximate(s, budget);
+    const Complex norm = p.innerProduct(a, a);
+    EXPECT_NEAR(norm.real(), 1.0, 1e-9) << budget;
+    // Fidelity must not drop below 1 - budget (up to numerical noise).
+    const Complex overlap = p.innerProduct(s, a);
+    EXPECT_GT(std::norm(overlap), 1.0 - budget - 1e-6) << budget;
+  }
+}
+
+TEST(Approximate, ShrinksIrregularDDs) {
+  const Qubit n = 10;
+  dd::Package p{n};
+  // A state with many tiny amplitudes: dominant basis + noise.
+  AlignedVector<Complex> v(Index{1} << n);
+  Xoshiro256 rng{105};
+  for (auto& amp : v) {
+    amp = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)} * 1e-3;
+  }
+  v[3] = Complex{1.0};
+  fp norm = 0;
+  for (const auto& amp : v) {
+    norm += norm2(amp);
+  }
+  for (auto& amp : v) {
+    amp /= std::sqrt(norm);
+  }
+  const dd::vEdge s = p.fromArray(v);
+  const std::size_t before = p.nodeCount(s);
+  const dd::vEdge a = p.approximate(s, 0.05);
+  const std::size_t after = p.nodeCount(a);
+  EXPECT_LT(after, before);
+  EXPECT_GT(std::norm(p.innerProduct(s, a)), 0.9);
+}
+
+TEST(Approximate, Validates) {
+  dd::Package p{3};
+  EXPECT_THROW((void)p.approximate(p.makeZeroState(), -0.1),
+               std::invalid_argument);
+}
+
+TEST(FlatDDSample, WorksInBothPhases) {
+  // DD phase (GHZ never converts).
+  {
+    flat::FlatDDSimulator sim{8, {.threads = 2}};
+    sim.simulate(circuits::ghz(8));
+    Xoshiro256 rng{106};
+    for (const Index s : sim.sample(200, rng)) {
+      EXPECT_TRUE(s == 0 || s == 255) << s;
+    }
+  }
+  // Flat phase (forced conversion).
+  {
+    flat::FlatDDOptions opt;
+    opt.threads = 2;
+    opt.forceConversionAtGate = 2;
+    flat::FlatDDSimulator sim{8, opt};
+    sim.simulate(circuits::ghz(8));
+    Xoshiro256 rng{107};
+    std::size_t zeros = 0;
+    const auto samples = sim.sample(400, rng);
+    for (const Index s : samples) {
+      ASSERT_TRUE(s == 0 || s == 255) << s;
+      zeros += (s == 0);
+    }
+    EXPECT_GT(zeros, 120u);
+    EXPECT_LT(zeros, 280u);
+  }
+}
+
+TEST(FlatDDSample, MatchesDistribution) {
+  const auto circuit = circuits::vqe(6, 2, 108);
+  flat::FlatDDSimulator sim{6, {.threads = 2}};
+  sim.simulate(circuit);
+  Xoshiro256 rng{109};
+  const std::size_t shots = 30000;
+  const auto samples = sim.sample(shots, rng);
+  std::vector<std::size_t> counts(64, 0);
+  for (const Index s : samples) {
+    ++counts[s];
+  }
+  const auto state = sim.stateVector();
+  for (Index i = 0; i < 64; ++i) {
+    EXPECT_NEAR(static_cast<fp>(counts[i]) / shots, norm2(state[i]), 0.02);
+  }
+}
+
+TEST(PerGateCsv, ContainsHeaderAndRows) {
+  flat::FlatDDOptions opt;
+  opt.threads = 2;
+  opt.recordPerGate = true;
+  flat::FlatDDSimulator sim{6, opt};
+  sim.simulate(circuits::supremacy(6, 4, 110));
+  const std::string csv = sim.stats().perGateCsv();
+  EXPECT_NE(csv.find("gate,phase,seconds,dd_size"), std::string::npos);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, 1 + sim.stats().perGate.size());
+}
+
+}  // namespace
+}  // namespace fdd

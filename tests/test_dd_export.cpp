@@ -1,0 +1,137 @@
+// DD <-> array conversion, inner products, node counting.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "dd/package.hpp"
+#include "helpers.hpp"
+
+namespace fdd::dd {
+namespace {
+
+TEST(Export, ToArrayOfBasisState) {
+  Package p{4};
+  const auto arr = p.toArray(p.makeBasisState(11));
+  for (Index i = 0; i < arr.size(); ++i) {
+    if (i == 11) {
+      EXPECT_NEAR(std::abs(arr[i] - Complex{1.0}), 0.0, 1e-12);
+    } else {
+      EXPECT_EQ(arr[i], Complex{});
+    }
+  }
+}
+
+TEST(Export, FromArrayToArrayRoundTrip) {
+  const Qubit n = 6;
+  Package p{n};
+  const auto v = test::randomState(n, 21);
+  const vEdge e = p.fromArray(v);
+  const auto back = p.toArray(e);
+  EXPECT_STATE_NEAR(v, back, 1e-9);
+}
+
+TEST(Export, RoundTripSparseVector) {
+  const Qubit n = 5;
+  Package p{n};
+  test::DenseVector v(Index{1} << n, Complex{});
+  v[3] = Complex{0.6, 0.0};
+  v[17] = Complex{0.0, 0.8};
+  const vEdge e = p.fromArray(v);
+  const auto back = p.toArray(e);
+  EXPECT_STATE_NEAR(v, back, 1e-10);
+  // A 2-sparse vector needs few nodes.
+  EXPECT_LE(p.nodeCount(e), static_cast<std::size_t>(2 * n));
+}
+
+TEST(Export, FromArrayAllZeroGivesZeroEdge) {
+  Package p{3};
+  const test::DenseVector v(8, Complex{});
+  EXPECT_TRUE(p.fromArray(v).isZero());
+}
+
+TEST(Export, FromArrayWrongSizeThrows) {
+  Package p{3};
+  const test::DenseVector v(4);
+  EXPECT_THROW((void)p.fromArray(v), std::invalid_argument);
+  AlignedVector<Complex> out(4);
+  EXPECT_THROW(p.toArray(p.makeZeroState(), out), std::invalid_argument);
+}
+
+TEST(Export, ToArrayOverwritesStaleData) {
+  Package p{3};
+  AlignedVector<Complex> out(8, Complex{9.0, 9.0});
+  p.toArray(p.makeBasisState(2), out);
+  for (Index i = 0; i < 8; ++i) {
+    if (i != 2) {
+      EXPECT_EQ(out[i], Complex{});
+    }
+  }
+}
+
+TEST(Export, GhzRoundTrip) {
+  const Qubit n = 8;
+  Package p{n};
+  vEdge s = p.makeZeroState();
+  for (const auto& op : circuits::ghz(n)) {
+    s = p.multiply(p.makeGateDD(op), s);
+  }
+  const auto arr = p.toArray(s);
+  EXPECT_NEAR(std::abs(arr.front()), SQRT2_INV, 1e-10);
+  EXPECT_NEAR(std::abs(arr.back()), SQRT2_INV, 1e-10);
+  // GHZ has a compact DD: the |0...0> and |1...1> chains give 2n - 1 nodes.
+  EXPECT_LE(p.nodeCount(s), static_cast<std::size_t>(2 * n));
+}
+
+TEST(Export, InnerProductOfNormalizedStateIsOne) {
+  const Qubit n = 5;
+  Package p{n};
+  const vEdge e = p.fromArray(test::randomState(n, 31));
+  const Complex ip = p.innerProduct(e, e);
+  EXPECT_NEAR(ip.real(), 1.0, 1e-9);
+  EXPECT_NEAR(ip.imag(), 0.0, 1e-9);
+}
+
+TEST(Export, InnerProductMatchesDense) {
+  const Qubit n = 4;
+  Package p{n};
+  const auto va = test::randomState(n, 32);
+  const auto vb = test::randomState(n, 33);
+  Complex ref{};
+  for (Index i = 0; i < va.size(); ++i) {
+    ref += std::conj(va[i]) * vb[i];
+  }
+  const Complex ip = p.innerProduct(p.fromArray(va), p.fromArray(vb));
+  EXPECT_NEAR(std::abs(ip - ref), 0.0, 1e-9);
+}
+
+TEST(Export, InnerProductOrthogonalBasisStates) {
+  Package p{4};
+  const Complex ip =
+      p.innerProduct(p.makeBasisState(3), p.makeBasisState(12));
+  EXPECT_EQ(ip, Complex{});
+}
+
+TEST(Export, NodeCountZeroEdge) {
+  Package p{4};
+  EXPECT_EQ(p.nodeCount(vEdge::zero()), 0u);
+  EXPECT_EQ(p.nodeCount(mEdge::zero()), 0u);
+}
+
+TEST(Export, GetAmplitudeOutOfRangeThrows) {
+  Package p{3};
+  EXPECT_THROW((void)p.getAmplitude(p.makeZeroState(), 8), std::out_of_range);
+}
+
+TEST(Export, IrregularStateHasLargeDD) {
+  // Sanity for the paper's core premise: an irregular random vector needs
+  // close to 2^n - 1 nodes, while a product state needs n.
+  const Qubit n = 8;
+  Package p{n};
+  const vEdge irregular = p.fromArray(test::randomState(n, 55));
+  EXPECT_GT(p.nodeCount(irregular), (std::size_t{1} << (n - 1)));
+  const vEdge product = p.makeBasisState(77);
+  EXPECT_EQ(p.nodeCount(product), static_cast<std::size_t>(n));
+}
+
+}  // namespace
+}  // namespace fdd::dd

@@ -1,0 +1,184 @@
+// DD package core: node construction and normalization invariants, canonicity
+// (structural sharing), basis states, amplitude queries, ref counting and
+// garbage collection.
+
+#include <gtest/gtest.h>
+
+#include "dd/package.hpp"
+#include "helpers.hpp"
+
+namespace fdd::dd {
+namespace {
+
+TEST(Package, RejectsBadQubitCounts) {
+  EXPECT_THROW(Package(0), std::invalid_argument);
+  EXPECT_THROW(Package(41), std::invalid_argument);
+  EXPECT_NO_THROW(Package(1));
+}
+
+TEST(Package, ZeroStateAmplitudes) {
+  Package p{3};
+  const vEdge s = p.makeZeroState();
+  EXPECT_NEAR(std::abs(p.getAmplitude(s, 0) - Complex{1.0}), 0.0, 1e-12);
+  for (Index i = 1; i < 8; ++i) {
+    EXPECT_EQ(p.getAmplitude(s, i), Complex{});
+  }
+}
+
+TEST(Package, BasisStateAmplitudes) {
+  Package p{4};
+  for (const Index basis : {0ULL, 1ULL, 5ULL, 15ULL}) {
+    const vEdge s = p.makeBasisState(basis);
+    for (Index i = 0; i < 16; ++i) {
+      const Complex amp = p.getAmplitude(s, i);
+      if (i == basis) {
+        EXPECT_NEAR(std::abs(amp - Complex{1.0}), 0.0, 1e-12);
+      } else {
+        EXPECT_EQ(amp, Complex{});
+      }
+    }
+  }
+}
+
+TEST(Package, BasisStateOutOfRangeThrows) {
+  Package p{3};
+  EXPECT_THROW((void)p.makeBasisState(8), std::out_of_range);
+}
+
+TEST(Package, BasisStatesShareStructure) {
+  // |000> and |001> share the upper levels' zero branches; more importantly,
+  // building the same state twice must return the identical root node.
+  Package p{5};
+  const vEdge a = p.makeBasisState(19);
+  const vEdge b = p.makeBasisState(19);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_TRUE(weightEqual(a.w, b.w));
+}
+
+TEST(Package, NodeCountOfBasisStateIsN) {
+  Package p{6};
+  const vEdge s = p.makeBasisState(0b101010);
+  EXPECT_EQ(p.nodeCount(s), 6u);
+}
+
+TEST(Package, NormalizationMakesLargestWeightOne) {
+  Package p{1};
+  const vEdge e = p.makeVectorNode(
+      0, {vEdge{vNode::terminal(), p.canonical({0.6, 0.0})},
+          vEdge{vNode::terminal(), p.canonical({0.8, 0.0})}});
+  // Larger magnitude is the second child -> its normalized weight must be 1.
+  EXPECT_TRUE(weightEqual(e.n->e[1].w, Complex{1.0}));
+  EXPECT_NEAR(std::abs(e.w - Complex{0.8}), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(e.n->e[0].w - Complex{0.75}), 0.0, 1e-10);
+}
+
+TEST(Package, NormalizationLeftmostWinsOnTies) {
+  Package p{1};
+  const vEdge e = p.makeVectorNode(
+      0, {vEdge{vNode::terminal(), p.canonical({SQRT2_INV, 0.0})},
+          vEdge{vNode::terminal(), p.canonical({-SQRT2_INV, 0.0})}});
+  EXPECT_TRUE(weightEqual(e.n->e[0].w, Complex{1.0}));
+  EXPECT_NEAR(std::abs(e.n->e[1].w + Complex{1.0}), 0.0, 1e-10);
+}
+
+TEST(Package, AllZeroChildrenCollapseToZeroEdge) {
+  Package p{2};
+  const vEdge e = p.makeVectorNode(0, {vEdge::zero(), vEdge::zero()});
+  EXPECT_TRUE(e.isZero());
+  EXPECT_TRUE(e.isTerminal());
+}
+
+TEST(Package, IdenticalContentsShareOneNode) {
+  Package p{2};
+  auto mk = [&] {
+    const vEdge lo = p.makeVectorNode(
+        0, {vEdge::one(), vEdge{vNode::terminal(), p.canonical({0.5, 0.5})}});
+    return p.makeVectorNode(1, {lo, lo});
+  };
+  const vEdge a = mk();
+  const vEdge b = mk();
+  EXPECT_EQ(a.n, b.n);
+}
+
+TEST(Package, JitteredWeightsStillShare) {
+  // Weights differing by less than the tolerance must produce the same node.
+  Package p{1, 1e-10};
+  const vEdge a = p.makeVectorNode(
+      0, {vEdge{vNode::terminal(), p.canonical({0.6, 0.0})},
+          vEdge{vNode::terminal(), p.canonical({0.8, 0.0})}});
+  const vEdge b = p.makeVectorNode(
+      0, {vEdge{vNode::terminal(), p.canonical({0.6 + 1e-12, 0.0})},
+          vEdge{vNode::terminal(), p.canonical({0.8 - 1e-12, 0.0})}});
+  EXPECT_EQ(a.n, b.n);
+}
+
+TEST(Package, GarbageCollectionReclaimsUnreferencedNodes) {
+  Package p{8};
+  const vEdge keep = p.makeBasisState(17);
+  p.incRef(keep);
+  // Create garbage: many basis states never referenced.
+  for (Index i = 0; i < 200; ++i) {
+    (void)p.makeBasisState(i);
+  }
+  const std::size_t before = p.stats().vNodesLive;
+  p.garbageCollect(true);
+  const std::size_t after = p.stats().vNodesLive;
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 8u);  // the referenced state (8 nodes) must survive
+  // And the kept state must still answer amplitude queries correctly.
+  EXPECT_NEAR(std::abs(p.getAmplitude(keep, 17) - Complex{1.0}), 0.0, 1e-12);
+}
+
+TEST(Package, GcKeepsSharedInteriorNodes) {
+  Package p{4};
+  vEdge state = p.makeZeroState();
+  p.incRef(state);
+  const mEdge h = p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), 0);
+  const vEdge next = p.multiply(h, state);
+  p.incRef(next);
+  p.decRef(state);
+  p.garbageCollect(true);
+  // next must be fully intact.
+  EXPECT_NEAR(std::abs(p.getAmplitude(next, 0) - Complex{SQRT2_INV}), 0.0,
+              1e-10);
+  EXPECT_NEAR(std::abs(p.getAmplitude(next, 1) - Complex{SQRT2_INV}), 0.0,
+              1e-10);
+}
+
+TEST(Package, StatsReportLiveCounts) {
+  Package p{5};
+  const vEdge s = p.makeBasisState(7);
+  p.incRef(s);
+  const PackageStats st = p.stats();
+  EXPECT_GE(st.vNodesLive, 5u);
+  EXPECT_GT(st.memoryBytes, 0u);
+  EXPECT_GE(st.peakVNodes, st.vNodesLive);
+}
+
+TEST(Package, IdentityLeavesStatesUntouched) {
+  Package p{4};
+  const mEdge id = p.makeIdent(3);
+  const vEdge s = p.makeBasisState(9);
+  const vEdge r = p.multiply(id, s);
+  EXPECT_EQ(r.n, s.n);
+  EXPECT_NEAR(std::abs(r.w - s.w), 0.0, 1e-12);
+}
+
+TEST(Package, IdentityIsCached) {
+  Package p{4};
+  const mEdge a = p.makeIdent(3);
+  const mEdge b = p.makeIdent(3);
+  EXPECT_EQ(a.n, b.n);
+  p.garbageCollect(true);  // pinned: must survive GC
+  const mEdge c = p.makeIdent(3);
+  EXPECT_EQ(a.n, c.n);
+}
+
+TEST(Package, IdentityNodeCountIsLinear) {
+  Package p{10};
+  const mEdge id = p.makeIdent(9);
+  EXPECT_EQ(p.nodeCount(id), 10u);
+}
+
+}  // namespace
+}  // namespace fdd::dd

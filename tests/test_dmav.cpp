@@ -1,0 +1,172 @@
+// DMAV without caching (Algorithm 1): equivalence with the dense reference
+// across gates, thread counts, and circuit-long chains; assignment-structure
+// invariants (task counts, disjoint output rows, border level).
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "dd/package.hpp"
+#include "flatdd/dmav.hpp"
+#include "helpers.hpp"
+
+namespace fdd::flat {
+namespace {
+
+TEST(DmavUnit, ClampThreads) {
+  EXPECT_EQ(clampDmavThreads(10, 0), 1u);
+  EXPECT_EQ(clampDmavThreads(10, 1), 1u);
+  EXPECT_EQ(clampDmavThreads(10, 3), 2u);
+  EXPECT_EQ(clampDmavThreads(10, 8), 8u);
+  EXPECT_EQ(clampDmavThreads(2, 16), 4u);  // at most 2^n
+}
+
+TEST(DmavUnit, BorderLevelFormula) {
+  dd::Package p{6};
+  const dd::mEdge id = p.makeIdent(5);
+  const RowAssignment a = assignRowSpace(id, 6, 4);
+  EXPECT_EQ(a.threads, 4u);
+  EXPECT_EQ(a.h, Index{16});
+  EXPECT_EQ(a.borderLevel, 3);  // n - log2(t) - 1 = 6 - 2 - 1
+}
+
+TEST(DmavUnit, IdentityAssignmentIsDiagonal) {
+  // The identity DD has only diagonal blocks, so each thread gets exactly
+  // one task, pairing row block u with column block u.
+  const Qubit n = 6;
+  dd::Package p{n};
+  const RowAssignment a = assignRowSpace(p.makeIdent(n - 1), n, 8);
+  for (unsigned u = 0; u < a.threads; ++u) {
+    ASSERT_EQ(a.perThread[u].size(), 1u);
+    EXPECT_EQ(a.perThread[u][0].start, u * a.h);
+  }
+}
+
+TEST(DmavUnit, DenseGateOnTopQubitSplitsAllThreads) {
+  // H on the topmost qubit has 4 nonzero blocks at the root: with t=2 each
+  // thread gets 2 tasks (its row against both column halves).
+  const Qubit n = 5;
+  dd::Package p{n};
+  const dd::mEdge h =
+      p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), n - 1);
+  const RowAssignment a = assignRowSpace(h, n, 2);
+  ASSERT_EQ(a.perThread.size(), 2u);
+  EXPECT_EQ(a.perThread[0].size(), 2u);
+  EXPECT_EQ(a.perThread[1].size(), 2u);
+}
+
+class DmavGates
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+qc::Operation gateByIndex(int idx) {
+  switch (idx) {
+    case 0: return {qc::GateKind::H, 0, {}, {}};
+    case 1: return {qc::GateKind::H, 5, {}, {}};
+    case 2: return {qc::GateKind::X, 3, {0}, {}};
+    case 3: return {qc::GateKind::X, 0, {5}, {}};
+    case 4: return {qc::GateKind::Z, 2, {1, 4}, {}};
+    case 5: return {qc::GateKind::RY, 4, {}, {0.77}};
+    case 6: return {qc::GateKind::P, 1, {3}, {1.1}};
+    default: return {qc::GateKind::U3, 2, {}, {0.3, 0.6, 0.9}};
+  }
+}
+
+TEST_P(DmavGates, MatchesDenseReference) {
+  const auto [idx, threads] = GetParam();
+  const Qubit n = 6;
+  const qc::Operation op = gateByIndex(idx);
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD(op);
+  const auto v = test::randomState(n, 100 + static_cast<std::uint64_t>(idx));
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  dmav(m, n, in, out, threads);
+  const auto ref = test::denseApply(test::denseOperator(op, n), v);
+  EXPECT_STATE_NEAR(out, ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GatesTimesThreads, DmavGates,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)));
+
+TEST(Dmav, WholeCircuitViaDmavMatchesDense) {
+  const Qubit n = 6;
+  const auto circuit = circuits::supremacy(n, 5, 12);
+  dd::Package p{n};
+  AlignedVector<Complex> v(Index{1} << n, Complex{});
+  v[0] = Complex{1.0};
+  AlignedVector<Complex> w(v.size());
+  for (const auto& op : circuit) {
+    dmav(p.makeGateDD(op), n, v, w, 4);
+    std::swap(v, w);
+  }
+  EXPECT_STATE_NEAR(v, test::denseSimulate(circuit), 1e-9);
+}
+
+TEST(Dmav, NormPreservedAcrossThreads) {
+  const Qubit n = 8;
+  dd::Package p{n};
+  const auto v = test::randomState(n, 200);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  const dd::mEdge m = p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), 4);
+  for (const unsigned t : {1u, 2u, 4u, 8u, 16u}) {
+    dmav(m, n, in, out, t);
+    fp norm = 0;
+    for (const auto& amp : out) {
+      norm += norm2(amp);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Dmav, FusedMatrixMatchesSequentialApplication) {
+  // DMAV with a DDMM-fused matrix equals two sequential DMAVs (Fig. 9).
+  const Qubit n = 5;
+  dd::Package p{n};
+  const auto c = test::randomCircuit(n, 2, 13);
+  const dd::mEdge m1 = p.makeGateDD(c[0]);
+  const dd::mEdge m2 = p.makeGateDD(c[1]);
+  const dd::mEdge fused = p.multiply(m2, m1);
+
+  const auto v = test::randomState(n, 14);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> mid(v.size());
+  AlignedVector<Complex> seq(v.size());
+  dmav(m1, n, in, mid, 4);
+  dmav(m2, n, mid, seq, 4);
+
+  AlignedVector<Complex> fus(v.size());
+  dmav(fused, n, in, fus, 4);
+  EXPECT_STATE_NEAR(fus, seq, 1e-10);
+}
+
+TEST(Dmav, AliasedVectorsThrow) {
+  dd::Package p{3};
+  AlignedVector<Complex> v(8);
+  EXPECT_THROW(dmav(p.makeIdent(2), 3, v, v, 2), std::invalid_argument);
+}
+
+TEST(Dmav, WrongSizesThrow) {
+  dd::Package p{3};
+  AlignedVector<Complex> v(8);
+  AlignedVector<Complex> w(4);
+  EXPECT_THROW(dmav(p.makeIdent(2), 3, v, w, 2), std::invalid_argument);
+}
+
+TEST(Dmav, MaximalThreadCountEqualsDimension) {
+  // t = 2^n drives the border level to -1: every task is a terminal edge.
+  const Qubit n = 3;
+  dd::Package p{n};
+  const qc::Operation op{qc::GateKind::H, 1, {}, {}};
+  const auto v = test::randomState(n, 15);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  dmav(p.makeGateDD(op), n, in, out, 8);
+  EXPECT_STATE_NEAR(out, test::denseApply(test::denseOperator(op, n), v),
+                    1e-11);
+}
+
+}  // namespace
+}  // namespace fdd::flat

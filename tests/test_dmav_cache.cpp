@@ -1,0 +1,188 @@
+// DMAV with caching (Algorithm 2): equivalence with the uncached kernel and
+// the dense reference, column-assignment invariants, buffer sharing, cache
+// hit accounting.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "dd/package.hpp"
+#include "flatdd/dmav_cache.hpp"
+#include "helpers.hpp"
+
+namespace fdd::flat {
+namespace {
+
+TEST(ColumnAssign, IdentityGetsOneBufferTotal) {
+  // Identity: thread u writes rows [u*h,(u+1)*h) only — all threads can
+  // share one buffer.
+  const Qubit n = 6;
+  dd::Package p{n};
+  const ColumnAssignment a = assignColumnSpace(p.makeIdent(n - 1), n, 8);
+  EXPECT_EQ(a.numBuffers, 1u);
+  for (const unsigned b : a.bufferOf) {
+    EXPECT_EQ(b, 0u);
+  }
+}
+
+TEST(ColumnAssign, DenseTopGateNeedsTwoBuffers) {
+  // H on the top qubit: each thread writes both row halves -> threads in
+  // different column halves overlap pairwise... in fact every thread writes
+  // every row block it touches, so sharing is limited.
+  const Qubit n = 5;
+  dd::Package p{n};
+  const dd::mEdge h =
+      p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), n - 1);
+  const ColumnAssignment a = assignColumnSpace(h, n, 2);
+  // Both threads write rows {0, h}: no sharing possible.
+  EXPECT_EQ(a.numBuffers, 2u);
+}
+
+TEST(ColumnAssign, TaskStartsAreRowOffsets) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  const ColumnAssignment a = assignColumnSpace(p.makeIdent(n - 1), n, 4);
+  for (unsigned u = 0; u < a.threads; ++u) {
+    ASSERT_EQ(a.perThread[u].size(), 1u);
+    // Identity pairs column block u with row block u.
+    EXPECT_EQ(a.perThread[u][0].start, u * a.h);
+  }
+}
+
+class CachedGates
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+qc::Operation cachedGateByIndex(int idx) {
+  switch (idx) {
+    case 0: return {qc::GateKind::H, 0, {}, {}};
+    case 1: return {qc::GateKind::H, 5, {}, {}};
+    case 2: return {qc::GateKind::X, 3, {0}, {}};
+    case 3: return {qc::GateKind::X, 0, {5}, {}};
+    case 4: return {qc::GateKind::Z, 2, {1, 4}, {}};
+    case 5: return {qc::GateKind::RY, 4, {}, {0.77}};
+    case 6: return {qc::GateKind::SW, 5, {}, {}};
+    default: return {qc::GateKind::U3, 2, {}, {0.3, 0.6, 0.9}};
+  }
+}
+
+TEST_P(CachedGates, MatchesDenseReference) {
+  const auto [idx, threads] = GetParam();
+  const Qubit n = 6;
+  const qc::Operation op = cachedGateByIndex(idx);
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD(op);
+  const auto v = test::randomState(n, 300 + static_cast<std::uint64_t>(idx));
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  DmavWorkspace ws;
+  dmavCached(m, n, in, out, threads, ws);
+  const auto ref = test::denseApply(test::denseOperator(op, n), v);
+  EXPECT_STATE_NEAR(out, ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GatesTimesThreads, CachedGates,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)));
+
+TEST(DmavCache, AgreesWithUncachedOnWholeCircuits) {
+  const Qubit n = 7;
+  for (const auto& circuit :
+       {circuits::supremacy(n, 4, 21), circuits::dnn(n, 2, 22),
+        circuits::qft(n, 13)}) {
+    dd::Package p{n};
+    AlignedVector<Complex> v1(Index{1} << n, Complex{});
+    v1[0] = Complex{1.0};
+    AlignedVector<Complex> v2 = v1;
+    AlignedVector<Complex> w1(v1.size());
+    AlignedVector<Complex> w2(v1.size());
+    DmavWorkspace ws;
+    for (const auto& op : circuit) {
+      const dd::mEdge m = p.makeGateDD(op);
+      dmav(m, n, v1, w1, 4);
+      dmavCached(m, n, v2, w2, 4, ws);
+      std::swap(v1, w1);
+      std::swap(v2, w2);
+    }
+    EXPECT_STATE_NEAR(v1, v2, 1e-10) << circuit.name();
+  }
+}
+
+TEST(DmavCache, HitsOccurOnRepeatedSubMatrices) {
+  // A dense gate on the *top* qubit gives every thread two tasks whose
+  // sub-matrix is the same node with different coefficients (the ±1/sqrt(2)
+  // Hadamard blocks) — exactly the reuse of Fig. 6; the cache must hit.
+  const Qubit n = 8;
+  dd::Package p{n};
+  const dd::mEdge m =
+      p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), n - 1);
+  const auto v = test::randomState(n, 23);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  DmavWorkspace ws;
+  const DmavCacheStats s = dmavCached(m, n, in, out, 4, ws);
+  EXPECT_GT(s.cacheHits, 0u);
+  EXPECT_STATE_NEAR(
+      out,
+      test::denseApply(
+          test::denseOperator({qc::GateKind::H, n - 1, {}, {}}, n), v),
+      1e-11);
+}
+
+TEST(DmavCache, NoHitsOnIdentityAssignment) {
+  // The identity produces exactly one task per thread: nothing to reuse.
+  const Qubit n = 6;
+  dd::Package p{n};
+  const auto v = test::randomState(n, 24);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  DmavWorkspace ws;
+  const DmavCacheStats s = dmavCached(p.makeIdent(n - 1), n, in, out, 4, ws);
+  EXPECT_EQ(s.cacheHits, 0u);
+  EXPECT_STATE_NEAR(out, v, 1e-12);
+}
+
+TEST(DmavCache, StatsCountTasksAndBuffers) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  const dd::mEdge h =
+      p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), n - 1);
+  const auto v = test::randomState(n, 25);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  DmavWorkspace ws;
+  const DmavCacheStats s = dmavCached(h, n, in, out, 2, ws);
+  EXPECT_EQ(s.tasks, 4u);    // 2 threads x 2 row blocks
+  EXPECT_EQ(s.buffers, 2u);  // overlapping rows -> no sharing
+}
+
+TEST(DmavCache, WorkspaceIsReusableAcrossGates) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  DmavWorkspace ws;
+  AlignedVector<Complex> v(Index{1} << n, Complex{});
+  v[0] = Complex{1.0};
+  AlignedVector<Complex> w(v.size());
+  const auto circuit = circuits::vqe(n, 2, 26);
+  for (const auto& op : circuit) {
+    dmavCached(p.makeGateDD(op), n, v, w, 4, ws);
+    std::swap(v, w);
+  }
+  fp norm = 0;
+  for (const auto& amp : v) {
+    norm += norm2(amp);
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+  EXPECT_GT(ws.memoryBytes(), 0u);
+}
+
+TEST(DmavCache, AliasedVectorsThrow) {
+  dd::Package p{3};
+  AlignedVector<Complex> v(8);
+  DmavWorkspace ws;
+  EXPECT_THROW(dmavCached(p.makeIdent(2), 3, v, v, 2, ws),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdd::flat

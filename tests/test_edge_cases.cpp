@@ -1,0 +1,173 @@
+// Boundary conditions across the public API that no other suite pins down.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "flatdd/conversion.hpp"
+#include "flatdd/dmav.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "helpers.hpp"
+#include "qasm/lexer.hpp"
+#include "qasm/parser.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/observables.hpp"
+
+namespace fdd {
+namespace {
+
+TEST(FlatDDEdge, TriggerOnFinalGateStaysInDD) {
+  // Forcing the conversion threshold at exactly the last gate leaves no
+  // remaining work for DMAV; FlatDD must not convert.
+  const auto circuit = circuits::ghz(6);  // 6 gates
+  flat::FlatDDOptions opt;
+  opt.threads = 2;
+  opt.forceConversionAtGate = circuit.numGates();
+  flat::FlatDDSimulator sim{6, opt};
+  sim.simulate(circuit);
+  EXPECT_FALSE(sim.stats().converted);
+  EXPECT_EQ(sim.stats().ddGates, circuit.numGates());
+}
+
+TEST(FlatDDEdge, SingleGateCircuit) {
+  qc::Circuit c{3};
+  c.h(1);
+  flat::FlatDDSimulator sim{3, {.threads = 2}};
+  sim.simulate(c);
+  EXPECT_NEAR(std::abs(sim.amplitude(0)), SQRT2_INV, 1e-10);
+  EXPECT_NEAR(std::abs(sim.amplitude(2)), SQRT2_INV, 1e-10);
+}
+
+TEST(FlatDDEdge, EmptyCircuitIsZeroState) {
+  const qc::Circuit c{4};
+  flat::FlatDDSimulator sim{4, {.threads = 2}};
+  sim.simulate(c);
+  EXPECT_FALSE(sim.stats().converted);
+  EXPECT_NEAR(std::abs(sim.amplitude(0) - Complex{1.0}), 0.0, 1e-12);
+}
+
+TEST(FlatDDEdge, FusionSecondsRecordedWhenFusing) {
+  flat::FlatDDOptions opt;
+  opt.threads = 2;
+  opt.fusion = flat::FusionMode::DmavAware;
+  opt.forceConversionAtGate = 1;
+  flat::FlatDDSimulator sim{6, opt};
+  sim.simulate(circuits::vqe(6, 2, 301));
+  EXPECT_TRUE(sim.stats().converted);
+  EXPECT_GT(sim.stats().fusionSeconds, 0.0);
+  EXPECT_LT(sim.stats().dmavGates, circuits::vqe(6, 2, 301).numGates());
+}
+
+TEST(DmavEdge, ThreadCountBeyondPoolIsClamped) {
+  const Qubit n = 5;
+  dd::Package p{n};
+  const auto v = test::randomState(n, 302);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  const dd::mEdge m = p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), 2);
+  // 10000 threads clamps to the pool size (a power of two <= 2^n).
+  flat::dmav(m, n, in, out, 10000);
+  const qc::Operation op{qc::GateKind::H, 2, {}, {}};
+  EXPECT_STATE_NEAR(out, test::denseApply(test::denseOperator(op, n), v),
+                    1e-10);
+}
+
+TEST(ConversionEdge, SingleQubitStates) {
+  dd::Package p{1};
+  const dd::vEdge s = p.fromArray(test::randomState(1, 303));
+  const auto out = flat::ddToArrayParallel(s, 1, 4);
+  EXPECT_STATE_NEAR(out, p.toArray(s), 1e-12);
+}
+
+TEST(ConversionEdge, SupremacyStateHasNoZeroSkips) {
+  // A fully dense random state has no zero edges anywhere.
+  const Qubit n = 8;
+  sim::DDSimulator s{n};
+  s.simulate(circuits::supremacy(n, 8, 304));
+  AlignedVector<Complex> out(Index{1} << n);
+  const auto stats = flat::ddToArrayParallel(s.state(), n, out, 4);
+  EXPECT_EQ(stats.zeroSkips, 0u);
+}
+
+TEST(GeneratorEdge, AdderValidatesWidth) {
+  EXPECT_THROW((void)circuits::adder(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)circuits::adder(31, 0, 0), std::invalid_argument);
+}
+
+TEST(GeneratorEdge, QpeValidatesPrecision) {
+  EXPECT_THROW((void)circuits::qpe(0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)circuits::qpe(31, 0.5), std::invalid_argument);
+}
+
+TEST(GeneratorEdge, GroverExplicitIterationCount) {
+  const auto c1 = circuits::grover(4, 1);
+  const auto c2 = circuits::grover(4, 2);
+  EXPECT_LT(c1.numGates(), c2.numGates());
+}
+
+TEST(GeneratorEdge, WStateMinimumSize) {
+  EXPECT_THROW((void)circuits::wState(1), std::invalid_argument);
+  EXPECT_NO_THROW((void)circuits::wState(2));
+}
+
+TEST(QasmEdge, GateDefWithoutQubitArgsIsAnError) {
+  EXPECT_THROW((void)qasm::parse("qreg q[1]; gate foo { }"),
+               qasm::QasmError);
+}
+
+TEST(QasmEdge, EmptyParameterListAllowed) {
+  const auto c = qasm::parse("qreg q[1]; gate foo() a { x a; } foo() q[0];");
+  ASSERT_EQ(c.numGates(), 1u);
+  EXPECT_EQ(c[0].kind, qc::GateKind::X);
+}
+
+TEST(QasmEdge, CrlfLineEndings) {
+  const auto c =
+      qasm::parse("qreg q[2];\r\nh q[0];\r\ncx q[0],q[1];\r\n");
+  EXPECT_EQ(c.numGates(), 2u);
+}
+
+TEST(QasmEdge, CommentAtEndOfFileWithoutNewline) {
+  const auto c = qasm::parse("qreg q[1]; h q[0]; // trailing comment");
+  EXPECT_EQ(c.numGates(), 1u);
+}
+
+TEST(PauliEdge, IdentityExpectationIsNorm) {
+  const auto v = test::randomState(4, 305);
+  const auto e = sim::expectation(v, sim::PauliString{});
+  EXPECT_NEAR(e.real(), 1.0, 1e-10);  // normalized state
+}
+
+TEST(ArraySimEdge, SingleQubitSimulator) {
+  sim::ArraySimulator s{1};
+  s.applyOperation({qc::GateKind::H, 0, {}, {}});
+  s.applyOperation({qc::GateKind::Z, 0, {}, {}});
+  s.applyOperation({qc::GateKind::H, 0, {}, {}});
+  // HZH = X
+  EXPECT_NEAR(std::abs(s.amplitude(1) - Complex{1.0}), 0.0, 1e-12);
+}
+
+TEST(DDSimEdge, ResetBetweenCircuits) {
+  sim::DDSimulator s{4};
+  s.simulate(circuits::ghz(4));
+  s.reset();
+  EXPECT_EQ(s.gatesApplied(), 0u);
+  s.simulate(circuits::wState(4));
+  // W state: P(exactly one |1>) == 1.
+  fp total = 0;
+  for (const Index i : {1u, 2u, 4u, 8u}) {
+    total += norm2(s.amplitude(i));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PackageEdge, MaxSupportedQubitCountConstructs) {
+  // Construction must not allocate 2^n anything (DD packages are lazy).
+  dd::Package p{40};
+  const dd::vEdge s = p.makeBasisState(0);
+  EXPECT_EQ(p.nodeCount(s), 40u);
+}
+
+}  // namespace
+}  // namespace fdd

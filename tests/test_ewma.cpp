@@ -1,0 +1,103 @@
+// EWMA conversion trigger (Section 3.1.1).
+
+#include <gtest/gtest.h>
+
+#include "flatdd/ewma.hpp"
+
+namespace fdd::flat {
+namespace {
+
+TEST(Ewma, ValidatesParameters) {
+  EXPECT_THROW(EwmaMonitor(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(EwmaMonitor(1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(EwmaMonitor(-0.5, 2.0), std::invalid_argument);
+  EXPECT_THROW(EwmaMonitor(0.9, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(EwmaMonitor(0.9, 2.0));
+}
+
+TEST(Ewma, FlatSizesNeverTrigger) {
+  EwmaMonitor m{0.9, 2.0, 4, 16};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(m.observe(1000)) << "i=" << i;
+  }
+}
+
+TEST(Ewma, SlowLinearGrowthDoesNotTrigger) {
+  EwmaMonitor m{0.9, 2.0, 8, 16};
+  std::size_t size = 100;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(m.observe(size)) << "i=" << i;
+    size += 2;  // ~2% per step, far below the 2x threshold
+  }
+}
+
+TEST(Ewma, SuddenSpikeTriggers) {
+  EwmaMonitor m{0.9, 2.0, 4, 16};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(m.observe(100));
+  }
+  EXPECT_TRUE(m.observe(1000));  // 10x the moving average
+}
+
+TEST(Ewma, ExponentialGrowthTriggersEventually) {
+  EwmaMonitor m{0.9, 2.0, 4, 16};
+  fp size = 32;
+  bool triggered = false;
+  int triggerStep = -1;
+  for (int i = 0; i < 60 && !triggered; ++i) {
+    triggered = m.observe(static_cast<std::size_t>(size));
+    triggerStep = i;
+    size *= 1.6;  // DD blow-up on irregular circuits is geometric
+  }
+  EXPECT_TRUE(triggered);
+  EXPECT_GT(triggerStep, 3);  // not during warmup
+}
+
+TEST(Ewma, WarmupSuppressesEarlyTrigger) {
+  EwmaMonitor m{0.9, 2.0, 10, 1};
+  // A massive first observation would trigger a raw EWMA immediately.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(m.observe(1 << 20));
+  }
+}
+
+TEST(Ewma, MinSizeSuppressesTinyDDs) {
+  EwmaMonitor m{0.9, 2.0, 2, 1000};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(m.observe(10));
+  }
+  EXPECT_FALSE(m.observe(500));  // 50x spike but below minSize
+}
+
+TEST(Ewma, BiasCorrectedValueTracksMean) {
+  EwmaMonitor m{0.9, 2.0, 1, 1};
+  for (int i = 0; i < 100; ++i) {
+    (void)m.observe(250);
+  }
+  EXPECT_NEAR(m.value(), 250.0, 1e-6);
+}
+
+TEST(Ewma, BiasCorrectionAvoidsColdStartUnderestimate) {
+  EwmaMonitor m{0.9, 2.0, 1, 1};
+  (void)m.observe(100);
+  // Raw EWMA would be 10; corrected must be 100.
+  EXPECT_NEAR(m.value(), 100.0, 1e-9);
+}
+
+TEST(Ewma, ResetClearsHistory) {
+  EwmaMonitor m{0.9, 2.0, 2, 1};
+  (void)m.observe(100);
+  (void)m.observe(100);
+  m.reset();
+  EXPECT_EQ(m.observations(), 0u);
+  EXPECT_EQ(m.value(), 0.0);
+}
+
+TEST(Ewma, PaperDefaultsExposed) {
+  EwmaMonitor m;
+  EXPECT_DOUBLE_EQ(m.beta(), 0.9);
+  EXPECT_DOUBLE_EQ(m.epsilon(), 2.0);
+}
+
+}  // namespace
+}  // namespace fdd::flat

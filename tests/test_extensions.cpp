@@ -1,0 +1,166 @@
+// Tests for library features beyond the paper's algorithms: the
+// Quantum++-faithful MultiIndex kernel, the identity-subtree fast path and
+// its ablation switch, the complex-table garbage collection, and the
+// identity-node marking invariant.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "dd/package.hpp"
+#include "flatdd/dmav.hpp"
+#include "helpers.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd {
+namespace {
+
+TEST(MultiIndexKernel, AgreesWithBitTricks) {
+  const Qubit n = 7;
+  const auto circuit = test::randomCircuit(n, 50, 61);
+  sim::ArraySimulator fast{n, {.indexing = sim::ArrayIndexing::BitTricks}};
+  fast.simulate(circuit);
+  sim::ArraySimulator faithful{
+      n, {.indexing = sim::ArrayIndexing::MultiIndex}};
+  faithful.simulate(circuit);
+  EXPECT_STATE_NEAR(fast.state(), faithful.state(), 1e-12);
+}
+
+TEST(MultiIndexKernel, ThreadedAgreesToo) {
+  const Qubit n = 8;
+  const auto circuit = circuits::supremacy(n, 6, 62);
+  sim::ArraySimulator a{n,
+                        {.threads = 4,
+                         .parallelThresholdDim = 1,
+                         .indexing = sim::ArrayIndexing::MultiIndex}};
+  a.simulate(circuit);
+  sim::ArraySimulator b{n, {.threads = 1}};
+  b.simulate(circuit);
+  EXPECT_STATE_NEAR(a.state(), b.state(), 1e-11);
+}
+
+TEST(IdentFastPath, TogglePreservesResults) {
+  const Qubit n = 7;
+  dd::Package p{n};
+  const qc::Operation op{qc::GateKind::U3, 2, {5}, {0.4, 0.8, 1.2}};
+  const dd::mEdge m = p.makeGateDD(op);
+  const auto v = test::randomState(n, 63);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> fast(v.size());
+  AlignedVector<Complex> scalar(v.size());
+
+  ASSERT_TRUE(flat::identFastPathEnabled());
+  flat::dmav(m, n, in, fast, 2);
+  flat::setIdentFastPath(false);
+  EXPECT_FALSE(flat::identFastPathEnabled());
+  flat::dmav(m, n, in, scalar, 2);
+  flat::setIdentFastPath(true);
+
+  EXPECT_STATE_NEAR(fast, scalar, 1e-12);
+  const auto ref = test::denseApply(test::denseOperator(op, n), v);
+  EXPECT_STATE_NEAR(fast, ref, 1e-11);
+}
+
+TEST(IdentMarking, IdentityNodesAreMarked) {
+  dd::Package p{8};
+  const dd::mEdge id = p.makeIdent(7);
+  EXPECT_TRUE(id.n->ident);
+  // Every node along the identity chain is marked.
+  const dd::mNode* cur = id.n;
+  while (!cur->isTerminal()) {
+    EXPECT_TRUE(cur->ident);
+    cur = cur->e[0].n;
+  }
+}
+
+TEST(IdentMarking, GateDDsContainMarkedIdentitySubtrees) {
+  // A gate on qubit k has pure-identity subtrees below level k.
+  dd::Package p{8};
+  const dd::mEdge h = p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), 5);
+  EXPECT_FALSE(h.n->ident);  // the root is not an identity
+  // Walk down the diagonal to the target level; below it sits identity.
+  const dd::mNode* cur = h.n;
+  for (int level = 7; level > 5; --level) {
+    cur = cur->e[0].n;
+  }
+  // cur is the H-level node; its nonzero children are identities.
+  for (const auto& child : cur->e) {
+    if (!child.isZero() && !child.isTerminal()) {
+      EXPECT_TRUE(child.n->ident);
+    }
+  }
+}
+
+TEST(IdentMarking, NonIdentityDiagonalIsNotMarked) {
+  dd::Package p{4};
+  const dd::mEdge rz =
+      p.makeGateDD(qc::gateMatrix(qc::GateKind::RZ, {0.7}), 0);
+  // RZ is diagonal but not the identity; no node of it may claim ident.
+  std::vector<const dd::mNode*> stack{rz.n};
+  while (!stack.empty()) {
+    const dd::mNode* n = stack.back();
+    stack.pop_back();
+    if (n->isTerminal()) {
+      continue;
+    }
+    if (n->ident) {
+      // Only genuine identity subtrees may be marked; verify by extracting.
+      // An ident node at level l must represent I_{2^(l+1)}.
+      // RZ's subtree below the target *is* the identity, which is fine;
+      // the node containing the e^{±i t} weights is at the target level.
+      EXPECT_GT(n->v, -1);
+    }
+    for (const auto& child : n->e) {
+      if (!child.isZero() && !child.isTerminal()) {
+        stack.push_back(child.n);
+      }
+    }
+  }
+  // The root itself (carrying distinct diagonal phases) must not be ident.
+  EXPECT_FALSE(rz.n->ident);
+}
+
+TEST(ComplexTableGc, RebuildKeepsSimulationCorrect) {
+  // Force many GC cycles with table rebuilds on an irregular circuit and
+  // cross-check the final state.
+  const Qubit n = 8;
+  const auto circuit = circuits::dnn(n, 6, 64);
+  sim::DDSimulator s{n};
+  std::size_t i = 0;
+  for (const auto& op : circuit) {
+    s.applyOperation(op);
+    if (++i % 10 == 0) {
+      s.package().garbageCollect(true);
+    }
+  }
+  sim::ArraySimulator ref{n};
+  ref.simulate(circuit);
+  EXPECT_STATE_NEAR(s.stateVector(), ref.state(), 1e-9);
+}
+
+TEST(ComplexTableGc, MemoryStaysBoundedOnIrregularRuns) {
+  // The complex table must not grow without bound across a long irregular
+  // simulation (the rebuild-on-GC keeps it proportional to live nodes).
+  const Qubit n = 10;
+  sim::DDSimulator s{n};
+  const auto circuit = circuits::dnn(n, 30, 65);
+  s.simulate(circuit);
+  const auto stats = s.package().stats();
+  // Generous bound: a few hundred MB would indicate the leak regressed.
+  EXPECT_LT(stats.memoryBytes, std::size_t{256} * 1024 * 1024);
+}
+
+TEST(InsertExact, PreservesBitPatterns) {
+  dd::ComplexTable t{1e-10};
+  const Complex a{0.123456789, -0.5};
+  const Complex canonical = t.lookup(a);
+  t.clear();
+  t.insertExact(canonical);
+  // Lookup of the exact value returns the exact value.
+  const Complex again = t.lookup(canonical);
+  EXPECT_TRUE(dd::weightEqual(canonical, again));
+}
+
+}  // namespace
+}  // namespace fdd

@@ -1,0 +1,176 @@
+// Gate matrix definitions: unitarity, known algebraic identities, parameter
+// validation, and 2x2 helper algebra.
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "qc/gate.hpp"
+
+namespace fdd::qc {
+namespace {
+
+const std::vector<GateKind> kAllKinds = {
+    GateKind::I,  GateKind::H,    GateKind::X,  GateKind::Y,  GateKind::Z,
+    GateKind::S,  GateKind::Sdg,  GateKind::T,  GateKind::Tdg, GateKind::SX,
+    GateKind::SXdg, GateKind::SY, GateKind::SYdg, GateKind::SW, GateKind::RX,
+    GateKind::RY, GateKind::RZ,   GateKind::P,  GateKind::U2, GateKind::U3};
+
+std::vector<fp> paramsFor(GateKind kind, Xoshiro256& rng) {
+  std::vector<fp> p;
+  for (unsigned i = 0; i < gateParamCount(kind); ++i) {
+    p.push_back(rng.uniform(0, 2 * PI));
+  }
+  return p;
+}
+
+class AllGates : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(AllGates, IsUnitary) {
+  Xoshiro256 rng{99};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto m = gateMatrix(GetParam(), paramsFor(GetParam(), rng));
+    EXPECT_TRUE(isUnitary2(m)) << gateName(GetParam());
+  }
+}
+
+TEST_P(AllGates, NameIsNonEmpty) {
+  EXPECT_FALSE(gateName(GetParam()).empty());
+  EXPECT_NE(gateName(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllGates, ::testing::ValuesIn(kAllKinds));
+
+TEST(Gates, SquareRootsSquareToTheirBase) {
+  const auto check = [](GateKind half, GateKind full) {
+    const auto h = gateMatrix(half, {});
+    const auto f = gateMatrix(full, {});
+    // Squaring may differ by a global phase for these conventions; for SX
+    // and SY the convention here squares exactly to X and Y.
+    EXPECT_LT(matDistance(matMul2(h, h), f), 1e-12)
+        << gateName(half) << "^2 != " << gateName(full);
+  };
+  check(GateKind::SX, GateKind::X);
+  check(GateKind::SY, GateKind::Y);
+}
+
+TEST(Gates, SandTSquare) {
+  const auto s = gateMatrix(GateKind::S, {});
+  const auto z = gateMatrix(GateKind::Z, {});
+  EXPECT_LT(matDistance(matMul2(s, s), z), 1e-12);
+  const auto t = gateMatrix(GateKind::T, {});
+  EXPECT_LT(matDistance(matMul2(t, t), s), 1e-12);
+}
+
+TEST(Gates, DaggersInvert) {
+  const auto id = gateMatrix(GateKind::I, {});
+  EXPECT_LT(matDistance(matMul2(gateMatrix(GateKind::S, {}),
+                                gateMatrix(GateKind::Sdg, {})),
+                        id),
+            1e-12);
+  EXPECT_LT(matDistance(matMul2(gateMatrix(GateKind::T, {}),
+                                gateMatrix(GateKind::Tdg, {})),
+                        id),
+            1e-12);
+  EXPECT_LT(matDistance(matMul2(gateMatrix(GateKind::SX, {}),
+                                gateMatrix(GateKind::SXdg, {})),
+                        id),
+            1e-12);
+}
+
+TEST(Gates, HadamardIsInvolution) {
+  const auto h = gateMatrix(GateKind::H, {});
+  EXPECT_LT(matDistance(matMul2(h, h), gateMatrix(GateKind::I, {})), 1e-12);
+}
+
+TEST(Gates, HXHEqualsZ) {
+  const auto h = gateMatrix(GateKind::H, {});
+  const auto x = gateMatrix(GateKind::X, {});
+  const auto z = gateMatrix(GateKind::Z, {});
+  EXPECT_LT(matDistance(matMul2(matMul2(h, x), h), z), 1e-12);
+}
+
+TEST(Gates, RotationComposition) {
+  Xoshiro256 rng{5};
+  const fp a = rng.uniform(0, PI);
+  const fp b = rng.uniform(0, PI);
+  const auto ra = gateMatrix(GateKind::RZ, {a});
+  const auto rb = gateMatrix(GateKind::RZ, {b});
+  const auto rab = gateMatrix(GateKind::RZ, {a + b});
+  EXPECT_LT(matDistance(matMul2(ra, rb), rab), 1e-12);
+}
+
+TEST(Gates, RyPiEqualsMinusIY) {
+  // RY(pi) = [[0,-1],[1,0]]
+  const auto r = gateMatrix(GateKind::RY, {PI});
+  EXPECT_LT(std::abs(r[0]), 1e-12);
+  EXPECT_LT(std::abs(r[1] + Complex{1.0}), 1e-12);
+  EXPECT_LT(std::abs(r[2] - Complex{1.0}), 1e-12);
+  EXPECT_LT(std::abs(r[3]), 1e-12);
+}
+
+TEST(Gates, U3Specializations) {
+  // u3(0, 0, lambda) has diag(1, e^{i lambda}) — the phase gate.
+  const fp lam = 0.7;
+  const auto u = gateMatrix(GateKind::U3, {0, 0, lam});
+  const auto p = gateMatrix(GateKind::P, {lam});
+  EXPECT_LT(matDistance(u, p), 1e-12);
+  // u3(pi/2, phi, lambda) == u2(phi, lambda).
+  const auto u3 = gateMatrix(GateKind::U3, {PI / 2, 0.3, 0.9});
+  const auto u2 = gateMatrix(GateKind::U2, {0.3, 0.9});
+  EXPECT_LT(matDistance(u3, u2), 1e-12);
+}
+
+TEST(Gates, PhaseGateSpecialCases) {
+  EXPECT_LT(matDistance(gateMatrix(GateKind::P, {PI}),
+                        gateMatrix(GateKind::Z, {})),
+            1e-12);
+  EXPECT_LT(matDistance(gateMatrix(GateKind::P, {PI / 2}),
+                        gateMatrix(GateKind::S, {})),
+            1e-12);
+}
+
+TEST(Gates, MissingParametersThrow) {
+  EXPECT_THROW((void)gateMatrix(GateKind::RX, {}), std::invalid_argument);
+  EXPECT_THROW((void)gateMatrix(GateKind::U3, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)gateMatrix(GateKind::U3, {1.0, 2.0, 3.0}));
+}
+
+TEST(Gates, ParamCounts) {
+  EXPECT_EQ(gateParamCount(GateKind::H), 0u);
+  EXPECT_EQ(gateParamCount(GateKind::RZ), 1u);
+  EXPECT_EQ(gateParamCount(GateKind::U2), 2u);
+  EXPECT_EQ(gateParamCount(GateKind::U3), 3u);
+}
+
+TEST(Gates, AdjointIsConjugateTranspose) {
+  const Matrix2 m{Complex{1, 2}, Complex{3, 4}, Complex{5, 6}, Complex{7, 8}};
+  const Matrix2 a = adjoint2(m);
+  EXPECT_EQ(a[0], std::conj(m[0]));
+  EXPECT_EQ(a[1], std::conj(m[2]));
+  EXPECT_EQ(a[2], std::conj(m[1]));
+  EXPECT_EQ(a[3], std::conj(m[3]));
+}
+
+TEST(Gates, OperationToStringReadable) {
+  Operation op{GateKind::RZ, 3, {1, 2}, {0.5}};
+  const std::string s = op.toString();
+  EXPECT_NE(s.find("ccrz"), std::string::npos);
+  EXPECT_NE(s.find("q3"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+TEST(Gates, SupremacySqrtWUnitary) {
+  const auto sw = gateMatrix(GateKind::SW, {});
+  EXPECT_TRUE(isUnitary2(sw));
+  // sw^2 equals W = (X + Y)/sqrt(2) up to the conventional -i global phase.
+  const auto sq = matMul2(sw, sw);
+  const Complex i{0, 1};
+  const Matrix2 w{Complex{}, (Complex{1.0} - i) * SQRT2_INV,
+                  (Complex{1.0} + i) * SQRT2_INV, Complex{}};
+  const Matrix2 minusIW{-i * w[0], -i * w[1], -i * w[2], -i * w[3]};
+  EXPECT_LT(matDistance(sq, minusIW), 1e-12);
+}
+
+}  // namespace
+}  // namespace fdd::qc

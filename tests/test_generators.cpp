@@ -1,0 +1,234 @@
+// Circuit generators: structural checks plus semantic checks against the
+// dense reference simulator (small sizes).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "helpers.hpp"
+
+namespace fdd::circuits {
+namespace {
+
+TEST(Ghz, StateIsUniformOverExtremes) {
+  const auto c = ghz(4);
+  const auto state = test::denseSimulate(c);
+  EXPECT_NEAR(std::abs(state.front()), SQRT2_INV, 1e-12);
+  EXPECT_NEAR(std::abs(state.back()), SQRT2_INV, 1e-12);
+  fp middle = 0;
+  for (std::size_t i = 1; i + 1 < state.size(); ++i) {
+    middle += std::abs(state[i]);
+  }
+  EXPECT_NEAR(middle, 0.0, 1e-12);
+}
+
+TEST(Ghz, GateCountLinear) {
+  EXPECT_EQ(ghz(10).numGates(), 10u);  // 1 H + 9 CX
+  EXPECT_EQ(ghz(10).numQubits(), 10);
+}
+
+TEST(WState, AmplitudesAreUniformOneHot) {
+  const Qubit n = 5;
+  const auto state = test::denseSimulate(wState(n));
+  const fp expected = 1.0 / std::sqrt(static_cast<fp>(n));
+  for (Index i = 0; i < state.size(); ++i) {
+    const bool oneHot = std::popcount(i) == 1;
+    if (oneHot) {
+      EXPECT_NEAR(std::abs(state[i]), expected, 1e-10) << "i=" << i;
+    } else {
+      EXPECT_NEAR(std::abs(state[i]), 0.0, 1e-10) << "i=" << i;
+    }
+  }
+}
+
+class AdderCases
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(AdderCases, ComputesSum) {
+  const auto [k, a, b] = GetParam();
+  const auto c = adder(static_cast<Qubit>(k), a, b);
+  const auto state = test::denseSimulate(c);
+  // Find the (unique) basis state with amplitude 1.
+  Index hot = 0;
+  int hits = 0;
+  for (Index i = 0; i < state.size(); ++i) {
+    if (std::abs(state[i]) > 0.5) {
+      hot = i;
+      ++hits;
+    }
+  }
+  ASSERT_EQ(hits, 1) << "adder output must stay a basis state";
+  // Decode: b_i at qubit 2i+2, carry-out at the top qubit.
+  std::uint64_t sum = 0;
+  for (int i = 0; i < k; ++i) {
+    sum |= static_cast<std::uint64_t>(testBit(hot, 2 * i + 2)) << i;
+  }
+  sum |= static_cast<std::uint64_t>(testBit(hot, 2 * k + 1)) << k;
+  EXPECT_EQ(sum, a + b);
+  // The a register must be restored.
+  std::uint64_t aOut = 0;
+  for (int i = 0; i < k; ++i) {
+    aOut |= static_cast<std::uint64_t>(testBit(hot, 2 * i + 1)) << i;
+  }
+  EXPECT_EQ(aOut, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sums, AdderCases,
+    ::testing::Values(std::tuple{2, 0ULL, 0ULL}, std::tuple{2, 1ULL, 1ULL},
+                      std::tuple{2, 3ULL, 3ULL}, std::tuple{3, 5ULL, 3ULL},
+                      std::tuple{3, 7ULL, 7ULL}, std::tuple{4, 9ULL, 6ULL},
+                      std::tuple{4, 15ULL, 15ULL}, std::tuple{4, 0ULL, 13ULL}));
+
+TEST(Qft, OfBasisStateHasFlatMagnitudes) {
+  const Qubit n = 4;
+  const auto state = test::denseSimulate(qft(n, 5));
+  const fp expected = 1.0 / std::sqrt(static_cast<fp>(Index{1} << n));
+  for (const auto& amp : state) {
+    EXPECT_NEAR(std::abs(amp), expected, 1e-10);
+  }
+}
+
+TEST(Qft, MatchesAnalyticFormula) {
+  // QFT|x> = sum_k e^{2 pi i x k / 2^n} |k> / sqrt(2^n).
+  const Qubit n = 3;
+  const std::uint64_t x = 3;
+  const auto state = test::denseSimulate(qft(n, x));
+  const Index dim = Index{1} << n;
+  for (Index k = 0; k < dim; ++k) {
+    const fp angle = 2 * PI * static_cast<fp>(x * k) / static_cast<fp>(dim);
+    const Complex expected =
+        Complex{std::cos(angle), std::sin(angle)} / std::sqrt(static_cast<fp>(dim));
+    EXPECT_NEAR(std::abs(state[k] - expected), 0.0, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Grover, AmplifiesMarkedState) {
+  const Qubit n = 5;
+  const auto state = test::denseSimulate(grover(n));
+  const Index marked = (Index{1} << n) - 1;
+  // After optimal iterations the marked probability should dominate.
+  EXPECT_GT(norm2(state[marked]), 0.9);
+}
+
+TEST(Grover, OneIterationKnownAmplitude) {
+  // For n=2, one Grover iteration finds |11> with certainty.
+  const auto state = test::denseSimulate(grover(2, 1));
+  EXPECT_NEAR(norm2(state[3]), 1.0, 1e-10);
+}
+
+TEST(BernsteinVazirani, RecoversSecret) {
+  const Qubit n = 6;
+  const std::uint64_t secret = 0b101101;
+  const auto state = test::denseSimulate(bernsteinVazirani(n, secret));
+  // The data register must be exactly |secret>; the ancilla is in |->.
+  for (Index i = 0; i < state.size(); ++i) {
+    const Index data = i & ((Index{1} << n) - 1);
+    if (data == secret) {
+      EXPECT_NEAR(std::abs(state[i]), SQRT2_INV, 1e-10);
+    } else {
+      EXPECT_NEAR(std::abs(state[i]), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Dnn, StructureAndDeterminism) {
+  const auto a = dnn(6, 3, 42);
+  const auto b = dnn(6, 3, 42);
+  EXPECT_EQ(a, b);
+  const auto c = dnn(6, 3, 43);
+  EXPECT_NE(a, c);
+  // n encoding RY + layers*(2n rot + n CX) + n readout.
+  EXPECT_EQ(a.numGates(), 6u + 3 * (2 * 6 + 6) + 6);
+}
+
+TEST(Dnn, ProducesIrregularState) {
+  // The DNN state should spread over (nearly) all amplitudes.
+  const auto state = test::denseSimulate(dnn(5, 3, 1));
+  std::size_t nonzero = 0;
+  for (const auto& amp : state) {
+    nonzero += (std::abs(amp) > 1e-9);
+  }
+  EXPECT_GT(nonzero, state.size() * 3 / 4);
+}
+
+TEST(Vqe, StructureAndNormPreservation) {
+  const auto c = vqe(5, 2, 3);
+  const auto state = test::denseSimulate(c);
+  fp norm = 0;
+  for (const auto& amp : state) {
+    norm += norm2(amp);
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-10);
+}
+
+TEST(SwapTest, AncillaProbabilityEncodesOverlap) {
+  // P(ancilla = 0) = (1 + |<a|b>|^2) / 2 — the defining property.
+  const Qubit n = 5;  // ancilla + two 2-qubit registers
+  const auto c = swapTest(n, 77);
+  const auto state = test::denseSimulate(c);
+  fp p0 = 0;
+  for (Index i = 0; i < state.size(); ++i) {
+    if (!testBit(i, 0)) {
+      p0 += norm2(state[i]);
+    }
+  }
+  EXPECT_GE(p0, 0.5 - 1e-10);  // overlap^2 >= 0 forces P(0) >= 1/2
+  EXPECT_LE(p0, 1.0 + 1e-10);
+}
+
+TEST(SwapTest, RequiresOddQubitCount) {
+  EXPECT_THROW((void)swapTest(4), std::invalid_argument);
+  EXPECT_THROW((void)knn(6), std::invalid_argument);
+  EXPECT_NO_THROW((void)knn(7));
+}
+
+TEST(Supremacy, GridShapeAndDeterminism) {
+  SupremacyOptions opt;
+  opt.rows = 2;
+  opt.cols = 3;
+  opt.cycles = 4;
+  const auto a = supremacy(opt);
+  const auto b = supremacy(opt);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.numQubits(), 6);
+}
+
+TEST(Supremacy, NoRepeatedSingleQubitGate) {
+  SupremacyOptions opt;
+  opt.rows = 2;
+  opt.cols = 2;
+  opt.cycles = 12;
+  opt.finalHadamards = false;
+  const auto c = supremacy(opt);
+  // Track consecutive 1q gates per qubit (skipping H wall and CZ layers).
+  std::vector<qc::GateKind> last(4, qc::GateKind::I);
+  for (const auto& op : c) {
+    if (op.controls.empty() && op.kind != qc::GateKind::H) {
+      EXPECT_NE(op.kind, last[static_cast<std::size_t>(op.target)]);
+      last[static_cast<std::size_t>(op.target)] = op.kind;
+    }
+  }
+}
+
+TEST(Supremacy, ConvenienceOverloadFactorsGrid) {
+  const auto c = supremacy(12, 3, 5);
+  EXPECT_EQ(c.numQubits(), 12);
+  EXPECT_GT(c.numGates(), 12u * 3);
+}
+
+TEST(Supremacy, StateIsHighlyIrregular) {
+  const auto state = test::denseSimulate(supremacy(8, 8, 3));
+  std::size_t nonzero = 0;
+  for (const auto& amp : state) {
+    nonzero += (std::abs(amp) > 1e-9);
+  }
+  EXPECT_GT(nonzero, state.size() / 2);
+}
+
+}  // namespace
+}  // namespace fdd::circuits

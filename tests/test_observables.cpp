@@ -1,0 +1,243 @@
+// Pauli-string observables, DD sampling, probabilityOfOne, adjoint, mixed
+// DD/array inner products, and the dot exporter.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuits/generators.hpp"
+#include "dd/package.hpp"
+#include "helpers.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/observables.hpp"
+
+namespace fdd {
+namespace {
+
+TEST(PauliString, ParseAndPrintRoundTrip) {
+  const auto p = sim::PauliString::parse("XIZY");
+  EXPECT_EQ(p.toString(4), "XIZY");
+  EXPECT_EQ(p.weight(), 3u);
+  EXPECT_FALSE(p.isIdentity());
+  EXPECT_TRUE(sim::PauliString::parse("IIII").isIdentity());
+}
+
+TEST(PauliString, SetValidates) {
+  sim::PauliString p;
+  EXPECT_THROW(p.set(-1, 'X'), std::out_of_range);
+  EXPECT_THROW(p.set(0, 'Q'), std::invalid_argument);
+  p.set(2, 'Y');
+  EXPECT_EQ(p.toString(3), "YII");
+}
+
+TEST(Expectation, KnownSingleQubitValues) {
+  // |0>: <Z> = 1, <X> = 0. |+>: <X> = 1, <Z> = 0. |i>: <Y> = 1.
+  const std::vector<Complex> zero{Complex{1.0}, Complex{}};
+  EXPECT_NEAR(sim::expectation(zero, sim::PauliString::parse("Z")).real(),
+              1.0, 1e-12);
+  EXPECT_NEAR(sim::expectation(zero, sim::PauliString::parse("X")).real(),
+              0.0, 1e-12);
+  const std::vector<Complex> plus{Complex{SQRT2_INV}, Complex{SQRT2_INV}};
+  EXPECT_NEAR(sim::expectation(plus, sim::PauliString::parse("X")).real(),
+              1.0, 1e-12);
+  const std::vector<Complex> iState{Complex{SQRT2_INV},
+                                    Complex{0.0, SQRT2_INV}};
+  EXPECT_NEAR(sim::expectation(iState, sim::PauliString::parse("Y")).real(),
+              1.0, 1e-12);
+}
+
+TEST(Expectation, GhzCorrelations) {
+  // GHZ: <Z_i Z_j> = 1 for all pairs; <Z_i> = 0; <X...X> = 1.
+  const Qubit n = 5;
+  sim::ArraySimulator s{n};
+  s.simulate(circuits::ghz(n));
+  sim::PauliString zz;
+  zz.set(0, 'Z');
+  zz.set(3, 'Z');
+  EXPECT_NEAR(sim::expectation(s.state(), zz).real(), 1.0, 1e-10);
+  sim::PauliString z;
+  z.set(2, 'Z');
+  EXPECT_NEAR(sim::expectation(s.state(), z).real(), 0.0, 1e-10);
+  EXPECT_NEAR(
+      sim::expectation(s.state(), sim::PauliString::parse("XXXXX")).real(),
+      1.0, 1e-10);
+}
+
+TEST(Expectation, HermitianObservablesAreReal) {
+  const Qubit n = 5;
+  const auto v = test::randomState(n, 81);
+  Xoshiro256 rng{82};
+  for (int trial = 0; trial < 20; ++trial) {
+    sim::PauliString p;
+    for (Qubit q = 0; q < n; ++q) {
+      p.set(q, "IXYZ"[rng.below(4)]);
+    }
+    const Complex e = sim::expectation(v, p);
+    EXPECT_NEAR(e.imag(), 0.0, 1e-10) << p.toString(n);
+    EXPECT_LE(std::abs(e.real()), 1.0 + 1e-10);
+  }
+}
+
+TEST(Expectation, DDAndArrayAgree) {
+  const Qubit n = 6;
+  const auto circuit = circuits::vqe(n, 2, 83);
+  sim::DDSimulator ddSim{n};
+  ddSim.simulate(circuit);
+  sim::ArraySimulator arrSim{n};
+  arrSim.simulate(circuit);
+  Xoshiro256 rng{84};
+  for (int trial = 0; trial < 10; ++trial) {
+    sim::PauliString p;
+    for (Qubit q = 0; q < n; ++q) {
+      p.set(q, "IXYZ"[rng.below(4)]);
+    }
+    const Complex a = sim::expectation(arrSim.state(), p);
+    const Complex d =
+        sim::expectation(ddSim.package(), ddSim.state(), p);
+    EXPECT_NEAR(std::abs(a - d), 0.0, 1e-9) << p.toString(n);
+  }
+}
+
+TEST(Hamiltonian, TfimGroundishEnergyNegative) {
+  const Qubit n = 6;
+  const auto ham = sim::tfim(n, 1.0, 0.5);
+  EXPECT_EQ(ham.terms.size(), static_cast<std::size_t>(2 * n - 1));
+  // All-zero state: <H> = -J(n-1).
+  sim::ArraySimulator s{n};
+  EXPECT_NEAR(ham.expectation(s.state()), -(n - 1.0), 1e-10);
+}
+
+TEST(Hamiltonian, DDAndArrayAgree) {
+  const Qubit n = 6;
+  const auto circuit = circuits::dnn(n, 2, 85);
+  sim::DDSimulator ddSim{n};
+  ddSim.simulate(circuit);
+  sim::ArraySimulator arrSim{n};
+  arrSim.simulate(circuit);
+  const auto ham = sim::tfim(n, 0.7, 1.3);
+  EXPECT_NEAR(ham.expectation(arrSim.state()),
+              ham.expectation(ddSim.package(), ddSim.state()), 1e-9);
+}
+
+TEST(ProbabilityOfOne, MatchesDenseMarginals) {
+  const Qubit n = 6;
+  const auto circuit = circuits::dnn(n, 2, 86);
+  sim::DDSimulator s{n};
+  s.simulate(circuit);
+  const auto dense = s.stateVector();
+  for (Qubit q = 0; q < n; ++q) {
+    fp ref = 0;
+    for (Index i = 0; i < dense.size(); ++i) {
+      if (testBit(i, q)) {
+        ref += norm2(dense[i]);
+      }
+    }
+    EXPECT_NEAR(s.package().probabilityOfOne(s.state(), q), ref, 1e-10)
+        << "q=" << q;
+  }
+}
+
+TEST(ProbabilityOfOne, Validates) {
+  dd::Package p{3};
+  EXPECT_THROW((void)p.probabilityOfOne(p.makeZeroState(), 3),
+               std::out_of_range);
+}
+
+TEST(DDSampling, GhzSamplesOnlyExtremes) {
+  const Qubit n = 10;
+  sim::DDSimulator s{n};
+  s.simulate(circuits::ghz(n));
+  Xoshiro256 rng{87};
+  const auto samples = s.package().sample(s.state(), 500, rng);
+  std::size_t zeros = 0;
+  for (const Index smp : samples) {
+    ASSERT_TRUE(smp == 0 || smp == (Index{1} << n) - 1) << smp;
+    zeros += (smp == 0);
+  }
+  // Roughly balanced (3-sigma bound for p=0.5, n=500 is ~ +-34).
+  EXPECT_GT(zeros, 180u);
+  EXPECT_LT(zeros, 320u);
+}
+
+TEST(DDSampling, DistributionMatchesAmplitudes) {
+  const Qubit n = 4;
+  sim::DDSimulator s{n};
+  s.simulate(circuits::vqe(n, 2, 88));
+  Xoshiro256 rng{89};
+  const std::size_t shots = 40000;
+  const auto samples = s.package().sample(s.state(), shots, rng);
+  std::map<Index, std::size_t> counts;
+  for (const Index smp : samples) {
+    ++counts[smp];
+  }
+  const auto dense = s.stateVector();
+  for (Index i = 0; i < dense.size(); ++i) {
+    const fp p = norm2(dense[i]);
+    const fp observed =
+        static_cast<fp>(counts.count(i) ? counts[i] : 0) / shots;
+    EXPECT_NEAR(observed, p, 0.02) << "i=" << i;
+  }
+}
+
+TEST(Adjoint, DoubleAdjointIsIdentityOnRandomGates) {
+  const Qubit n = 5;
+  dd::Package p{n};
+  const auto circuit = test::randomCircuit(n, 10, 90);
+  for (const auto& op : circuit) {
+    const dd::mEdge m = p.makeGateDD(op);
+    const dd::mEdge mdd = p.adjoint(p.adjoint(m));
+    EXPECT_EQ(m.n, mdd.n);
+    EXPECT_LT(std::abs(m.w - mdd.w), 1e-10);
+  }
+}
+
+TEST(Adjoint, UnitaryTimesAdjointIsIdentity) {
+  const Qubit n = 5;
+  dd::Package p{n};
+  dd::mEdge u = p.makeIdent(n - 1);
+  for (const auto& op : test::randomCircuit(n, 15, 91)) {
+    u = p.multiply(p.makeGateDD(op), u);
+  }
+  const dd::mEdge prod = p.multiply(u, p.adjoint(u));
+  EXPECT_EQ(prod.n, p.makeIdent(n - 1).n);
+  EXPECT_NEAR(std::abs(prod.w - Complex{1.0}), 0.0, 1e-9);
+}
+
+TEST(MixedInnerProduct, MatchesPureRepresentations) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  const auto va = test::randomState(n, 92);
+  const auto vb = test::randomState(n, 93);
+  const dd::vEdge a = p.fromArray(va);
+  Complex ref{};
+  for (Index i = 0; i < va.size(); ++i) {
+    ref += std::conj(va[i]) * vb[i];
+  }
+  const Complex mixed = p.innerProduct(a, vb);
+  EXPECT_NEAR(std::abs(mixed - ref), 0.0, 1e-9);
+}
+
+TEST(MixedInnerProduct, Validates) {
+  dd::Package p{3};
+  const std::vector<Complex> wrong(4);
+  EXPECT_THROW((void)p.innerProduct(p.makeZeroState(), wrong),
+               std::invalid_argument);
+}
+
+TEST(ToDot, ProducesWellFormedGraph) {
+  dd::Package p{3};
+  sim::DDSimulator s{3};
+  s.simulate(circuits::ghz(3));
+  const std::string dot = s.package().toDot(s.state());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("terminal"), std::string::npos);
+  EXPECT_NE(dot.find("q2"), std::string::npos);
+  EXPECT_EQ(dot.find("ERROR"), std::string::npos);
+  // Zero edge renders the degenerate graph.
+  const std::string zeroDot = p.toDot(dd::vEdge::zero());
+  EXPECT_NE(zeroDot.find("label=\"0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdd

@@ -1,0 +1,157 @@
+// Peephole optimizer: exactness of every rewrite, cascade behavior, wire
+// interference rules, and statistics.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "helpers.hpp"
+#include "qc/optimizer.hpp"
+
+namespace fdd::qc {
+namespace {
+
+void expectSameUnitaryAction(const Circuit& a, const Circuit& b) {
+  EXPECT_STATE_NEAR(test::denseSimulate(a), test::denseSimulate(b), 1e-9);
+}
+
+TEST(Optimizer, CancelsAdjacentInversePairs) {
+  Circuit c{3};
+  c.h(0).h(0).x(1).x(1).t(2).tdg(2).cx(0, 1).cx(0, 1);
+  OptimizerStats stats;
+  const Circuit opt = optimize(c, {}, &stats);
+  EXPECT_EQ(opt.numGates(), 0u);
+  EXPECT_EQ(stats.cancelledPairs, 4u);
+}
+
+TEST(Optimizer, CascadingCancellation) {
+  // H X X H collapses completely through two cascaded cancellations.
+  Circuit c{1};
+  c.h(0).x(0).x(0).h(0);
+  const Circuit opt = optimize(c);
+  EXPECT_EQ(opt.numGates(), 0u);
+}
+
+TEST(Optimizer, MergesRotations) {
+  Circuit c{2};
+  c.rz(0.3, 0).rz(0.4, 0).rx(1.0, 1).rx(-1.0, 1);
+  OptimizerStats stats;
+  const Circuit opt = optimize(c, {}, &stats);
+  ASSERT_EQ(opt.numGates(), 1u);
+  EXPECT_EQ(opt[0].kind, GateKind::RZ);
+  EXPECT_NEAR(opt[0].params[0], 0.7, 1e-12);
+  // rz pair merges; the rx(1.0)/rx(-1.0) pair is an exact inverse pair and
+  // is picked up by cancellation first.
+  EXPECT_EQ(stats.mergedRotations, 1u);
+  EXPECT_EQ(stats.cancelledPairs, 1u);
+  expectSameUnitaryAction(c, opt);
+}
+
+TEST(Optimizer, RotationMergeRespectsControls) {
+  // crz(a) and rz(b) on the same target are NOT mergeable.
+  Circuit c{2};
+  c.crz(0.3, 0, 1).rz(0.4, 1);
+  const Circuit opt = optimize(c);
+  EXPECT_EQ(opt.numGates(), 2u);
+  // but two crz with the same control merge:
+  Circuit c2{2};
+  c2.crz(0.3, 0, 1).crz(0.4, 0, 1);
+  const Circuit opt2 = optimize(c2);
+  EXPECT_EQ(opt2.numGates(), 1u);
+  expectSameUnitaryAction(c2, opt2);
+}
+
+TEST(Optimizer, InterposingGateBlocksRewrites) {
+  // H(0) CX(0,1) H(0): the CX shares wire 0, so the H's must survive.
+  Circuit c{2};
+  c.h(0).cx(0, 1).h(0);
+  const Circuit opt = optimize(c);
+  EXPECT_EQ(opt.numGates(), 3u);
+  // A gate on an unrelated wire does NOT block.
+  Circuit c2{3};
+  c2.h(0).x(2).h(0);
+  const Circuit opt2 = optimize(c2);
+  EXPECT_EQ(opt2.numGates(), 1u);  // the two H's cancel; x(2) stays
+  expectSameUnitaryAction(c2, opt2);
+}
+
+TEST(Optimizer, DropsIdentities) {
+  Circuit c{2};
+  c.i(0).rz(0.0, 1).p(0.0, 0).h(1);
+  OptimizerStats stats;
+  const Circuit opt = optimize(c, {}, &stats);
+  EXPECT_EQ(opt.numGates(), 1u);
+  EXPECT_EQ(stats.droppedIdentities, 3u);
+}
+
+TEST(Optimizer, ControlledTwoPiRotationIsNotIdentity) {
+  // CRZ(2*pi) == controlled(-I) which kicks a relative phase: must be kept.
+  Circuit c{2};
+  c.crz(2 * PI, 0, 1);
+  const Circuit opt = optimize(c);
+  EXPECT_EQ(opt.numGates(), 1u);
+  // And the dense simulation confirms it is not the identity.
+  Circuit withH{2};
+  withH.h(0).crz(2 * PI, 0, 1).h(0);
+  const auto state = test::denseSimulate(withH);
+  EXPECT_GT(std::abs(state[1]), 0.1);  // phase kick visible
+}
+
+TEST(Optimizer, FourPiRotationIsIdentity) {
+  Circuit c{2};
+  c.crz(4 * PI, 0, 1);
+  const Circuit opt = optimize(c);
+  EXPECT_EQ(opt.numGates(), 0u);
+}
+
+TEST(Optimizer, CircuitPlusInverseCollapsesCompletely) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto c = test::randomCircuit(5, 40, seed);
+    c.append(c.inverse());
+    const Circuit opt = optimize(c);
+    EXPECT_EQ(opt.numGates(), 0u) << "seed=" << seed;
+  }
+}
+
+TEST(Optimizer, PreservesSemanticsOnRandomCircuits) {
+  for (const std::uint64_t seed : {4ULL, 5ULL, 6ULL, 7ULL}) {
+    const auto c = test::randomCircuit(5, 60, seed);
+    const Circuit opt = optimize(c);
+    EXPECT_LE(opt.numGates(), c.numGates());
+    expectSameUnitaryAction(c, opt);
+  }
+}
+
+TEST(Optimizer, PreservesSemanticsOnFamilies) {
+  for (const auto& c :
+       {circuits::qft(6, 11), circuits::grover(4), circuits::vqe(6, 2, 8),
+        circuits::qaoa(6, 2, 9)}) {
+    expectSameUnitaryAction(c, optimize(c));
+  }
+}
+
+TEST(Optimizer, OptionsDisableIndividualPasses) {
+  Circuit c{1};
+  c.h(0).h(0).rz(0.2, 0).rz(-0.2, 0).i(0);
+  OptimizerOptions noCancel;
+  noCancel.cancelInversePairs = false;
+  noCancel.mergeRotations = false;
+  noCancel.dropIdentities = false;
+  EXPECT_EQ(optimize(c, noCancel).numGates(), c.numGates());
+
+  OptimizerOptions onlyIdentities;
+  onlyIdentities.cancelInversePairs = false;
+  onlyIdentities.mergeRotations = false;
+  EXPECT_EQ(optimize(c, onlyIdentities).numGates(), c.numGates() - 1);
+}
+
+TEST(Optimizer, StatsAreConsistent) {
+  const auto c = circuits::dnn(6, 3, 10);
+  OptimizerStats stats;
+  const Circuit opt = optimize(c, {}, &stats);
+  EXPECT_EQ(stats.inputGates, c.numGates());
+  EXPECT_EQ(stats.outputGates, opt.numGates());
+  EXPECT_GE(stats.inputGates, stats.outputGates);
+}
+
+}  // namespace
+}  // namespace fdd::qc

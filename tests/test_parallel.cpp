@@ -1,0 +1,141 @@
+// Unit tests for the thread pool: correctness of fork/join, parallelFor
+// coverage, reuse across many regions, and concurrent writes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace fdd::par {
+namespace {
+
+TEST(ThreadPool, RunsAllWorkerIndices) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(4);
+  pool.run(4, [&](unsigned i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool{1};
+  bool ran = false;
+  pool.run(1, [&](unsigned i) {
+    EXPECT_EQ(i, 0u);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, PartialWidthUsesOnlyRequestedWorkers) {
+  ThreadPool pool{8};
+  std::atomic<int> count{0};
+  std::atomic<unsigned> maxIndex{0};
+  pool.run(3, [&](unsigned i) {
+    count.fetch_add(1);
+    unsigned cur = maxIndex.load();
+    while (i > cur && !maxIndex.compare_exchange_weak(cur, i)) {
+    }
+  });
+  EXPECT_EQ(count.load(), 3);
+  EXPECT_LT(maxIndex.load(), 3u);
+}
+
+TEST(ThreadPool, ManySequentialRegions) {
+  ThreadPool pool{4};
+  std::atomic<long> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.run(4, [&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+TEST(ThreadPool, AlternatingWidths) {
+  ThreadPool pool{8};
+  for (unsigned width = 1; width <= 8; ++width) {
+    std::atomic<int> count{0};
+    pool.run(width, [&](unsigned) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), static_cast<int>(width));
+  }
+  // And back down.
+  for (unsigned width = 8; width >= 1; --width) {
+    std::atomic<int> count{0};
+    pool.run(width, [&](unsigned) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), static_cast<int>(width));
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallelFor(4, 0, touched.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      touched[i].fetch_add(1);
+    }
+  });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool{4};
+  bool called = false;
+  pool.parallelFor(4, 10, 10, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForRangeSmallerThanThreads) {
+  ThreadPool pool{8};
+  std::atomic<int> total{0};
+  pool.parallelFor(8, 0, 3, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForNonZeroBegin) {
+  ThreadPool pool{4};
+  std::atomic<long> sum{0};
+  pool.parallelFor(4, 100, 200, [&](std::size_t lo, std::size_t hi) {
+    long s = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      s += static_cast<long>(i);
+    }
+    sum.fetch_add(s);
+  });
+  long expected = 0;
+  for (long i = 100; i < 200; ++i) {
+    expected += i;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, DisjointWritesNeedNoSynchronization) {
+  ThreadPool pool{4};
+  std::vector<int> data(4096, 0);
+  pool.run(4, [&](unsigned i) {
+    const std::size_t chunk = data.size() / 4;
+    for (std::size_t j = i * chunk; j < (i + 1) * chunk; ++j) {
+      data[j] = static_cast<int>(i) + 1;
+    }
+  });
+  const long sum = std::accumulate(data.begin(), data.end(), 0L);
+  EXPECT_EQ(sum, 4096 / 4 * (1 + 2 + 3 + 4));
+}
+
+TEST(ThreadPool, GlobalPoolExistsAndIsWideEnough) {
+  EXPECT_GE(globalPool().size(), 16u);
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fdd::par

@@ -1,0 +1,54 @@
+// The QASM programs shipped in examples/programs/ must stay parseable and
+// semantically correct.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "qasm/parser.hpp"
+#include "sim/array_simulator.hpp"
+
+#ifndef FLATDD_SOURCE_DIR
+#define FLATDD_SOURCE_DIR "."
+#endif
+
+namespace fdd {
+namespace {
+
+std::string programPath(const char* name) {
+  return std::string{FLATDD_SOURCE_DIR} + "/examples/programs/" + name;
+}
+
+TEST(Programs, BellPair) {
+  const auto c = qasm::parseFile(programPath("bell.qasm"));
+  EXPECT_EQ(c.numQubits(), 2);
+  sim::ArraySimulator s{2};
+  s.simulate(c);
+  EXPECT_NEAR(norm2(s.amplitude(0)), 0.5, 1e-10);
+  EXPECT_NEAR(norm2(s.amplitude(3)), 0.5, 1e-10);
+}
+
+TEST(Programs, TeleportationDeliversTheMessage) {
+  const auto c = qasm::parseFile(programPath("teleport.qasm"));
+  sim::ArraySimulator s{3};
+  s.simulate(c);
+  // The message ry(0.7)|0> must land on qubit 2: P(q2 = 1) = sin^2(0.35).
+  fp p1 = 0;
+  for (Index i = 0; i < 8; ++i) {
+    if (testBit(i, 2)) {
+      p1 += norm2(s.amplitude(i));
+    }
+  }
+  EXPECT_NEAR(p1, std::sin(0.35) * std::sin(0.35), 1e-10);
+}
+
+TEST(Programs, GroverFindsTheMarkedState) {
+  const auto c = qasm::parseFile(programPath("grover4.qasm"));
+  sim::ArraySimulator s{4};
+  s.simulate(c);
+  EXPECT_GT(norm2(s.amplitude(15)), 0.9);
+}
+
+}  // namespace
+}  // namespace fdd

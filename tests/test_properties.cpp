@@ -1,0 +1,200 @@
+// Property-based randomized sweeps across the whole stack: for random
+// circuits and random seeds, all four execution engines (dense reference,
+// array simulator, DD simulator, FlatDD) must agree; unitarity and DD
+// canonicity invariants must hold throughout.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "dd/package.hpp"
+#include "flatdd/conversion.hpp"
+#include "flatdd/dmav.hpp"
+#include "flatdd/dmav_cache.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "helpers.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd {
+namespace {
+
+class RandomCircuitSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomCircuitSweep, AllEnginesAgree) {
+  const auto [nInt, seedInt] = GetParam();
+  const Qubit n = static_cast<Qubit>(nInt);
+  const auto seed = static_cast<std::uint64_t>(seedInt);
+  const auto circuit = test::randomCircuit(n, 30 + 5 * n, seed);
+  const auto ref = test::denseSimulate(circuit);
+
+  sim::ArraySimulator arr{n, {.threads = 2}};
+  arr.simulate(circuit);
+  EXPECT_STATE_NEAR(arr.state(), ref, 1e-9);
+
+  sim::DDSimulator ddsim{n};
+  ddsim.simulate(circuit);
+  EXPECT_STATE_NEAR(ddsim.stateVector(), ref, 1e-9);
+
+  flat::FlatDDOptions opt;
+  opt.threads = 4;
+  opt.warmupGates = 2;
+  flat::FlatDDSimulator flatSim{n, opt};
+  flatSim.simulate(circuit);
+  EXPECT_STATE_NEAR(flatSim.stateVector(), ref, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomCircuitSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 7),
+                                            ::testing::Range(1, 6)));
+
+class RandomStateConversions : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStateConversions, DDRoundTripAndParallelConversionAgree) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Qubit n = 8;
+  dd::Package p{n};
+  const auto v = test::randomState(n, seed);
+  const dd::vEdge e = p.fromArray(v);
+  // Sequential and parallel conversions must agree with the original.
+  EXPECT_STATE_NEAR(p.toArray(e), v, 1e-9);
+  EXPECT_STATE_NEAR(flat::ddToArrayParallel(e, n, 8), v, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStateConversions,
+                         ::testing::Range(1, 13));
+
+class RandomGateDmav : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGateDmav, CachedAndUncachedAgreeWithDense) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Xoshiro256 rng{seed};
+  const Qubit n = 7;
+  // Random controlled-U3 gate.
+  const Qubit target = static_cast<Qubit>(rng.below(n));
+  std::vector<Qubit> controls;
+  for (Qubit q = 0; q < n; ++q) {
+    if (q != target && rng.uniform() < 0.3) {
+      controls.push_back(q);
+    }
+  }
+  const qc::Operation op{
+      qc::GateKind::U3, target, controls,
+      {rng.uniform(0, PI), rng.uniform(0, 2 * PI), rng.uniform(0, 2 * PI)}};
+
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD(op);
+  const auto v = test::randomState(n, seed + 1000);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> plain(v.size());
+  AlignedVector<Complex> cached(v.size());
+  flat::DmavWorkspace ws;
+  flat::dmav(m, n, in, plain, 4);
+  flat::dmavCached(m, n, in, cached, 4, ws);
+  const auto ref = test::denseApply(test::denseOperator(op, n), v);
+  EXPECT_STATE_NEAR(plain, ref, 1e-10);
+  EXPECT_STATE_NEAR(cached, ref, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGateDmav, ::testing::Range(1, 17));
+
+class FamilySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FamilySweep, FlatDDAgreesWithArrayAcrossSeeds) {
+  const auto [family, seedInt] = GetParam();
+  const auto seed = static_cast<std::uint64_t>(seedInt);
+  qc::Circuit circuit{1};
+  switch (family) {
+    case 0: circuit = circuits::dnn(7, 2, seed); break;
+    case 1: circuit = circuits::vqe(7, 2, seed); break;
+    case 2: circuit = circuits::supremacy(6, 5, seed); break;
+    default: circuit = circuits::knn(7, seed); break;
+  }
+  const Qubit n = circuit.numQubits();
+  flat::FlatDDSimulator flatSim{n, {.threads = 4}};
+  flatSim.simulate(circuit);
+  sim::ArraySimulator ref{n};
+  ref.simulate(circuit);
+  EXPECT_STATE_NEAR(flatSim.stateVector(), ref.state(), 1e-9)
+      << circuit.name() << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilySweep,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(1, 5)));
+
+TEST(Invariants, DDSimulationPreservesNormOnAllFamilies) {
+  for (const auto& circuit :
+       {circuits::qft(7, 3), circuits::grover(5), circuits::wState(7),
+        circuits::supremacy(6, 4, 3)}) {
+    sim::DDSimulator s{circuit.numQubits()};
+    s.simulate(circuit);
+    const Complex ip = s.package().innerProduct(s.state(), s.state());
+    EXPECT_NEAR(ip.real(), 1.0, 1e-8) << circuit.name();
+  }
+}
+
+TEST(Invariants, CanonicityUnderRandomOperations) {
+  // Two structurally equal states reached by different gate orders on
+  // commuting gates must share the identical root node.
+  const Qubit n = 5;
+  dd::Package p{n};
+  {
+    dd::vEdge a = p.makeZeroState();
+    a = p.multiply(p.makeGateDD({qc::GateKind::X, 0, {}, {}}), a);
+    a = p.multiply(p.makeGateDD({qc::GateKind::X, 3, {}, {}}), a);
+    dd::vEdge b = p.makeZeroState();
+    b = p.multiply(p.makeGateDD({qc::GateKind::X, 3, {}, {}}), b);
+    b = p.multiply(p.makeGateDD({qc::GateKind::X, 0, {}, {}}), b);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_TRUE(dd::weightEqual(a.w, b.w));
+  }
+}
+
+TEST(Invariants, NormalizedNodeWeightsNeverExceedOne) {
+  // Normalization divides by the max-magnitude weight, so every stored edge
+  // weight has |w| <= 1 (+ tolerance).
+  const Qubit n = 6;
+  dd::Package p{n};
+  const auto circuit = circuits::supremacy(n, 4, 7);
+  dd::vEdge s = p.makeZeroState();
+  for (const auto& op : circuit) {
+    s = p.multiply(p.makeGateDD(op), s);
+    // Walk the DD and check all node weights.
+    std::vector<const dd::vNode*> stack{s.n};
+    std::set<const dd::vNode*> seen{s.n};
+    while (!stack.empty()) {
+      const dd::vNode* node = stack.back();
+      stack.pop_back();
+      if (node->isTerminal()) {
+        continue;
+      }
+      for (const auto& child : node->e) {
+        EXPECT_LE(norm2(child.w), 1.0 + 1e-9);
+        if (!child.isZero() && seen.insert(child.n).second) {
+          stack.push_back(child.n);
+        }
+      }
+    }
+  }
+}
+
+TEST(Invariants, FlatDDStateNormIsOne) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto circuit = circuits::supremacy(8, 6, seed);
+    flat::FlatDDSimulator flatSim{8, {.threads = 4}};
+    flatSim.simulate(circuit);
+    const auto state = flatSim.stateVector();
+    fp norm = 0;
+    for (const auto& amp : state) {
+      norm += norm2(amp);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-8) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fdd

@@ -1,0 +1,230 @@
+// OpenQASM 2.0 front end: lexer, expression evaluation, register broadcast,
+// user gate expansion, error reporting, round-trips with Circuit::toQasm.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "qasm/lexer.hpp"
+#include "qasm/parser.hpp"
+
+namespace fdd::qasm {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  const auto toks = tokenize("qreg q[5]; // comment\nh q[0];");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[0].text, "qreg");
+  EXPECT_EQ(toks[2].kind, TokenKind::LBracket);
+  EXPECT_EQ(toks[3].kind, TokenKind::Real);
+  EXPECT_DOUBLE_EQ(toks[3].value, 5.0);
+  EXPECT_EQ(toks.back().kind, TokenKind::Eof);
+}
+
+TEST(Lexer, NumbersAndPi) {
+  const auto toks = tokenize("3.25 1e-3 pi 2.5e+2");
+  EXPECT_DOUBLE_EQ(toks[0].value, 3.25);
+  EXPECT_DOUBLE_EQ(toks[1].value, 1e-3);
+  EXPECT_EQ(toks[2].kind, TokenKind::Pi);
+  EXPECT_DOUBLE_EQ(toks[3].value, 250.0);
+}
+
+TEST(Lexer, StringsAndArrows) {
+  const auto toks = tokenize("include \"qelib1.inc\"; measure q -> c;");
+  EXPECT_EQ(toks[1].kind, TokenKind::String);
+  EXPECT_EQ(toks[1].text, "qelib1.inc");
+  bool sawArrow = false;
+  for (const auto& t : toks) {
+    sawArrow |= (t.kind == TokenKind::Arrow);
+  }
+  EXPECT_TRUE(sawArrow);
+}
+
+TEST(Lexer, LineNumbersInErrors) {
+  try {
+    (void)tokenize("ok;\nok;\n$bad");
+    FAIL() << "expected QasmError";
+  } catch (const QasmError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Lexer, UnterminatedString) {
+  EXPECT_THROW((void)tokenize("include \"oops"), QasmError);
+}
+
+TEST(Parser, MinimalProgram) {
+  const auto c = parse(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0],q[1];
+  )");
+  EXPECT_EQ(c.numQubits(), 2);
+  ASSERT_EQ(c.numGates(), 2u);
+  EXPECT_EQ(c[0].kind, qc::GateKind::H);
+  EXPECT_EQ(c[1].kind, qc::GateKind::X);
+  EXPECT_EQ(c[1].controls, (std::vector<Qubit>{0}));
+}
+
+TEST(Parser, ParameterExpressions) {
+  const auto c = parse(R"(
+    qreg q[1];
+    rz(pi/2) q[0];
+    rz(-pi/4) q[0];
+    rz(2*pi/8 + 1) q[0];
+    rz(3^2) q[0];
+    rz(cos(0)) q[0];
+    rz(sqrt(4)) q[0];
+  )");
+  ASSERT_EQ(c.numGates(), 6u);
+  EXPECT_NEAR(c[0].params[0], PI / 2, 1e-12);
+  EXPECT_NEAR(c[1].params[0], -PI / 4, 1e-12);
+  EXPECT_NEAR(c[2].params[0], PI / 4 + 1, 1e-12);
+  EXPECT_NEAR(c[3].params[0], 9.0, 1e-12);
+  EXPECT_NEAR(c[4].params[0], 1.0, 1e-12);
+  EXPECT_NEAR(c[5].params[0], 2.0, 1e-12);
+}
+
+TEST(Parser, RegisterBroadcast) {
+  const auto c = parse(R"(
+    qreg q[3];
+    h q;
+  )");
+  EXPECT_EQ(c.numGates(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c[i].kind, qc::GateKind::H);
+    EXPECT_EQ(c[i].target, static_cast<Qubit>(i));
+  }
+}
+
+TEST(Parser, TwoRegisterBroadcast) {
+  const auto c = parse(R"(
+    qreg a[2];
+    qreg b[2];
+    cx a,b;
+  )");
+  ASSERT_EQ(c.numGates(), 2u);
+  EXPECT_EQ(c[0].controls, (std::vector<Qubit>{0}));
+  EXPECT_EQ(c[0].target, 2);
+  EXPECT_EQ(c[1].controls, (std::vector<Qubit>{1}));
+  EXPECT_EQ(c[1].target, 3);
+}
+
+TEST(Parser, MixedBroadcastSingleAgainstRegister) {
+  const auto c = parse(R"(
+    qreg a[1];
+    qreg b[3];
+    cx a[0],b;
+  )");
+  ASSERT_EQ(c.numGates(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c[i].controls, (std::vector<Qubit>{0}));
+    EXPECT_EQ(c[i].target, static_cast<Qubit>(1 + i));
+  }
+}
+
+TEST(Parser, BroadcastSizeMismatchThrows) {
+  EXPECT_THROW((void)parse("qreg a[2]; qreg b[3]; cx a,b;"), QasmError);
+}
+
+TEST(Parser, UserGateDefinition) {
+  const auto c = parse(R"(
+    qreg q[2];
+    gate bell a, b { h a; cx a, b; }
+    bell q[0], q[1];
+  )");
+  ASSERT_EQ(c.numGates(), 2u);
+  EXPECT_EQ(c[0].kind, qc::GateKind::H);
+  EXPECT_EQ(c[1].kind, qc::GateKind::X);
+}
+
+TEST(Parser, ParameterizedUserGate) {
+  const auto c = parse(R"(
+    qreg q[1];
+    gate twist(t) a { rz(t/2) a; ry(-t) a; }
+    twist(pi) q[0];
+  )");
+  ASSERT_EQ(c.numGates(), 2u);
+  EXPECT_NEAR(c[0].params[0], PI / 2, 1e-12);
+  EXPECT_NEAR(c[1].params[0], -PI, 1e-12);
+}
+
+TEST(Parser, NestedUserGates) {
+  const auto c = parse(R"(
+    qreg q[2];
+    gate inner a { x a; }
+    gate outer a, b { inner a; inner b; cz a, b; }
+    outer q[0], q[1];
+  )");
+  ASSERT_EQ(c.numGates(), 3u);
+  EXPECT_EQ(c[2].kind, qc::GateKind::Z);
+}
+
+TEST(Parser, QelibBuiltinsLower) {
+  const auto c = parse(R"(
+    qreg q[3];
+    u3(0.1,0.2,0.3) q[0];
+    u1(0.5) q[1];
+    cu1(0.25) q[0],q[1];
+    swap q[0],q[2];
+    ccx q[0],q[1],q[2];
+    cswap q[0],q[1],q[2];
+  )");
+  // swap -> 3 ops, cswap -> 3 ops.
+  EXPECT_EQ(c.numGates(), 1u + 1 + 1 + 3 + 1 + 3);
+}
+
+TEST(Parser, SwapLoweringPreservesSemantics) {
+  const auto c = parse("qreg q[2]; x q[0]; swap q[0],q[1];");
+  const auto state = test::denseSimulate(c);
+  EXPECT_NEAR(std::abs(state[2] - Complex{1.0}), 0.0, 1e-12);
+}
+
+TEST(Parser, MeasureAndBarrierIgnored) {
+  const auto c = parse(R"(
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    barrier q;
+    measure q -> c;
+  )");
+  EXPECT_EQ(c.numGates(), 1u);
+}
+
+TEST(Parser, MultipleQregsConcatenate) {
+  const auto c = parse("qreg a[2]; qreg b[3]; x b[0];");
+  EXPECT_EQ(c.numQubits(), 5);
+  EXPECT_EQ(c[0].target, 2);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW((void)parse("h q[0];"), QasmError);            // unknown qreg
+  EXPECT_THROW((void)parse("qreg q[2]; h q[5];"), QasmError); // out of range
+  EXPECT_THROW((void)parse("qreg q[2]; frobnicate q[0];"), QasmError);
+  EXPECT_THROW((void)parse("qreg q[0];"), QasmError);         // empty reg
+  EXPECT_THROW((void)parse("qreg q[2]; qreg q[2];"), QasmError);
+  EXPECT_THROW((void)parse("qreg q[1]; rz() q[0];"), QasmError);
+  EXPECT_THROW((void)parse("qreg q[1]; rz(1/0) q[0];"), QasmError);
+  EXPECT_THROW((void)parse("qreg q[1]; if (c==0) x q[0];"), QasmError);
+  EXPECT_THROW((void)parse(""), QasmError);                   // no qreg
+}
+
+TEST(Parser, CircuitRoundTripThroughQasm) {
+  qc::Circuit original{3, "rt"};
+  original.h(0).cx(0, 1).rz(0.75, 2).cp(0.5, 0, 2).t(1).x(2);
+  const auto reparsed = parse(original.toQasm());
+  ASSERT_EQ(reparsed.numGates(), original.numGates());
+  const auto a = test::denseSimulate(original);
+  const auto b = test::denseSimulate(reparsed);
+  EXPECT_STATE_NEAR(a, b, 1e-12);
+}
+
+TEST(Parser, FileNotFoundThrows) {
+  EXPECT_THROW((void)parseFile("/nonexistent/file.qasm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fdd::qasm

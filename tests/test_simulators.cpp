@@ -1,0 +1,187 @@
+// Baseline simulators: the array simulator (Quantum++ stand-in) and the DD
+// simulator (DDSIM stand-in), validated against the dense reference and
+// against each other across circuit families and thread counts.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "helpers.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd::sim {
+namespace {
+
+TEST(ArraySim, InitialStateIsZeroKet) {
+  ArraySimulator s{3};
+  EXPECT_EQ(s.amplitude(0), Complex{1.0});
+  for (Index i = 1; i < 8; ++i) {
+    EXPECT_EQ(s.amplitude(i), Complex{});
+  }
+}
+
+TEST(ArraySim, RejectsBadQubitCounts) {
+  EXPECT_THROW(ArraySimulator{0}, std::invalid_argument);
+  EXPECT_THROW(ArraySimulator{40}, std::invalid_argument);
+}
+
+TEST(ArraySim, SingleGateMatchesDense) {
+  const Qubit n = 3;
+  for (const auto& op :
+       {qc::Operation{qc::GateKind::H, 1, {}, {}},
+        qc::Operation{qc::GateKind::X, 0, {2}, {}},
+        qc::Operation{qc::GateKind::RZ, 2, {}, {0.4}},
+        qc::Operation{qc::GateKind::Z, 2, {0, 1}, {}}}) {
+    ArraySimulator s{n};
+    // Start from a random state to exercise all matrix entries.
+    const auto init = test::randomState(n, 41);
+    s.setState(init);
+    s.applyOperation(op);
+    const auto ref = test::denseApply(test::denseOperator(op, n), init);
+    EXPECT_STATE_NEAR(s.state(), ref, 1e-12);
+  }
+}
+
+TEST(ArraySim, RandomCircuitMatchesDense) {
+  const Qubit n = 5;
+  const auto c = test::randomCircuit(n, 60, 17);
+  ArraySimulator s{n};
+  s.simulate(c);
+  EXPECT_STATE_NEAR(s.state(), test::denseSimulate(c), 1e-10);
+}
+
+TEST(ArraySim, ThreadedMatchesSequential) {
+  const Qubit n = 8;
+  const auto c = circuits::dnn(n, 4, 3);
+  ArraySimulator seq{n, {.threads = 1}};
+  seq.simulate(c);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    ArraySimulator par{n, {.threads = t, .parallelThresholdDim = 1}};
+    par.simulate(c);
+    EXPECT_STATE_NEAR(par.state(), seq.state(), 1e-11) << "threads=" << t;
+  }
+}
+
+TEST(ArraySim, NormPreservedThroughDeepCircuit) {
+  const Qubit n = 6;
+  ArraySimulator s{n, {.threads = 2}};
+  s.simulate(circuits::supremacy(n, 10, 2));
+  EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+}
+
+TEST(ArraySim, SetStateValidatesSize) {
+  ArraySimulator s{3};
+  const std::vector<Complex> wrong(4);
+  EXPECT_THROW(s.setState(wrong), std::invalid_argument);
+}
+
+TEST(ArraySim, MismatchedCircuitThrows) {
+  ArraySimulator s{3};
+  EXPECT_THROW(s.simulate(circuits::ghz(4)), std::invalid_argument);
+}
+
+TEST(ArraySim, SampleReturnsSupportedState) {
+  const Qubit n = 4;
+  ArraySimulator s{n};
+  s.simulate(circuits::ghz(n));
+  Xoshiro256 rng{5};
+  for (int i = 0; i < 50; ++i) {
+    const Index sample = s.sample(rng);
+    EXPECT_TRUE(sample == 0 || sample == (Index{1} << n) - 1)
+        << "GHZ must sample only the extremes, got " << sample;
+  }
+}
+
+TEST(ArraySim, ResetRestoresZeroState) {
+  ArraySimulator s{3};
+  s.simulate(circuits::ghz(3));
+  s.reset();
+  EXPECT_EQ(s.amplitude(0), Complex{1.0});
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(DDSim, RandomCircuitMatchesDense) {
+  const Qubit n = 5;
+  const auto c = test::randomCircuit(n, 40, 19);
+  DDSimulator s{n};
+  s.simulate(c);
+  const auto ref = test::denseSimulate(c);
+  const auto got = s.stateVector();
+  EXPECT_STATE_NEAR(got, ref, 1e-9);
+}
+
+TEST(DDSim, TracksGateCount) {
+  DDSimulator s{4};
+  s.simulate(circuits::ghz(4));
+  EXPECT_EQ(s.gatesApplied(), 4u);
+}
+
+TEST(DDSim, GhzKeepsTinyDD) {
+  const Qubit n = 16;
+  DDSimulator s{n};
+  s.simulate(circuits::ghz(n));
+  // Two basis chains sharing a root: 2n - 1 nodes.
+  EXPECT_LE(s.stateNodeCount(), static_cast<std::size_t>(2 * n));
+  EXPECT_NEAR(std::abs(s.amplitude(0)), SQRT2_INV, 1e-10);
+}
+
+TEST(DDSim, AdderKeepsBasisState) {
+  const auto c = circuits::adder(4, 9, 6);
+  DDSimulator s{c.numQubits()};
+  s.simulate(c);
+  // Basis states have exactly n nodes.
+  EXPECT_EQ(s.stateNodeCount(), static_cast<std::size_t>(c.numQubits()));
+}
+
+TEST(DDSim, IrregularCircuitGrowsDD) {
+  const Qubit n = 10;
+  DDSimulator s{n};
+  s.simulate(circuits::dnn(n, 3, 7));
+  // An irregular state needs a large chunk of the maximal 2^(n-1) nodes.
+  EXPECT_GT(s.stateNodeCount(), std::size_t{1} << (n - 3));
+}
+
+TEST(DDSim, CrossValidatesWithArraySim) {
+  for (const auto& circuit :
+       {circuits::ghz(6), circuits::wState(6), circuits::qft(6, 3),
+        circuits::vqe(6, 2, 5), circuits::dnn(6, 2, 5),
+        circuits::supremacy(6, 4, 5), circuits::bernsteinVazirani(5, 0b1011)}) {
+    DDSimulator ddSim{circuit.numQubits()};
+    ddSim.simulate(circuit);
+    ArraySimulator arrSim{circuit.numQubits(), {.threads = 2}};
+    arrSim.simulate(circuit);
+    EXPECT_STATE_NEAR(ddSim.stateVector(), arrSim.state(), 1e-9)
+        << circuit.name();
+  }
+}
+
+TEST(DDSim, ReleaseStateReclaimsNodes) {
+  const Qubit n = 10;
+  DDSimulator s{n};
+  s.simulate(circuits::dnn(n, 3, 7));
+  const std::size_t before = s.package().stats().vNodesLive;
+  s.releaseState();
+  EXPECT_LT(s.package().stats().vNodesLive, before);
+  EXPECT_EQ(s.stateNodeCount(), static_cast<std::size_t>(n));
+}
+
+TEST(DDSim, ForcedGcMidSimulationKeepsResultsCorrect) {
+  const Qubit n = 8;
+  const auto c = circuits::supremacy(n, 12, 9);
+  DDSimulator s{n};
+  std::size_t applied = 0;
+  for (const auto& op : c) {
+    s.applyOperation(op);
+    if (++applied % 25 == 0) {
+      s.package().garbageCollect(true);
+    }
+  }
+  ArraySimulator ref{n};
+  ref.simulate(c);
+  EXPECT_STATE_NEAR(s.stateVector(), ref.state(), 1e-9);
+  EXPECT_GT(s.package().stats().gcRuns, 0u);
+}
+
+}  // namespace
+}  // namespace fdd::sim

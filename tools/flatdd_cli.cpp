@@ -1,0 +1,349 @@
+// flatdd — command-line quantum circuit simulator.
+//
+//   flatdd --circuit supremacy --qubits 14 --depth 10 --backend flatdd
+//   flatdd --qasm program.qasm --shots 1000 --top 8
+//   flatdd --circuit ghz --qubits 20 --backend dd --stats
+//
+// Backends: flatdd (hybrid, default), dd (DDSIM-style), array (Quantum++-
+// style). See --help for everything.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/prng.hpp"
+#include "common/rss.hpp"
+#include "common/timing.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "qasm/parser.hpp"
+#include "qc/optimizer.hpp"
+#include "sim/array_simulator.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace {
+
+using namespace fdd;
+
+struct CliOptions {
+  std::string circuit;
+  std::string qasmFile;
+  Qubit qubits = 12;
+  unsigned depth = 8;
+  std::uint64_t seed = 7;
+  std::string backend = "flatdd";
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::string fusion = "none";
+  std::size_t shots = 0;
+  std::size_t top = 8;
+  bool stats = false;
+  bool optimizeCircuit = false;
+  std::string dotFile;
+  std::string exportQasm;
+};
+
+void printHelp() {
+  std::printf(R"(flatdd — hybrid decision-diagram / flat-array quantum circuit simulator
+
+usage: flatdd [options]
+
+circuit selection (one of):
+  --circuit NAME     generated family: ghz, wstate, adder, qft, grover, bv,
+                     dnn, vqe, knn, swaptest, supremacy, qpe, qaoa,
+                     hiddenshift, qv, random
+  --qasm FILE        OpenQASM 2.0 file
+
+circuit parameters:
+  --qubits N         qubit count (default 12)
+  --depth N          layers / cycles / rounds for parameterized families
+  --seed N           PRNG seed for randomized families (default 7)
+
+execution:
+  --backend NAME     flatdd (default) | dd | array
+  --threads N        worker threads (default: hardware concurrency)
+  --fusion MODE      none (default) | dmav | kops   [flatdd backend only]
+
+output:
+  --shots N          sample N measurements from the final state
+  --top K            print the K most probable outcomes (default 8)
+  --optimize         run the peephole optimizer before simulation
+  --stats            print simulator statistics
+  --dot FILE         write the final state DD as graphviz (dd backend, small n)
+  --export-qasm FILE write the (lowered) circuit as OpenQASM 2.0
+  --help             this text
+)");
+}
+
+qc::Circuit buildCircuit(const CliOptions& opt) {
+  if (!opt.qasmFile.empty()) {
+    return qasm::parseFile(opt.qasmFile);
+  }
+  const Qubit n = opt.qubits;
+  const unsigned d = opt.depth;
+  const std::uint64_t s = opt.seed;
+  if (opt.circuit == "ghz") return circuits::ghz(n);
+  if (opt.circuit == "wstate") return circuits::wState(n);
+  if (opt.circuit == "adder") {
+    return circuits::adder((n - 2) / 2, s % 1000, (s / 7) % 1000);
+  }
+  if (opt.circuit == "qft") return circuits::qft(n, s);
+  if (opt.circuit == "grover") return circuits::grover(n);
+  if (opt.circuit == "bv") return circuits::bernsteinVazirani(n - 1, s);
+  if (opt.circuit == "dnn") return circuits::dnn(n, d, s);
+  if (opt.circuit == "vqe") return circuits::vqe(n, d, s);
+  if (opt.circuit == "knn") return circuits::knn(n | 1, s);
+  if (opt.circuit == "swaptest") return circuits::swapTest(n | 1, s);
+  if (opt.circuit == "supremacy") return circuits::supremacy(n, d, s);
+  if (opt.circuit == "qpe") {
+    return circuits::qpe(n - 1, static_cast<fp>(s % 128) / 128.0);
+  }
+  if (opt.circuit == "qaoa") return circuits::qaoa(n, d, s);
+  if (opt.circuit == "hiddenshift") {
+    return circuits::hiddenShift(n & ~1, s, s + 1);
+  }
+  if (opt.circuit == "qv") return circuits::quantumVolume(n, d, s);
+  if (opt.circuit == "random") return circuits::randomUniversal(n, 20 * d, s);
+  throw std::invalid_argument("unknown circuit family: " + opt.circuit);
+}
+
+void printTopOutcomes(std::span<const Complex> state, Qubit n,
+                      std::size_t top) {
+  std::vector<std::pair<double, Index>> probs;
+  probs.reserve(state.size());
+  for (Index i = 0; i < state.size(); ++i) {
+    const double p = std::norm(state[i]);
+    if (p > 1e-12) {
+      probs.emplace_back(p, i);
+    }
+  }
+  std::sort(probs.rbegin(), probs.rend());
+  std::printf("top outcomes (%zu of %zu nonzero):\n",
+              std::min(top, probs.size()), probs.size());
+  for (std::size_t k = 0; k < top && k < probs.size(); ++k) {
+    std::printf("  |");
+    for (Qubit q = n - 1; q >= 0; --q) {
+      std::printf("%d", static_cast<int>((probs[k].second >> q) & 1));
+    }
+    std::printf(">  p = %.6f\n", probs[k].first);
+  }
+}
+
+void printHistogram(const std::vector<Index>& samples, Qubit n,
+                    std::size_t top) {
+  std::map<Index, std::size_t> counts;
+  for (const Index s : samples) {
+    ++counts[s];
+  }
+  std::vector<std::pair<std::size_t, Index>> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [idx, cnt] : counts) {
+    sorted.emplace_back(cnt, idx);
+  }
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::printf("measurement histogram (%zu shots, %zu distinct):\n",
+              samples.size(), counts.size());
+  for (std::size_t k = 0; k < top && k < sorted.size(); ++k) {
+    std::printf("  |");
+    for (Qubit q = n - 1; q >= 0; --q) {
+      std::printf("%d", static_cast<int>((sorted[k].second >> q) & 1));
+    }
+    std::printf(">  %zu\n", sorted[k].first);
+  }
+}
+
+int runCli(const CliOptions& opt) {
+  qc::Circuit circuit = buildCircuit(opt);
+  if (opt.optimizeCircuit) {
+    qc::OptimizerStats ostats;
+    circuit = qc::optimize(circuit, {}, &ostats);
+    std::printf("optimizer: %zu -> %zu gates (%zu pairs cancelled, %zu "
+                "rotations merged, %zu identities dropped)\n",
+                ostats.inputGates, ostats.outputGates, ostats.cancelledPairs,
+                ostats.mergedRotations, ostats.droppedIdentities);
+  }
+  const Qubit n = circuit.numQubits();
+  std::printf("circuit %s: %d qubits, %zu gates, depth %zu\n",
+              circuit.name().c_str(), n, circuit.numGates(),
+              circuit.depth());
+
+  if (!opt.exportQasm.empty()) {
+    std::ofstream out{opt.exportQasm};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.exportQasm.c_str());
+      return 1;
+    }
+    out << circuit.toQasm();
+    std::printf("wrote %s\n", opt.exportQasm.c_str());
+  }
+
+  const unsigned threads =
+      opt.threads != 0 ? opt.threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  Xoshiro256 rng{opt.seed ^ 0xf1a7ddULL};
+  Stopwatch clock;
+
+  if (opt.backend == "flatdd") {
+    flat::FlatDDOptions fo;
+    fo.threads = threads;
+    if (opt.fusion == "dmav") {
+      fo.fusion = flat::FusionMode::DmavAware;
+    } else if (opt.fusion == "kops") {
+      fo.fusion = flat::FusionMode::KOperations;
+    } else if (opt.fusion != "none") {
+      std::fprintf(stderr, "unknown fusion mode: %s\n", opt.fusion.c_str());
+      return 1;
+    }
+    flat::FlatDDSimulator sim{n, fo};
+    sim.simulate(circuit);
+    const double seconds = clock.seconds();
+    const auto state = sim.stateVector();
+    printTopOutcomes(state, n, opt.top);
+    if (opt.shots > 0) {
+      sim::ArraySimulator sampler{n};
+      sampler.setState(state);
+      std::vector<Index> samples;
+      samples.reserve(opt.shots);
+      for (std::size_t s = 0; s < opt.shots; ++s) {
+        samples.push_back(sampler.sample(rng));
+      }
+      printHistogram(samples, n, opt.top);
+    }
+    std::printf("runtime: %.3f s\n", seconds);
+    if (opt.stats) {
+      const auto& st = sim.stats();
+      std::printf("phase split: %zu DD gates, %zu DMAV matrices%s\n",
+                  st.ddGates, st.dmavGates,
+                  st.converted ? "" : " (never converted)");
+      if (st.converted) {
+        std::printf("conversion at gate %zu took %.3f ms\n",
+                    st.conversionGateIndex, st.conversionSeconds * 1e3);
+        std::printf("cached DMAVs: %zu (%zu cache hits)\n", st.cachedGates,
+                    st.cacheHits);
+      }
+      std::printf("peak DD size: %zu nodes; model cost %.3e MACs\n",
+                  st.peakDDSize, st.dmavModelCost);
+      std::printf("memory: ~%.1f MB accounted, %.1f MB RSS\n",
+                  sim.memoryBytes() / 1048576.0,
+                  currentRSS() / 1048576.0);
+    }
+    return 0;
+  }
+
+  if (opt.backend == "dd") {
+    sim::DDSimulator sim{n};
+    sim.simulate(circuit);
+    const double seconds = clock.seconds();
+    if (opt.shots > 0) {
+      printHistogram(sim.package().sample(sim.state(), opt.shots, rng), n,
+                     opt.top);
+    } else {
+      const auto state = sim.stateVector();
+      printTopOutcomes(state, n, opt.top);
+    }
+    std::printf("runtime: %.3f s\n", seconds);
+    if (!opt.dotFile.empty()) {
+      std::ofstream out{opt.dotFile};
+      out << sim.package().toDot(sim.state());
+      std::printf("wrote %s\n", opt.dotFile.c_str());
+    }
+    if (opt.stats) {
+      const auto st = sim.package().stats();
+      std::printf("state DD: %zu nodes (peak %zu); GC runs: %zu\n",
+                  sim.stateNodeCount(), st.peakVNodes, st.gcRuns);
+      std::printf("memory: ~%.1f MB accounted, %.1f MB RSS\n",
+                  st.memoryBytes / 1048576.0, currentRSS() / 1048576.0);
+    }
+    return 0;
+  }
+
+  if (opt.backend == "array") {
+    sim::ArraySimulator sim{n, {.threads = threads}};
+    sim.simulate(circuit);
+    const double seconds = clock.seconds();
+    printTopOutcomes(sim.state(), n, opt.top);
+    if (opt.shots > 0) {
+      std::vector<Index> samples;
+      samples.reserve(opt.shots);
+      for (std::size_t s = 0; s < opt.shots; ++s) {
+        samples.push_back(sim.sample(rng));
+      }
+      printHistogram(samples, n, opt.top);
+    }
+    std::printf("runtime: %.3f s\n", seconds);
+    if (opt.stats) {
+      std::printf("memory: ~%.1f MB state vector, %.1f MB RSS\n",
+                  sim.memoryBytes() / 1048576.0, currentRSS() / 1048576.0);
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown backend: %s\n", opt.backend.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value after %s\n", argv[i]);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printHelp();
+      return 0;
+    } else if (arg == "--circuit") {
+      opt.circuit = need(i);
+    } else if (arg == "--qasm") {
+      opt.qasmFile = need(i);
+    } else if (arg == "--qubits") {
+      opt.qubits = static_cast<Qubit>(std::atoi(need(i)));
+    } else if (arg == "--depth") {
+      opt.depth = static_cast<unsigned>(std::atoi(need(i)));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (arg == "--backend") {
+      opt.backend = need(i);
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(std::atoi(need(i)));
+    } else if (arg == "--fusion") {
+      opt.fusion = need(i);
+    } else if (arg == "--shots") {
+      opt.shots = static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (arg == "--top") {
+      opt.top = static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--optimize") {
+      opt.optimizeCircuit = true;
+    } else if (arg == "--dot") {
+      opt.dotFile = need(i);
+    } else if (arg == "--export-qasm") {
+      opt.exportQasm = need(i);
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (opt.circuit.empty() && opt.qasmFile.empty()) {
+    opt.circuit = "supremacy";
+  }
+  try {
+    return runCli(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
