@@ -100,6 +100,25 @@ double timeIt(const std::function<void()>& f) {
   return sw.seconds();
 }
 
+engine::RunReport runBackend(const std::string& backend,
+                             const qc::Circuit& circuit,
+                             const engine::EngineOptions& options) {
+  return engine::simulate(backend, circuit, options);
+}
+
+engine::RunReport bestOf(int repeats, const std::string& backend,
+                         const qc::Circuit& circuit,
+                         const engine::EngineOptions& options) {
+  engine::RunReport best;
+  for (int i = 0; i < repeats; ++i) {
+    engine::RunReport report = engine::simulate(backend, circuit, options);
+    if (i == 0 || report.simulateSeconds < best.simulateSeconds) {
+      best = std::move(report);
+    }
+  }
+  return best;
+}
+
 std::vector<BenchCircuit> table1Circuits() {
   // Scaled versions of the paper's 12 circuits (Table 1). Qubit counts are
   // reduced so the full sweep runs in minutes on a 2-core container; the

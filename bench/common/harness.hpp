@@ -11,6 +11,7 @@
 
 #include "common/timing.hpp"
 #include "common/types.hpp"
+#include "engine/simulation_engine.hpp"
 #include "qc/circuit.hpp"
 
 namespace fdd::bench {
@@ -39,6 +40,20 @@ class Table {
 
 /// Runs f once and returns wall seconds.
 [[nodiscard]] double timeIt(const std::function<void()>& f);
+
+/// Runs `circuit` on the factory backend `backend` and returns the report.
+/// All benches dispatch through this (no concrete simulator classes); use
+/// report.simulateSeconds as "the" time — it excludes pipeline and state
+/// allocation, matching what timeIt-around-simulate used to measure.
+[[nodiscard]] engine::RunReport runBackend(
+    const std::string& backend, const qc::Circuit& circuit,
+    const engine::EngineOptions& options = {});
+
+/// Best-of-N runBackend (by simulateSeconds) to tame container jitter;
+/// returns the fastest run's report.
+[[nodiscard]] engine::RunReport bestOf(
+    int repeats, const std::string& backend, const qc::Circuit& circuit,
+    const engine::EngineOptions& options = {});
 
 /// One named benchmark circuit plus the paper row it scales down.
 struct BenchCircuit {

@@ -2,6 +2,10 @@
 // irregular circuits (DNN, Supremacy). The paper's shape: DDSIM's per-gate
 // time explodes once the state turns irregular; FlatDD follows DDSIM until
 // the conversion point and then stays flat, below the array simulator.
+//
+// All three traces come from the engine's normalized per-gate recording
+// (EngineOptions::recordPerGate -> RunReport::perGate), so the three
+// backends are sampled by exactly the same mechanism.
 
 #include <cstdio>
 #include <vector>
@@ -9,64 +13,46 @@
 #include "circuits/generators.hpp"
 #include "circuits/supremacy.hpp"
 #include "common/harness.hpp"
-#include "flatdd/flatdd_simulator.hpp"
-#include "sim/array_simulator.hpp"
-#include "sim/dd_simulator.hpp"
 
 namespace fdd::bench {
 namespace {
-
-
 
 void runCase(const qc::Circuit& circuit) {
   const Qubit n = circuit.numQubits();
   std::printf("--- %s (%d qubits, %zu gates) ---\n", circuit.name().c_str(),
               n, circuit.numGates());
 
-  // FlatDD per-gate trace.
-  flat::FlatDDOptions opt;
-  opt.threads = benchThreads();
-  opt.recordPerGate = true;
-  flat::FlatDDSimulator flatSim{n, opt};
-  flatSim.simulate(circuit);
-  const auto& flatTrace = flatSim.stats().perGate;
+  engine::EngineOptions multi;
+  multi.threads = benchThreads();
+  multi.recordPerGate = true;
+  engine::EngineOptions single;
+  single.threads = 1;
+  single.recordPerGate = true;
 
-  // DDSIM per-gate trace.
-  sim::DDSimulator ddSim{n};
-  std::vector<double> ddTrace;
-  for (const auto& op : circuit) {
-    Stopwatch sw;
-    ddSim.applyOperation(op);
-    ddTrace.push_back(sw.seconds());
-  }
+  const engine::RunReport flat = runBackend("flatdd", circuit, multi);
+  const engine::RunReport dd = runBackend("dd", circuit, single);
+  const engine::RunReport arr = runBackend("array-mi", circuit, multi);
 
-  // Array per-gate trace.
-  sim::ArraySimulator arrSim{
-      n, {.threads = benchThreads(),
-          .indexing = sim::ArrayIndexing::MultiIndex}};
-  std::vector<double> arrTrace;
-  for (const auto& op : circuit) {
-    Stopwatch sw;
-    arrSim.applyOperation(op);
-    arrTrace.push_back(sw.seconds());
-  }
+  const auto& flatTrace = flat.perGate;
+  const auto& ddTrace = dd.perGate;
+  const auto& arrTrace = arr.perGate;
 
   Table table({"Gate", "FlatDD", "phase", "DDSIM", "Array"});
   const std::size_t stride = std::max<std::size_t>(1, ddTrace.size() / 24);
   for (std::size_t i = 0; i < ddTrace.size(); i += stride) {
-    const bool inDD = i < flatTrace.size() && flatTrace[i].inDDPhase;
     // After fusion-less conversion the FlatDD trace is 1:1 with gates.
-    const double flatT =
-        i < flatTrace.size() ? flatTrace[i].seconds : 0.0;
-    table.addRow({std::to_string(i), fmtSeconds(flatT),
-                  inDD ? "DD" : "DMAV", fmtSeconds(ddTrace[i]),
-                  fmtSeconds(arrTrace[i])});
+    const std::string phase =
+        i < flatTrace.size() ? flatTrace[i].phase : std::string("-");
+    const double flatT = i < flatTrace.size() ? flatTrace[i].seconds : 0.0;
+    const double arrT = i < arrTrace.size() ? arrTrace[i].seconds : 0.0;
+    table.addRow({std::to_string(i), fmtSeconds(flatT), phase,
+                  fmtSeconds(ddTrace[i].seconds), fmtSeconds(arrT)});
   }
   table.print();
-  if (flatSim.stats().converted) {
+  if (flat.converted) {
     std::printf("FlatDD converted at gate %zu (conversion took %s)\n\n",
-                flatSim.stats().conversionGateIndex,
-                fmtSeconds(flatSim.stats().conversionSeconds).c_str());
+                flat.conversionGateIndex,
+                fmtSeconds(flat.conversionSeconds).c_str());
   } else {
     std::printf("FlatDD never converted on this circuit\n\n");
   }

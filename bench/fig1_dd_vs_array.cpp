@@ -2,13 +2,14 @@
 // (DDSIM) and an array-based simulator (Quantum++) on two regular (Adder,
 // GHZ) and two irregular (DNN, VQE) circuits. The DD simulator should win
 // decisively on the regular pair and lose on the irregular pair.
+//
+// Both configurations are engine backends ("dd", "array-mi") dispatched by
+// name through the bench harness.
 
 #include <cstdio>
 
 #include "circuits/generators.hpp"
 #include "common/harness.hpp"
-#include "sim/array_simulator.hpp"
-#include "sim/dd_simulator.hpp"
 
 namespace fdd::bench {
 namespace {
@@ -31,16 +32,17 @@ int run() {
   Table table({"Circuit", "DD time", "Array time", "norm. DD", "norm. Array",
                "DD mem", "Array mem", "norm. DD", "norm. Array"});
 
-  for (const auto& c : cases) {
-    const Qubit n = c.circuit.numQubits();
-    sim::DDSimulator ddSim{n};
-    const double tDD = timeIt([&] { ddSim.simulate(c.circuit); });
-    const double mDD = static_cast<double>(ddSim.package().stats().memoryBytes);
+  engine::EngineOptions single;
+  single.threads = 1;
 
-    sim::ArraySimulator arrSim{
-        n, {.threads = 1, .indexing = sim::ArrayIndexing::MultiIndex}};
-    const double tArr = timeIt([&] { arrSim.simulate(c.circuit); });
-    const double mArr = static_cast<double>(arrSim.memoryBytes());
+  for (const auto& c : cases) {
+    const engine::RunReport dd = runBackend("dd", c.circuit, single);
+    const engine::RunReport arr = runBackend("array-mi", c.circuit, single);
+
+    const double tDD = dd.simulateSeconds;
+    const double tArr = arr.simulateSeconds;
+    const double mDD = static_cast<double>(dd.memoryBytes);
+    const double mArr = static_cast<double>(arr.memoryBytes);
 
     const double tMax = std::max(tDD, tArr);
     const double mMax = std::max(mDD, mArr);

@@ -2,18 +2,16 @@
 // Quantum++ (our array simulator) on the 12 benchmark circuits.
 // FlatDD and the array simulator run multi-threaded; DDSIM runs on one
 // thread (it does not support multi-threading — Section 4.2).
+//
+// All three configurations are engine backends ("flatdd", "dd", "array-mi")
+// dispatched by name through the bench harness.
 
 #include <cstdio>
 
 #include "common/harness.hpp"
-#include "flatdd/flatdd_simulator.hpp"
-#include "sim/array_simulator.hpp"
-#include "sim/dd_simulator.hpp"
 
 namespace fdd::bench {
 namespace {
-
-
 
 int run() {
   printPreamble("Table 1 — overall runtime & memory, 12 circuits",
@@ -22,6 +20,11 @@ int run() {
   Table table({"Circuit", "Qubits", "Gates", "FlatDD time", "FlatDD mem",
                "DDSIM time", "speedup", "DDSIM mem", "Array time", "speedup",
                "Array mem", "converted@"});
+
+  engine::EngineOptions multi;
+  multi.threads = benchThreads();
+  engine::EngineOptions single;
+  single.threads = 1;
 
   std::vector<double> flatTimes;
   std::vector<double> ddSpeedups;
@@ -33,21 +36,16 @@ int run() {
   for (const auto& bc : table1Circuits()) {
     const Qubit n = bc.circuit.numQubits();
 
-    flat::FlatDDOptions opt;
-    opt.threads = benchThreads();
-    flat::FlatDDSimulator flatSim{n, opt};
-    const double tFlat = timeIt([&] { flatSim.simulate(bc.circuit); });
-    const double mFlat = static_cast<double>(flatSim.memoryBytes());
+    const engine::RunReport flat = runBackend("flatdd", bc.circuit, multi);
+    const engine::RunReport dd = runBackend("dd", bc.circuit, single);
+    const engine::RunReport arr = runBackend("array-mi", bc.circuit, multi);
 
-    sim::DDSimulator ddSim{n};
-    const double tDD = timeIt([&] { ddSim.simulate(bc.circuit); });
-    const double mDD = static_cast<double>(ddSim.package().stats().memoryBytes);
-
-    sim::ArraySimulator arrSim{
-        n, {.threads = benchThreads(),
-            .indexing = sim::ArrayIndexing::MultiIndex}};
-    const double tArr = timeIt([&] { arrSim.simulate(bc.circuit); });
-    const double mArr = static_cast<double>(arrSim.memoryBytes());
+    const double tFlat = flat.simulateSeconds;
+    const double tDD = dd.simulateSeconds;
+    const double tArr = arr.simulateSeconds;
+    const double mFlat = static_cast<double>(flat.memoryBytes);
+    const double mDD = static_cast<double>(dd.memoryBytes);
+    const double mArr = static_cast<double>(arr.memoryBytes);
 
     flatTimes.push_back(tFlat);
     ddSpeedups.push_back(tDD / tFlat);
@@ -56,14 +54,13 @@ int run() {
     ddMem.push_back(mDD);
     arrMem.push_back(mArr);
 
-    const auto& st = flatSim.stats();
     table.addRow({bc.name, std::to_string(n),
                   std::to_string(bc.circuit.numGates()), fmtSeconds(tFlat),
                   fmtMB(mFlat), fmtSeconds(tDD), fmtRatio(tDD / tFlat),
                   fmtMB(mDD), fmtSeconds(tArr), fmtRatio(tArr / tFlat),
                   fmtMB(mArr),
-                  st.converted ? std::to_string(st.conversionGateIndex)
-                               : std::string("never")});
+                  flat.converted ? std::to_string(flat.conversionGateIndex)
+                                 : std::string("never")});
     std::printf("  [%s done; %s]\n", bc.name.c_str(), bc.paperRow.c_str());
   }
   std::printf("\n");

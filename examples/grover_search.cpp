@@ -1,15 +1,14 @@
 // Domain scenario: Grover search with measurement sampling — run the
-// search circuit through FlatDD, then sample outcomes to verify the marked
-// state dominates. Demonstrates interop between FlatDD's state output and
-// the array simulator's sampling.
+// search circuit through the engine's "flatdd" backend, then sample
+// outcomes through the unified Backend::sample() API to verify the marked
+// state dominates. No concrete simulator class appears anywhere.
 
 #include <cstdio>
 #include <map>
 
 #include "circuits/generators.hpp"
 #include "common/prng.hpp"
-#include "flatdd/flatdd_simulator.hpp"
-#include "sim/array_simulator.hpp"
+#include "engine/simulation_engine.hpp"
 
 int main() {
   using namespace fdd;
@@ -19,23 +18,19 @@ int main() {
   std::printf("Grover search on %d qubits (%zu gates, marked state |1...1>)\n",
               n, circuit.numGates());
 
-  flat::FlatDDOptions options;
+  engine::EngineOptions options;
   options.threads = 4;
-  flat::FlatDDSimulator sim{n, options};
-  sim.simulate(circuit);
-  std::printf("converted to DMAV: %s\n\n",
-              sim.stats().converted ? "yes" : "no");
+  engine::SimulationEngine eng{options};
+  const engine::RunReport report = eng.run("flatdd", circuit);
+  std::printf("converted to DMAV: %s\n\n", report.converted ? "yes" : "no");
 
-  // Load the final state into the array simulator to sample measurements.
-  const auto state = sim.stateVector();
-  sim::ArraySimulator sampler{n};
-  sampler.setState(state);
-
+  // Sample measurements straight from the backend — every backend supports
+  // sample(), so this works unchanged with "dd" or "array" too.
   Xoshiro256 rng{99};
-  std::map<Index, int> counts;
   const int shots = 2000;
-  for (int s = 0; s < shots; ++s) {
-    ++counts[sampler.sample(rng)];
+  std::map<Index, int> counts;
+  for (const Index outcome : eng.backend().sample(shots, rng)) {
+    ++counts[outcome];
   }
 
   const Index marked = (Index{1} << n) - 1;

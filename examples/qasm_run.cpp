@@ -1,16 +1,16 @@
-// Run an OpenQASM 2.0 file through FlatDD and print the most probable
-// outcomes plus simulation statistics.
+// Run an OpenQASM 2.0 file through the simulation engine and print the most
+// probable outcomes plus the run report.
 //
-//   usage: qasm_run [file.qasm]
+//   usage: qasm_run [file.qasm] [backend]
 //
-// Without an argument, a bundled demo program (a 6-qubit QAOA-style circuit
-// written in QASM) is used.
+// Without arguments, a bundled demo program (a 6-qubit QAOA-style circuit
+// written in QASM) runs on the "flatdd" backend.
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "flatdd/flatdd_simulator.hpp"
+#include "engine/simulation_engine.hpp"
 #include "qasm/parser.hpp"
 
 namespace {
@@ -57,15 +57,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to load program: %s\n", e.what());
     return 1;
   }
+  const std::string backend = argc > 2 ? argv[2] : "flatdd";
   std::printf("loaded %s: %d qubits, %zu gates\n", circuit.name().c_str(),
               circuit.numQubits(), circuit.numGates());
 
-  flat::FlatDDOptions options;
+  engine::EngineOptions options;
   options.threads = 8;
-  flat::FlatDDSimulator sim{circuit.numQubits(), options};
-  sim.simulate(circuit);
+  engine::SimulationEngine eng{options};
+  engine::RunReport report;
+  try {
+    report = eng.run(backend, circuit);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simulation failed: %s\n", e.what());
+    return 1;
+  }
 
-  const auto state = sim.stateVector();
+  const auto state = eng.backend().stateVector();
   std::vector<std::pair<double, Index>> probs;
   probs.reserve(state.size());
   for (Index i = 0; i < state.size(); ++i) {
@@ -83,12 +90,11 @@ int main(int argc, char** argv) {
     std::printf(">  p = %.4f\n", p);
   }
 
-  const auto& st = sim.stats();
-  std::printf("\nsimulation: %zu gates in DD phase, %zu in DMAV phase\n",
-              st.ddGates, st.dmavGates);
-  if (st.converted) {
+  std::printf("\nsimulation (%s): %zu gates in DD phase, %zu in DMAV phase\n",
+              report.backend.c_str(), report.ddGates, report.dmavGates);
+  if (report.converted) {
     std::printf("converted to flat array at gate %zu (%.3f ms conversion)\n",
-                st.conversionGateIndex, st.conversionSeconds * 1e3);
+                report.conversionGateIndex, report.conversionSeconds * 1e3);
   }
   return 0;
 }

@@ -1,10 +1,12 @@
-// Quickstart: build a circuit with the fluent API, simulate it with FlatDD,
-// and read amplitudes. This is the 60-second tour of the public API.
+// Quickstart: build a circuit with the fluent API, run it through the
+// simulation engine, and read amplitudes. This is the 60-second tour of the
+// public API — backends are selected by name ("flatdd", "dd", "array",
+// "array-mi"), so switching simulators is a one-string change.
 
 #include <cstdio>
 
 #include "circuits/generators.hpp"
-#include "flatdd/flatdd_simulator.hpp"
+#include "engine/simulation_engine.hpp"
 
 int main() {
   using namespace fdd;
@@ -14,20 +16,21 @@ int main() {
   circuit.h(0).cx(0, 1).cx(1, 2).cx(2, 3).z(3);
   std::printf("%s\n", circuit.toString().c_str());
 
-  // 2. Simulate. FlatDD starts DD-based and converts to DMAV only if the
-  //    state turns irregular — this circuit stays regular throughout.
-  flat::FlatDDOptions options;
+  // 2. Simulate. The "flatdd" backend starts DD-based and converts to DMAV
+  //    only if the state turns irregular — this circuit stays regular.
+  engine::EngineOptions options;
   options.threads = 4;
-  flat::FlatDDSimulator sim{circuit.numQubits(), options};
-  sim.simulate(circuit);
+  engine::SimulationEngine eng{options};
+  const engine::RunReport report = eng.run("flatdd", circuit);
 
-  // 3. Inspect the result.
+  // 3. Inspect the result through the backend the engine kept alive.
+  const engine::Backend& sim = eng.backend();
   std::printf("amplitude |0000> = (%.4f, %.4f)\n",
               sim.amplitude(0).real(), sim.amplitude(0).imag());
   std::printf("amplitude |1111> = (%.4f, %.4f)\n",
               sim.amplitude(15).real(), sim.amplitude(15).imag());
   std::printf("converted to DMAV: %s\n",
-              sim.stats().converted ? "yes" : "no (stayed in DD)");
+              report.converted ? "yes" : "no (stayed in DD)");
 
   // 4. Full state vector on demand.
   const auto state = sim.stateVector();
@@ -36,5 +39,9 @@ int main() {
     norm += std::norm(amp);
   }
   std::printf("state norm = %.12f\n", norm);
+
+  // 5. The whole run is also available as a machine-readable report.
+  std::printf("report: %zu gates in %.3f ms\n", report.gates,
+              report.totalSeconds * 1e3);
   return 0;
 }

@@ -1,18 +1,17 @@
 // Domain scenario: race the three engines on a quantum-supremacy-style
 // random circuit — the paper's canonical DD-hostile workload — and report
 // runtime, memory, fidelity agreement, and FlatDD's conversion behavior.
+// Every contestant is an engine backend dispatched by factory name.
 //
 //   usage: supremacy_race [qubits] [cycles]
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "circuits/supremacy.hpp"
-#include "common/timing.hpp"
-#include "flatdd/flatdd_simulator.hpp"
-#include "sim/array_simulator.hpp"
-#include "sim/dd_simulator.hpp"
+#include "engine/simulation_engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace fdd;
@@ -25,50 +24,48 @@ int main(int argc, char** argv) {
   std::printf("supremacy circuit: %d qubits, %u cycles, %zu gates\n\n", n,
               cycles, circuit.numGates());
 
+  engine::EngineOptions multi;
+  multi.threads = 8;
+  engine::EngineOptions single;
+  single.threads = 1;  // DDSIM does not support multi-threading
+
   // FlatDD — the hybrid.
-  flat::FlatDDOptions options;
-  options.threads = 8;
-  flat::FlatDDSimulator flatSim{n, options};
-  Stopwatch sw;
-  flatSim.simulate(circuit);
-  const double tFlat = sw.seconds();
-  std::printf("FlatDD   : %8.3f s, %6.1f MB", tFlat,
-              static_cast<double>(flatSim.memoryBytes()) / 1048576.0);
-  if (flatSim.stats().converted) {
-    std::printf("  (DD for %zu gates, then DMAV for %zu)\n",
-                flatSim.stats().ddGates, flatSim.stats().dmavGates);
+  engine::SimulationEngine flatEng{multi};
+  const engine::RunReport flat = flatEng.run("flatdd", circuit);
+  std::printf("FlatDD   : %8.3f s, %6.1f MB", flat.simulateSeconds,
+              static_cast<double>(flat.memoryBytes) / 1048576.0);
+  if (flat.converted) {
+    std::printf("  (DD for %zu gates, then DMAV for %zu)\n", flat.ddGates,
+                flat.dmavGates);
   } else {
     std::printf("  (never left DD)\n");
   }
 
   // DDSIM — pure decision diagrams, single-threaded.
-  sim::DDSimulator ddSim{n};
-  sw.reset();
-  ddSim.simulate(circuit);
-  const double tDD = sw.seconds();
-  std::printf("DDSIM    : %8.3f s, %6.1f MB  (state DD: %zu nodes)\n", tDD,
-              static_cast<double>(ddSim.package().stats().memoryBytes) /
-                  1048576.0,
-              ddSim.stateNodeCount());
+  engine::SimulationEngine ddEng{single};
+  const engine::RunReport dd = ddEng.run("dd", circuit);
+  std::printf("DDSIM    : %8.3f s, %6.1f MB  (peak state DD: %zu nodes)\n",
+              dd.simulateSeconds,
+              static_cast<double>(dd.memoryBytes) / 1048576.0, dd.peakDDSize);
 
   // Array simulator — Quantum++-style.
-  sim::ArraySimulator arrSim{n, {.threads = 8}};
-  sw.reset();
-  arrSim.simulate(circuit);
-  const double tArr = sw.seconds();
-  std::printf("Array    : %8.3f s, %6.1f MB\n", tArr,
-              static_cast<double>(arrSim.memoryBytes()) / 1048576.0);
+  engine::SimulationEngine arrEng{multi};
+  const engine::RunReport arr = arrEng.run("array", circuit);
+  std::printf("Array    : %8.3f s, %6.1f MB\n", arr.simulateSeconds,
+              static_cast<double>(arr.memoryBytes) / 1048576.0);
 
   // All three must agree.
-  const auto flatState = flatSim.stateVector();
-  const auto ddState = ddSim.stateVector();
+  const auto flatState = flatEng.backend().stateVector();
+  const auto ddState = ddEng.backend().stateVector();
   double maxDiff = 0;
   for (Index i = 0; i < flatState.size(); ++i) {
     maxDiff = std::max(maxDiff, std::abs(flatState[i] - ddState[i]));
-    maxDiff = std::max(maxDiff, std::abs(flatState[i] - arrSim.amplitude(i)));
+    maxDiff = std::max(maxDiff,
+                       std::abs(flatState[i] - arrEng.backend().amplitude(i)));
   }
   std::printf("\nmax amplitude disagreement across engines: %.2e\n", maxDiff);
-  std::printf("FlatDD speedup: %.2fx vs DDSIM, %.2fx vs Array\n", tDD / tFlat,
-              tArr / tFlat);
+  std::printf("FlatDD speedup: %.2fx vs DDSIM, %.2fx vs Array\n",
+              dd.simulateSeconds / flat.simulateSeconds,
+              arr.simulateSeconds / flat.simulateSeconds);
   return maxDiff < 1e-8 ? 0 : 1;
 }

@@ -28,6 +28,15 @@ inline constexpr fp PI = 3.1415926535897932384626433832795028842;
 /// diagram nodes merge.
 inline constexpr fp EPS = 1e-12;
 
+/// State-vector dimension below which per-gate kernels run single-threaded.
+/// Waking the pool and joining it costs tens of microseconds per gate, while
+/// an amplitude-pair update costs a few nanoseconds; below ~2^13 amplitudes
+/// the fork/join latency dominates the kernel itself, so threading loses.
+/// Shared by the array simulator and the DMAV phase of FlatDD (historically
+/// two divergent defaults, 2^12 and 2^13; benchmarked on both kernels, the
+/// crossover sits at the larger value).
+inline constexpr Index kParallelThresholdDim = Index{1} << 13;
+
 /// |z| squared without the sqrt of std::abs.
 [[nodiscard]] inline fp norm2(const Complex& z) noexcept {
   return z.real() * z.real() + z.imag() * z.imag();

@@ -1,0 +1,59 @@
+#pragma once
+// The polymorphic simulation-backend interface. Every representation the
+// repo knows — DD state (DDSIM-style), dense array (Quantum++-style, both
+// indexing modes), and the hybrid FlatDD — sits behind this one API, so the
+// CLI, the bench harness, the examples and any future scheduler dispatch on
+// a backend name instead of hard-coding simulator classes.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/prng.hpp"
+#include "engine/run_report.hpp"
+#include "qc/circuit.hpp"
+
+namespace fdd::engine {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// The factory key this backend was registered under.
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Qubit numQubits() const = 0;
+
+  /// Resets state (and any run statistics) to |0...0>.
+  virtual void reset() = 0;
+  /// Loads an arbitrary state of size 2^n (not normalized for you).
+  virtual void setState(std::span<const Complex> amplitudes) = 0;
+
+  /// Streams one gate into the current state.
+  virtual void applyOperation(const qc::Operation& op) = 0;
+  /// Runs a whole circuit from the current state; batch-only stages (e.g.
+  /// FlatDD's conversion-point fusion) apply here but not when streaming.
+  virtual void simulate(const qc::Circuit& circuit) = 0;
+
+  [[nodiscard]] virtual Complex amplitude(Index i) const = 0;
+  /// Dense readout of the full state (converts on demand where needed).
+  [[nodiscard]] virtual AlignedVector<Complex> stateVector() const = 0;
+  /// Samples `shots` basis states from |amplitude|^2.
+  [[nodiscard]] virtual std::vector<Index> sample(std::size_t shots,
+                                                  Xoshiro256& rng) const = 0;
+
+  /// Backend-accounted working-set bytes (state + tables + workspace).
+  [[nodiscard]] virtual std::size_t memoryBytes() const = 0;
+
+  /// Copies backend-specific counters, phase timings and the per-gate trace
+  /// into the normalized report. Fields a backend cannot produce are left
+  /// untouched.
+  virtual void fillReport(RunReport& report) const = 0;
+
+  /// Graphviz dump of the backend's native state representation, or "" when
+  /// the representation has no meaningful graph form (dense arrays).
+  [[nodiscard]] virtual std::string exportDot() const { return {}; }
+};
+
+}  // namespace fdd::engine

@@ -1,0 +1,54 @@
+#pragma once
+// String-keyed backend registry. Built-in backends self-register on first
+// use; out-of-tree backends call registerBackend() once (e.g. from a static
+// initializer) and every front end — CLI, benches, examples — can name them
+// immediately. This is the single place backend dispatch lives.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "engine/options.hpp"
+
+namespace fdd::engine {
+
+class BackendFactory {
+ public:
+  using Creator =
+      std::function<std::unique_ptr<Backend>(Qubit, const EngineOptions&)>;
+
+  /// The process-wide registry, with the built-ins ("dd", "array",
+  /// "array-mi", "flatdd") already registered.
+  [[nodiscard]] static BackendFactory& instance();
+
+  /// Registers (or replaces) a backend under `name`.
+  void registerBackend(std::string name, std::string description,
+                       Creator creator);
+
+  /// Instantiates `name`; throws std::invalid_argument for unknown names
+  /// (the message lists what is registered).
+  [[nodiscard]] std::unique_ptr<Backend> create(
+      std::string_view name, Qubit nQubits,
+      const EngineOptions& options = {}) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> registeredNames() const;
+  /// One-line description of a registered backend ("" if unknown).
+  [[nodiscard]] std::string describe(std::string_view name) const;
+
+ private:
+  BackendFactory();
+
+  struct Entry {
+    std::string description;
+    Creator creator;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace fdd::engine

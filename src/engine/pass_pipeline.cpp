@@ -1,0 +1,65 @@
+#include "engine/pass_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/timing.hpp"
+#include "qc/optimizer.hpp"
+
+namespace fdd::engine {
+
+const std::vector<std::string>& PassPipeline::knownPasses() {
+  static const std::vector<std::string> names{"optimize", "fusion-dmav",
+                                              "fusion-kops"};
+  return names;
+}
+
+bool PassPipeline::isKnownPass(const std::string& name) {
+  const auto& known = knownPasses();
+  return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+qc::Circuit PassPipeline::run(const qc::Circuit& circuit,
+                              const EngineOptions& options,
+                              RunReport& report) {
+  qc::Circuit prepared = circuit;
+  for (const auto& name : options.passes) {
+    if (!isKnownPass(name)) {
+      std::string msg = "unknown pass: " + name + " (known:";
+      for (const auto& known : knownPasses()) {
+        msg += ' ';
+        msg += known;
+      }
+      msg += ')';
+      throw std::invalid_argument(msg);
+    }
+
+    PassReport entry;
+    entry.name = name;
+    entry.gatesBefore = prepared.numGates();
+
+    if (name == "optimize") {
+      Stopwatch sw;
+      qc::OptimizerStats stats;
+      prepared = qc::optimize(prepared, {}, &stats);
+      entry.seconds = sw.seconds();
+      entry.gatesAfter = prepared.numGates();
+      entry.note = std::to_string(stats.cancelledPairs) +
+                   " pairs cancelled, " +
+                   std::to_string(stats.mergedRotations) +
+                   " rotations merged, " +
+                   std::to_string(stats.droppedIdentities) +
+                   " identities dropped";
+    } else {
+      // fusion-dmav / fusion-kops: armed here, executed by the flatdd
+      // backend where the remaining gates are known (its conversion point).
+      entry.circuitTransform = false;
+      entry.gatesAfter = prepared.numGates();
+      entry.note = "armed; executed at the flatdd conversion point";
+    }
+    report.passes.push_back(std::move(entry));
+  }
+  return prepared;
+}
+
+}  // namespace fdd::engine

@@ -1,0 +1,34 @@
+#pragma once
+// Declarative circuit-preparation pipeline. The passes that used to be
+// ad-hoc call sites (the qc peephole optimizer before simulation, the
+// conversion-point gate fusion inside FlatDD) are named, ordered and
+// toggleable through EngineOptions::passes; each executed pass leaves one
+// PassReport entry in the run report.
+
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "engine/run_report.hpp"
+#include "qc/circuit.hpp"
+
+namespace fdd::engine {
+
+class PassPipeline {
+ public:
+  /// The pass names the pipeline understands, in their canonical order.
+  [[nodiscard]] static const std::vector<std::string>& knownPasses();
+
+  [[nodiscard]] static bool isKnownPass(const std::string& name);
+
+  /// Runs options.passes over `circuit` in the given order. Circuit-
+  /// rewriting passes ("optimize") transform here; backend-delegated passes
+  /// ("fusion-dmav", "fusion-kops") only record that they are armed — the
+  /// flatdd backend executes them at its conversion point, other backends
+  /// ignore them. Throws std::invalid_argument on an unknown pass name.
+  [[nodiscard]] static qc::Circuit run(const qc::Circuit& circuit,
+                                       const EngineOptions& options,
+                                       RunReport& report);
+};
+
+}  // namespace fdd::engine

@@ -1,0 +1,552 @@
+#include "engine/run_report.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <variant>
+
+namespace fdd::engine {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void escapeTo(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string numberToString(double v) {
+  // Shortest representation that round-trips a double exactly.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+/// Tiny append-only JSON object/array writer (keys are emitted in call
+/// order; no pretty-printing beyond one level of newlines).
+class JsonWriter {
+ public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray(std::string_view key) { keyTo(key); open('['); }
+  void endArray() { close(']'); }
+  void beginObjectIn(std::string_view key) { keyTo(key); open('{'); }
+  void beginObjectEntry() { open('{'); }
+
+  void field(std::string_view key, std::string_view v) {
+    keyTo(key);
+    escapeTo(out_, v);
+    valueDone();
+  }
+  void field(std::string_view key, double v) {
+    keyTo(key);
+    out_ += numberToString(v);
+    valueDone();
+  }
+  void field(std::string_view key, std::size_t v) {
+    keyTo(key);
+    out_ += std::to_string(v);
+    valueDone();
+  }
+  void field(std::string_view key, unsigned v) {
+    keyTo(key);
+    out_ += std::to_string(v);
+    valueDone();
+  }
+  void field(std::string_view key, int v) {
+    keyTo(key);
+    out_ += std::to_string(v);
+    valueDone();
+  }
+  void field(std::string_view key, bool v) {
+    keyTo(key);
+    out_ += v ? "true" : "false";
+    valueDone();
+  }
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ += c;
+    first_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    valueDone();  // the closed container is a completed value
+  }
+  /// Emit the "," before a new key or array element — unless this value
+  /// directly follows its own key, or is the first in its container.
+  void separate() {
+    if (afterKey_) {
+      afterKey_ = false;
+      return;
+    }
+    if (!first_) {
+      out_ += ',';
+    }
+    first_ = false;
+  }
+  void valueDone() {
+    afterKey_ = false;
+    first_ = false;
+  }
+  void keyTo(std::string_view key) {
+    separate();
+    escapeTo(out_, key);
+    out_ += ':';
+    afterKey_ = true;
+  }
+
+  std::string out_;
+  bool first_ = true;
+  bool afterKey_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Parser — the subset toJson() emits (objects, arrays, strings, numbers,
+// booleans, null), enough for the round trip and for external tools that
+// hand-edit reports.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonObject>, std::shared_ptr<JsonArray>>
+      v = nullptr;
+
+  [[nodiscard]] const JsonObject* object() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const JsonArray* array() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
+    return p ? p->get() : nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_{text} {}
+
+  JsonValue parse() {
+    const JsonValue value = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument("RunReport::fromJson: " + std::string(what) +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail("unexpected character");
+    }
+    ++pos_;
+  }
+
+  bool consumeIf(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parseValue() {
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return JsonValue{parseString()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return parseNumber();
+    }
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+    }
+    pos_ += word.size();
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("bad \\u escape");
+          }
+          unsigned code = 0;
+          const auto res = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // toJson only escapes control characters; anything else is kept
+          // as a replacement since reports never contain non-ASCII.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    skipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    double value = 0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (pos_ == start || res.ec != std::errc{} ||
+        res.ptr != text_.data() + pos_) {
+      fail("bad number");
+    }
+    return JsonValue{value};
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (!consumeIf('}')) {
+      do {
+        std::string key = parseString();
+        expect(':');
+        obj->emplace(std::move(key), parseValue());
+      } while (consumeIf(','));
+      expect('}');
+    }
+    return JsonValue{std::move(obj)};
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (!consumeIf(']')) {
+      do {
+        arr->push_back(parseValue());
+      } while (consumeIf(','));
+      expect(']');
+    }
+    return JsonValue{std::move(arr)};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// Typed field extraction (missing/mistyped keys keep the default).
+void get(const JsonObject& o, std::string_view key, std::string& out) {
+  if (const auto it = o.find(key); it != o.end()) {
+    if (const auto* s = std::get_if<std::string>(&it->second.v)) {
+      out = *s;
+    }
+  }
+}
+void get(const JsonObject& o, std::string_view key, double& out) {
+  if (const auto it = o.find(key); it != o.end()) {
+    if (const auto* d = std::get_if<double>(&it->second.v)) {
+      out = *d;
+    }
+  }
+}
+void get(const JsonObject& o, std::string_view key, bool& out) {
+  if (const auto it = o.find(key); it != o.end()) {
+    if (const auto* b = std::get_if<bool>(&it->second.v)) {
+      out = *b;
+    }
+  }
+}
+void get(const JsonObject& o, std::string_view key, std::size_t& out) {
+  double d = static_cast<double>(out);
+  get(o, key, d);
+  out = static_cast<std::size_t>(d);
+}
+void get(const JsonObject& o, std::string_view key, unsigned& out) {
+  double d = out;
+  get(o, key, d);
+  out = static_cast<unsigned>(d);
+}
+void get(const JsonObject& o, std::string_view key, Qubit& out) {
+  double d = out;
+  get(o, key, d);
+  out = static_cast<Qubit>(d);
+}
+
+}  // namespace
+
+std::string RunReport::toJson() const {
+  JsonWriter w;
+  w.beginObject();
+  w.field("backend", backend);
+  w.field("circuit", circuit);
+  w.field("qubits", qubits);
+  w.field("gates", gates);
+  w.field("depth", depth);
+  w.field("threads", threads);
+
+  w.beginObjectIn("timings");
+  w.field("total", totalSeconds);
+  w.field("pipeline", pipelineSeconds);
+  w.field("simulate", simulateSeconds);
+  w.field("ddPhase", ddPhaseSeconds);
+  w.field("dmavPhase", dmavPhaseSeconds);
+  w.field("conversion", conversionSeconds);
+  w.field("fusion", fusionSeconds);
+  w.endObject();
+
+  w.beginObjectIn("counters");
+  w.field("converted", converted);
+  w.field("conversionGateIndex", conversionGateIndex);
+  w.field("ddGates", ddGates);
+  w.field("dmavGates", dmavGates);
+  w.field("cachedGates", cachedGates);
+  w.field("cacheHits", cacheHits);
+  w.field("peakDDSize", peakDDSize);
+  w.field("dmavModelCost", dmavModelCost);
+  w.endObject();
+
+  w.beginObjectIn("memory");
+  w.field("accountedBytes", memoryBytes);
+  w.field("peakRssBytes", peakRssBytes);
+  w.endObject();
+
+  w.beginArray("passes");
+  for (const auto& p : passes) {
+    w.beginObjectEntry();
+    w.field("name", p.name);
+    w.field("circuitTransform", p.circuitTransform);
+    w.field("seconds", p.seconds);
+    w.field("gatesBefore", p.gatesBefore);
+    w.field("gatesAfter", p.gatesAfter);
+    w.field("note", p.note);
+    w.endObject();
+  }
+  w.endArray();
+
+  w.beginArray("perGate");
+  for (const auto& g : perGate) {
+    w.beginObjectEntry();
+    w.field("gate", g.gateIndex);
+    w.field("phase", g.phase);
+    w.field("seconds", g.seconds);
+    w.field("ddSize", g.ddSize);
+    w.endObject();
+  }
+  w.endArray();
+
+  w.endObject();
+  return w.take();
+}
+
+RunReport RunReport::fromJson(std::string_view json) {
+  const JsonValue root = JsonParser{json}.parse();
+  const JsonObject* top = root.object();
+  if (top == nullptr) {
+    throw std::invalid_argument("RunReport::fromJson: top level not an object");
+  }
+
+  RunReport r;
+  get(*top, "backend", r.backend);
+  get(*top, "circuit", r.circuit);
+  get(*top, "qubits", r.qubits);
+  get(*top, "gates", r.gates);
+  get(*top, "depth", r.depth);
+  get(*top, "threads", r.threads);
+
+  if (const auto it = top->find("timings"); it != top->end()) {
+    if (const JsonObject* t = it->second.object()) {
+      get(*t, "total", r.totalSeconds);
+      get(*t, "pipeline", r.pipelineSeconds);
+      get(*t, "simulate", r.simulateSeconds);
+      get(*t, "ddPhase", r.ddPhaseSeconds);
+      get(*t, "dmavPhase", r.dmavPhaseSeconds);
+      get(*t, "conversion", r.conversionSeconds);
+      get(*t, "fusion", r.fusionSeconds);
+    }
+  }
+  if (const auto it = top->find("counters"); it != top->end()) {
+    if (const JsonObject* c = it->second.object()) {
+      get(*c, "converted", r.converted);
+      get(*c, "conversionGateIndex", r.conversionGateIndex);
+      get(*c, "ddGates", r.ddGates);
+      get(*c, "dmavGates", r.dmavGates);
+      get(*c, "cachedGates", r.cachedGates);
+      get(*c, "cacheHits", r.cacheHits);
+      get(*c, "peakDDSize", r.peakDDSize);
+      get(*c, "dmavModelCost", r.dmavModelCost);
+    }
+  }
+  if (const auto it = top->find("memory"); it != top->end()) {
+    if (const JsonObject* m = it->second.object()) {
+      get(*m, "accountedBytes", r.memoryBytes);
+      get(*m, "peakRssBytes", r.peakRssBytes);
+    }
+  }
+  if (const auto it = top->find("passes"); it != top->end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      for (const auto& entry : *arr) {
+        if (const JsonObject* p = entry.object()) {
+          PassReport pass;
+          get(*p, "name", pass.name);
+          get(*p, "circuitTransform", pass.circuitTransform);
+          get(*p, "seconds", pass.seconds);
+          get(*p, "gatesBefore", pass.gatesBefore);
+          get(*p, "gatesAfter", pass.gatesAfter);
+          get(*p, "note", pass.note);
+          r.passes.push_back(std::move(pass));
+        }
+      }
+    }
+  }
+  if (const auto it = top->find("perGate"); it != top->end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      for (const auto& entry : *arr) {
+        if (const JsonObject* g = entry.object()) {
+          GateReport gate;
+          get(*g, "gate", gate.gateIndex);
+          get(*g, "phase", gate.phase);
+          get(*g, "seconds", gate.seconds);
+          get(*g, "ddSize", gate.ddSize);
+          r.perGate.push_back(std::move(gate));
+        }
+      }
+    }
+  }
+  return r;
+}
+
+std::string RunReport::toCsv() const {
+  std::string csv = "key,value\n";
+  auto row = [&csv](std::string_view key, const std::string& value) {
+    csv += key;
+    csv += ',';
+    csv += value;
+    csv += '\n';
+  };
+  row("backend", backend);
+  row("circuit", circuit);
+  row("qubits", std::to_string(qubits));
+  row("gates", std::to_string(gates));
+  row("depth", std::to_string(depth));
+  row("threads", std::to_string(threads));
+  row("total_seconds", numberToString(totalSeconds));
+  row("pipeline_seconds", numberToString(pipelineSeconds));
+  row("simulate_seconds", numberToString(simulateSeconds));
+  row("dd_phase_seconds", numberToString(ddPhaseSeconds));
+  row("dmav_phase_seconds", numberToString(dmavPhaseSeconds));
+  row("conversion_seconds", numberToString(conversionSeconds));
+  row("fusion_seconds", numberToString(fusionSeconds));
+  row("converted", converted ? "1" : "0");
+  row("conversion_gate_index", std::to_string(conversionGateIndex));
+  row("dd_gates", std::to_string(ddGates));
+  row("dmav_gates", std::to_string(dmavGates));
+  row("cached_gates", std::to_string(cachedGates));
+  row("cache_hits", std::to_string(cacheHits));
+  row("peak_dd_size", std::to_string(peakDDSize));
+  row("dmav_model_cost", numberToString(dmavModelCost));
+  row("memory_bytes", std::to_string(memoryBytes));
+  row("peak_rss_bytes", std::to_string(peakRssBytes));
+  return csv;
+}
+
+std::string RunReport::perGateCsv() const {
+  std::string csv = "gate,phase,seconds,dd_size\n";
+  for (const auto& g : perGate) {
+    csv += std::to_string(g.gateIndex);
+    csv += ',';
+    csv += g.phase;
+    csv += ',';
+    csv += numberToString(g.seconds);
+    csv += ',';
+    csv += std::to_string(g.ddSize);
+    csv += '\n';
+  }
+  return csv;
+}
+
+}  // namespace fdd::engine

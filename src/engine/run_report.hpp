@@ -1,0 +1,95 @@
+#pragma once
+// Machine-readable simulation report, normalized across backends: phase
+// timings, per-gate trace, conversion/cache/fusion counters and memory are
+// the same fields whether the run went through the DD, array or FlatDD
+// backend (fields a backend cannot produce stay at their zero values).
+// Exported as JSON (round-trippable via fromJson) and key,value CSV so the
+// bench drivers and external plotting stop scraping printf output.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fdd::engine {
+
+/// One entry per configured circuit-preparation pass, in execution order.
+struct PassReport {
+  std::string name;
+  /// True when the pass rewrote the circuit here; false when it only armed a
+  /// backend-side stage (e.g. fusion runs at FlatDD's conversion point).
+  bool circuitTransform = true;
+  double seconds = 0;
+  std::size_t gatesBefore = 0;
+  std::size_t gatesAfter = 0;
+  std::string note;
+
+  [[nodiscard]] bool operator==(const PassReport&) const = default;
+};
+
+/// One simulated gate of the per-gate trace (recordPerGate option).
+struct GateReport {
+  std::size_t gateIndex = 0;
+  std::string phase;  // "dd", "dmav", "array" — backend execution phase
+  double seconds = 0;
+  std::size_t ddSize = 0;  // state-DD node count, 0 outside a DD phase
+
+  [[nodiscard]] bool operator==(const GateReport&) const = default;
+};
+
+struct RunReport {
+  // ---- identity ---------------------------------------------------------
+  std::string backend;
+  std::string circuit;
+  Qubit qubits = 0;
+  std::size_t gates = 0;  // gates simulated (after the pass pipeline)
+  std::size_t depth = 0;
+  unsigned threads = 1;
+
+  // ---- phase timings (seconds) ------------------------------------------
+  double totalSeconds = 0;      // pipeline + simulate
+  double pipelineSeconds = 0;   // all circuit-preparation passes
+  double simulateSeconds = 0;   // backend simulate() wall time
+  double ddPhaseSeconds = 0;    // DD phase (flatdd) / whole run (dd)
+  double dmavPhaseSeconds = 0;  // DMAV phase (flatdd only)
+  double conversionSeconds = 0; // DD-to-array conversion (flatdd only)
+  double fusionSeconds = 0;     // gate fusion at the conversion point
+
+  // ---- counters ---------------------------------------------------------
+  bool converted = false;             // flatdd switched representation
+  std::size_t conversionGateIndex = 0;
+  std::size_t ddGates = 0;            // gates executed on the DD state
+  std::size_t dmavGates = 0;          // matrices applied by DMAV post-fusion
+  std::size_t cachedGates = 0;        // DMAVs that ran with the cache
+  std::size_t cacheHits = 0;
+  std::size_t peakDDSize = 0;         // peak state-DD node count
+  double dmavModelCost = 0;           // summed Eq. 5/6 MAC estimate
+
+  // ---- memory (bytes) ---------------------------------------------------
+  std::size_t memoryBytes = 0;        // backend-accounted working set
+  std::size_t peakRssBytes = 0;       // process peak RSS after the run
+
+  std::vector<PassReport> passes;
+  std::vector<GateReport> perGate;
+
+  [[nodiscard]] bool operator==(const RunReport&) const = default;
+
+  /// Serializes every field (including passes and perGate) as one JSON
+  /// object; fromJson(toJson()) == *this.
+  [[nodiscard]] std::string toJson() const;
+
+  /// Parses a report previously produced by toJson(). Unknown keys are
+  /// ignored; missing keys keep their defaults. Throws std::invalid_argument
+  /// on malformed JSON.
+  [[nodiscard]] static RunReport fromJson(std::string_view json);
+
+  /// Flat "key,value" CSV of the scalar fields (one row per field).
+  [[nodiscard]] std::string toCsv() const;
+
+  /// The per-gate trace as CSV ("gate,phase,seconds,dd_size").
+  [[nodiscard]] std::string perGateCsv() const;
+};
+
+}  // namespace fdd::engine

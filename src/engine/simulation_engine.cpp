@@ -1,0 +1,63 @@
+#include "engine/simulation_engine.hpp"
+
+#include <stdexcept>
+
+#include "common/rss.hpp"
+#include "common/timing.hpp"
+
+namespace fdd::engine {
+
+SimulationEngine::SimulationEngine(EngineOptions options)
+    : options_{std::move(options)} {}
+
+RunReport SimulationEngine::run(const std::string& backendName,
+                                const qc::Circuit& circuit) {
+  RunReport report;
+  report.backend = backendName;
+  report.circuit = circuit.name();
+  report.qubits = circuit.numQubits();
+  report.threads = options_.threads;
+
+  Stopwatch total;
+
+  Stopwatch pipeline;
+  const qc::Circuit prepared = PassPipeline::run(circuit, options_, report);
+  report.pipelineSeconds = pipeline.seconds();
+  report.gates = prepared.numGates();
+  report.depth = prepared.depth();
+
+  backend_ = BackendFactory::instance().create(backendName,
+                                               prepared.numQubits(), options_);
+
+  Stopwatch simulate;
+  backend_->simulate(prepared);
+  report.simulateSeconds = simulate.seconds();
+  report.totalSeconds = total.seconds();
+
+  backend_->fillReport(report);
+  report.memoryBytes = backend_->memoryBytes();
+  report.peakRssBytes = peakRSS();
+  return report;
+}
+
+Backend& SimulationEngine::backend() {
+  if (backend_ == nullptr) {
+    throw std::logic_error("SimulationEngine::backend: no run yet");
+  }
+  return *backend_;
+}
+
+const Backend& SimulationEngine::backend() const {
+  if (backend_ == nullptr) {
+    throw std::logic_error("SimulationEngine::backend: no run yet");
+  }
+  return *backend_;
+}
+
+RunReport simulate(const std::string& backendName, const qc::Circuit& circuit,
+                   const EngineOptions& options) {
+  SimulationEngine engine{options};
+  return engine.run(backendName, circuit);
+}
+
+}  // namespace fdd::engine

@@ -1,0 +1,51 @@
+#pragma once
+// The unified simulation engine: one call runs the circuit-preparation pass
+// pipeline, instantiates the requested backend through the factory,
+// simulates, and returns a normalized machine-readable RunReport. The
+// backend stays alive after run() for amplitude queries, sampling and state
+// readout, so front ends never touch a concrete simulator class.
+
+#include <memory>
+#include <string>
+
+#include "engine/backend.hpp"
+#include "engine/backend_factory.hpp"
+#include "engine/options.hpp"
+#include "engine/pass_pipeline.hpp"
+#include "engine/run_report.hpp"
+#include "qc/circuit.hpp"
+
+namespace fdd::engine {
+
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(EngineOptions options = {});
+
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Prepares `circuit` through the pass pipeline, creates backend
+  /// `backendName` via the BackendFactory, simulates, and returns the
+  /// report. Throws std::invalid_argument on unknown backend/pass names.
+  RunReport run(const std::string& backendName, const qc::Circuit& circuit);
+
+  /// The backend of the most recent run(); throws std::logic_error before
+  /// the first run.
+  [[nodiscard]] Backend& backend();
+  [[nodiscard]] const Backend& backend() const;
+  [[nodiscard]] bool hasBackend() const noexcept {
+    return backend_ != nullptr;
+  }
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<Backend> backend_;
+};
+
+/// Convenience wrapper: one-shot run, discarding the backend afterwards.
+[[nodiscard]] RunReport simulate(const std::string& backendName,
+                                 const qc::Circuit& circuit,
+                                 const EngineOptions& options = {});
+
+}  // namespace fdd::engine

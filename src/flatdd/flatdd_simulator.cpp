@@ -18,6 +18,59 @@ FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
       ewma_{options.beta, options.epsilon, options.warmupGates,
             options.minDDSize} {}
 
+void FlatDDSimulator::reset() {
+  ddSim_.reset();
+  ewma_.reset();
+  flatPhase_ = false;
+  v_.clear();
+  w_.clear();
+  stats_ = FlatDDStats{};
+}
+
+void FlatDDSimulator::setState(std::span<const Complex> amplitudes) {
+  reset();
+  ddSim_.setState(amplitudes);
+}
+
+void FlatDDSimulator::applyOperation(const qc::Operation& op) {
+  if (!flatPhase_) {
+    Stopwatch gate;
+    ddSim_.applyOperation(op);
+    const std::size_t size = ddSim_.stateNodeCount();
+    stats_.peakDDSize = std::max(stats_.peakDDSize, size);
+    ++stats_.ddGates;
+    bool trigger = ewma_.observe(size);
+    if (options_.forceConversionAtGate) {
+      trigger = stats_.ddGates >= *options_.forceConversionAtGate;
+    }
+    const double seconds = gate.seconds();
+    stats_.ddPhaseSeconds += seconds;
+    if (options_.recordPerGate) {
+      stats_.perGate.push_back(
+          PerGateRecord{stats_.ddGates - 1, true, seconds, size});
+    }
+    if (trigger) {
+      convertToFlat(stats_.ddGates);
+    }
+    return;
+  }
+  auto& pkg = ddSim_.package();
+  Stopwatch gateClock;
+  const dd::mEdge gate = pkg.makeGateDD(op);
+  pkg.incRef(gate);
+  applyDmav(gate);
+  pkg.decRef(gate);
+  pkg.garbageCollect();
+  ++stats_.dmavGates;
+  const double seconds = gateClock.seconds();
+  stats_.dmavPhaseSeconds += seconds;
+  if (options_.recordPerGate) {
+    stats_.perGate.push_back(
+        PerGateRecord{stats_.ddGates + stats_.dmavGates - 1, false, seconds,
+                      0});
+  }
+}
+
 void FlatDDSimulator::simulate(const qc::Circuit& circuit) {
   if (circuit.numQubits() != nQubits_) {
     throw std::invalid_argument("simulate: circuit qubit count mismatch");

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -37,8 +38,8 @@ struct FlatDDOptions {
   FusionMode fusion = FusionMode::None;
   unsigned kOperations = 4;  // k for FusionMode::KOperations
   /// Below this state-vector size, per-gate fork/join latency exceeds the
-  /// DMAV kernel cost and gates run single-threaded.
-  Index parallelThresholdDim = Index{1} << 13;
+  /// DMAV kernel cost and gates run single-threaded (see common/types.hpp).
+  Index parallelThresholdDim = kParallelThresholdDim;
   fp tolerance = 1e-10;
   bool recordPerGate = false;      // keep a per-gate trace (Fig. 11)
   std::optional<std::size_t> forceConversionAtGate;  // override the EWMA
@@ -81,7 +82,19 @@ class FlatDDSimulator {
     return options_;
   }
 
-  /// Runs the full circuit from |0...0>.
+  /// Drops state, statistics and the EWMA history back to |0...0>.
+  void reset();
+  /// Loads an arbitrary state (must have size 2^n). The EWMA restarts from
+  /// the loaded state's DD size.
+  void setState(std::span<const Complex> amplitudes);
+
+  /// Streams a single gate: DD phase with EWMA monitoring until the trigger
+  /// fires, DMAV afterwards. Unlike simulate(), streaming cannot fuse (no
+  /// lookahead over the remaining gates).
+  void applyOperation(const qc::Operation& op);
+
+  /// Runs the full circuit from the current state (use reset() between
+  /// runs); applies the configured fusion pass at the conversion point.
   void simulate(const qc::Circuit& circuit);
 
   /// Amplitude of basis state i — answered from whichever representation

@@ -25,8 +25,8 @@ enum class ArrayIndexing : std::uint8_t { BitTricks, MultiIndex };
 struct ArraySimOptions {
   unsigned threads = 1;
   /// Below this state-vector size the per-gate fork/join overhead exceeds
-  /// the kernel cost, so gates run single-threaded.
-  Index parallelThresholdDim = Index{1} << 12;
+  /// the kernel cost, so gates run single-threaded (see common/types.hpp).
+  Index parallelThresholdDim = kParallelThresholdDim;
   ArrayIndexing indexing = ArrayIndexing::BitTricks;
 };
 

@@ -10,9 +10,22 @@ DDSimulator::DDSimulator(Qubit nQubits, fp tolerance)
 }
 
 void DDSimulator::reset() {
+  pkg_->decRef(root_);  // no-op on the default terminal edge (saturated ref)
   root_ = pkg_->makeZeroState();
   pkg_->incRef(root_);
   gates_ = 0;
+  pkg_->garbageCollect();
+}
+
+void DDSimulator::setState(std::span<const Complex> amplitudes) {
+  if (amplitudes.size() != (Index{1} << numQubits())) {
+    throw std::invalid_argument("setState: wrong amplitude count");
+  }
+  const dd::vEdge next = pkg_->fromArray(amplitudes);
+  pkg_->incRef(next);
+  pkg_->decRef(root_);
+  root_ = next;
+  pkg_->garbageCollect();
 }
 
 void DDSimulator::applyOperation(const qc::Operation& op) {

@@ -5,8 +5,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/aligned.hpp"
+#include "common/prng.hpp"
 #include "dd/package.hpp"
 #include "qc/circuit.hpp"
 
@@ -20,6 +23,8 @@ class DDSimulator {
 
   /// Resets to |0...0>.
   void reset();
+  /// Loads an arbitrary state (must have size 2^n) by building its DD.
+  void setState(std::span<const Complex> amplitudes);
 
   void applyOperation(const qc::Operation& op);
   void simulate(const qc::Circuit& circuit);
@@ -44,6 +49,18 @@ class DDSimulator {
   /// Dense readout via the *sequential* DD-to-array conversion.
   [[nodiscard]] AlignedVector<Complex> stateVector() const {
     return pkg_->toArray(root_);
+  }
+
+  /// Samples `shots` outcomes by weak-simulation DD descent (no conversion
+  /// to an array) — same signature as FlatDDSimulator::sample.
+  [[nodiscard]] std::vector<Index> sample(std::size_t shots,
+                                          Xoshiro256& rng) const {
+    return pkg_->sample(root_, shots, rng);
+  }
+
+  /// Bytes held by the DD package (arenas + tables), for memory columns.
+  [[nodiscard]] std::size_t memoryBytes() const {
+    return pkg_->stats().memoryBytes;
   }
 
   [[nodiscard]] std::size_t gatesApplied() const noexcept { return gates_; }

@@ -3,30 +3,27 @@
 //   flatdd --circuit supremacy --qubits 14 --depth 10 --backend flatdd
 //   flatdd --qasm program.qasm --shots 1000 --top 8
 //   flatdd --circuit ghz --qubits 20 --backend dd --stats
+//   flatdd --circuit qft --qubits 12 --report report.json
 //
-// Backends: flatdd (hybrid, default), dd (DDSIM-style), array (Quantum++-
-// style). See --help for everything.
+// Backend selection, circuit-preparation passes and statistics all go
+// through the engine layer (engine::SimulationEngine + BackendFactory);
+// run --list-backends for what is registered. See --help for everything.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <map>
-#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "circuits/generators.hpp"
 #include "circuits/supremacy.hpp"
 #include "common/prng.hpp"
 #include "common/rss.hpp"
-#include "common/timing.hpp"
-#include "flatdd/flatdd_simulator.hpp"
+#include "engine/simulation_engine.hpp"
 #include "qasm/parser.hpp"
-#include "qc/optimizer.hpp"
-#include "sim/array_simulator.hpp"
-#include "sim/dd_simulator.hpp"
 
 namespace {
 
@@ -40,11 +37,13 @@ struct CliOptions {
   std::uint64_t seed = 7;
   std::string backend = "flatdd";
   unsigned threads = 0;  // 0 = hardware concurrency
-  std::string fusion = "none";
+  std::vector<std::string> passes;
   std::size_t shots = 0;
   std::size_t top = 8;
   bool stats = false;
-  bool optimizeCircuit = false;
+  std::string reportJson;
+  std::string reportCsv;
+  std::string traceCsv;
   std::string dotFile;
   std::string exportQasm;
 };
@@ -66,17 +65,23 @@ circuit parameters:
   --seed N           PRNG seed for randomized families (default 7)
 
 execution:
-  --backend NAME     flatdd (default) | dd | array
+  --backend NAME     registered backend (default flatdd); --list-backends
   --threads N        worker threads (default: hardware concurrency)
-  --fusion MODE      none (default) | dmav | kops   [flatdd backend only]
+  --pass LIST        comma-separated circuit-preparation passes, in order:
+                     optimize, fusion-dmav, fusion-kops
+  --optimize         shorthand for appending the "optimize" pass
+  --fusion MODE      none | dmav | kops — shorthand for the fusion-* passes
 
 output:
   --shots N          sample N measurements from the final state
   --top K            print the K most probable outcomes (default 8)
-  --optimize         run the peephole optimizer before simulation
-  --stats            print simulator statistics
-  --dot FILE         write the final state DD as graphviz (dd backend, small n)
+  --stats            print the run report as text
+  --report FILE      write the machine-readable run report as JSON
+  --report-csv FILE  write the run report as key,value CSV
+  --trace FILE       write the per-gate trace as CSV (enables recording)
+  --dot FILE         write the final state DD as graphviz (dd backend)
   --export-qasm FILE write the (lowered) circuit as OpenQASM 2.0
+  --list-backends    list registered backends and exit
   --help             this text
 )");
 }
@@ -158,134 +163,115 @@ void printHistogram(const std::vector<Index>& samples, Qubit n,
   }
 }
 
-int runCli(const CliOptions& opt) {
-  qc::Circuit circuit = buildCircuit(opt);
-  if (opt.optimizeCircuit) {
-    qc::OptimizerStats ostats;
-    circuit = qc::optimize(circuit, {}, &ostats);
-    std::printf("optimizer: %zu -> %zu gates (%zu pairs cancelled, %zu "
-                "rotations merged, %zu identities dropped)\n",
-                ostats.inputGates, ostats.outputGates, ostats.cancelledPairs,
-                ostats.mergedRotations, ostats.droppedIdentities);
+void printStats(const engine::RunReport& report) {
+  for (const auto& pass : report.passes) {
+    std::printf("pass %-12s %zu -> %zu gates%s%s\n", pass.name.c_str(),
+                pass.gatesBefore, pass.gatesAfter,
+                pass.note.empty() ? "" : ": ", pass.note.c_str());
   }
+  std::printf("phase split: %zu DD gates, %zu DMAV matrices%s\n",
+              report.ddGates, report.dmavGates,
+              report.converted ? "" : " (never converted)");
+  if (report.converted) {
+    std::printf("conversion at gate %zu took %.3f ms\n",
+                report.conversionGateIndex, report.conversionSeconds * 1e3);
+    std::printf("cached DMAVs: %zu (%zu cache hits)\n", report.cachedGates,
+                report.cacheHits);
+  }
+  if (report.peakDDSize > 0) {
+    std::printf("peak DD size: %zu nodes", report.peakDDSize);
+    if (report.dmavModelCost > 0) {
+      std::printf("; model cost %.3e MACs", report.dmavModelCost);
+    }
+    std::printf("\n");
+  }
+  std::printf("memory: ~%.1f MB accounted, %.1f MB RSS\n",
+              report.memoryBytes / 1048576.0, currentRSS() / 1048576.0);
+}
+
+bool writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int runCli(const CliOptions& opt) {
+  const qc::Circuit circuit = buildCircuit(opt);
   const Qubit n = circuit.numQubits();
   std::printf("circuit %s: %d qubits, %zu gates, depth %zu\n",
-              circuit.name().c_str(), n, circuit.numGates(),
-              circuit.depth());
+              circuit.name().c_str(), n, circuit.numGates(), circuit.depth());
 
-  if (!opt.exportQasm.empty()) {
-    std::ofstream out{opt.exportQasm};
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", opt.exportQasm.c_str());
+  if (!opt.exportQasm.empty() && !writeFile(opt.exportQasm, circuit.toQasm())) {
+    return 1;
+  }
+
+  engine::EngineOptions eo;
+  eo.threads = opt.threads != 0
+                   ? opt.threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  eo.passes = opt.passes;
+  eo.recordPerGate = !opt.traceCsv.empty();
+
+  engine::SimulationEngine sim{eo};
+  const engine::RunReport report = sim.run(opt.backend, circuit);
+  engine::Backend& backend = sim.backend();
+
+  printTopOutcomes(backend.stateVector(), n, opt.top);
+  if (opt.shots > 0) {
+    Xoshiro256 rng{opt.seed ^ 0xf1a7ddULL};
+    printHistogram(backend.sample(opt.shots, rng), n, opt.top);
+  }
+  std::printf("runtime: %.3f s\n", report.totalSeconds);
+
+  if (opt.stats) {
+    printStats(report);
+  }
+  if (!opt.reportJson.empty() && !writeFile(opt.reportJson, report.toJson())) {
+    return 1;
+  }
+  if (!opt.reportCsv.empty() && !writeFile(opt.reportCsv, report.toCsv())) {
+    return 1;
+  }
+  if (!opt.traceCsv.empty() &&
+      !writeFile(opt.traceCsv, report.perGateCsv())) {
+    return 1;
+  }
+  if (!opt.dotFile.empty()) {
+    const std::string dot = backend.exportDot();
+    if (dot.empty()) {
+      std::fprintf(stderr,
+                   "--dot: backend %s has no DD state representation\n",
+                   opt.backend.c_str());
       return 1;
     }
-    out << circuit.toQasm();
-    std::printf("wrote %s\n", opt.exportQasm.c_str());
-  }
-
-  const unsigned threads =
-      opt.threads != 0 ? opt.threads
-                       : std::max(1u, std::thread::hardware_concurrency());
-  Xoshiro256 rng{opt.seed ^ 0xf1a7ddULL};
-  Stopwatch clock;
-
-  if (opt.backend == "flatdd") {
-    flat::FlatDDOptions fo;
-    fo.threads = threads;
-    if (opt.fusion == "dmav") {
-      fo.fusion = flat::FusionMode::DmavAware;
-    } else if (opt.fusion == "kops") {
-      fo.fusion = flat::FusionMode::KOperations;
-    } else if (opt.fusion != "none") {
-      std::fprintf(stderr, "unknown fusion mode: %s\n", opt.fusion.c_str());
+    if (!writeFile(opt.dotFile, dot)) {
       return 1;
     }
-    flat::FlatDDSimulator sim{n, fo};
-    sim.simulate(circuit);
-    const double seconds = clock.seconds();
-    const auto state = sim.stateVector();
-    printTopOutcomes(state, n, opt.top);
-    if (opt.shots > 0) {
-      sim::ArraySimulator sampler{n};
-      sampler.setState(state);
-      std::vector<Index> samples;
-      samples.reserve(opt.shots);
-      for (std::size_t s = 0; s < opt.shots; ++s) {
-        samples.push_back(sampler.sample(rng));
-      }
-      printHistogram(samples, n, opt.top);
-    }
-    std::printf("runtime: %.3f s\n", seconds);
-    if (opt.stats) {
-      const auto& st = sim.stats();
-      std::printf("phase split: %zu DD gates, %zu DMAV matrices%s\n",
-                  st.ddGates, st.dmavGates,
-                  st.converted ? "" : " (never converted)");
-      if (st.converted) {
-        std::printf("conversion at gate %zu took %.3f ms\n",
-                    st.conversionGateIndex, st.conversionSeconds * 1e3);
-        std::printf("cached DMAVs: %zu (%zu cache hits)\n", st.cachedGates,
-                    st.cacheHits);
-      }
-      std::printf("peak DD size: %zu nodes; model cost %.3e MACs\n",
-                  st.peakDDSize, st.dmavModelCost);
-      std::printf("memory: ~%.1f MB accounted, %.1f MB RSS\n",
-                  sim.memoryBytes() / 1048576.0,
-                  currentRSS() / 1048576.0);
-    }
-    return 0;
   }
+  return 0;
+}
 
-  if (opt.backend == "dd") {
-    sim::DDSimulator sim{n};
-    sim.simulate(circuit);
-    const double seconds = clock.seconds();
-    if (opt.shots > 0) {
-      printHistogram(sim.package().sample(sim.state(), opt.shots, rng), n,
-                     opt.top);
-    } else {
-      const auto state = sim.stateVector();
-      printTopOutcomes(state, n, opt.top);
+std::vector<std::string> splitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item =
+        list.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) {
+      out.push_back(item);
     }
-    std::printf("runtime: %.3f s\n", seconds);
-    if (!opt.dotFile.empty()) {
-      std::ofstream out{opt.dotFile};
-      out << sim.package().toDot(sim.state());
-      std::printf("wrote %s\n", opt.dotFile.c_str());
+    if (comma == std::string::npos) {
+      break;
     }
-    if (opt.stats) {
-      const auto st = sim.package().stats();
-      std::printf("state DD: %zu nodes (peak %zu); GC runs: %zu\n",
-                  sim.stateNodeCount(), st.peakVNodes, st.gcRuns);
-      std::printf("memory: ~%.1f MB accounted, %.1f MB RSS\n",
-                  st.memoryBytes / 1048576.0, currentRSS() / 1048576.0);
-    }
-    return 0;
+    start = comma + 1;
   }
-
-  if (opt.backend == "array") {
-    sim::ArraySimulator sim{n, {.threads = threads}};
-    sim.simulate(circuit);
-    const double seconds = clock.seconds();
-    printTopOutcomes(sim.state(), n, opt.top);
-    if (opt.shots > 0) {
-      std::vector<Index> samples;
-      samples.reserve(opt.shots);
-      for (std::size_t s = 0; s < opt.shots; ++s) {
-        samples.push_back(sim.sample(rng));
-      }
-      printHistogram(samples, n, opt.top);
-    }
-    std::printf("runtime: %.3f s\n", seconds);
-    if (opt.stats) {
-      std::printf("memory: ~%.1f MB state vector, %.1f MB RSS\n",
-                  sim.memoryBytes() / 1048576.0, currentRSS() / 1048576.0);
-    }
-    return 0;
-  }
-
-  std::fprintf(stderr, "unknown backend: %s\n", opt.backend.c_str());
-  return 1;
+  return out;
 }
 
 }  // namespace
@@ -304,12 +290,19 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       printHelp();
       return 0;
+    } else if (arg == "--list-backends") {
+      const auto& factory = fdd::engine::BackendFactory::instance();
+      for (const auto& name : factory.registeredNames()) {
+        std::printf("%-10s %s\n", name.c_str(),
+                    factory.describe(name).c_str());
+      }
+      return 0;
     } else if (arg == "--circuit") {
       opt.circuit = need(i);
     } else if (arg == "--qasm") {
       opt.qasmFile = need(i);
     } else if (arg == "--qubits") {
-      opt.qubits = static_cast<Qubit>(std::atoi(need(i)));
+      opt.qubits = static_cast<fdd::Qubit>(std::atoi(need(i)));
     } else if (arg == "--depth") {
       opt.depth = static_cast<unsigned>(std::atoi(need(i)));
     } else if (arg == "--seed") {
@@ -318,16 +311,34 @@ int main(int argc, char** argv) {
       opt.backend = need(i);
     } else if (arg == "--threads") {
       opt.threads = static_cast<unsigned>(std::atoi(need(i)));
+    } else if (arg == "--pass") {
+      for (auto& pass : splitCommaList(need(i))) {
+        opt.passes.push_back(std::move(pass));
+      }
+    } else if (arg == "--optimize") {
+      opt.passes.emplace_back("optimize");
     } else if (arg == "--fusion") {
-      opt.fusion = need(i);
+      const std::string mode = need(i);
+      if (mode == "dmav") {
+        opt.passes.emplace_back("fusion-dmav");
+      } else if (mode == "kops") {
+        opt.passes.emplace_back("fusion-kops");
+      } else if (mode != "none") {
+        std::fprintf(stderr, "unknown fusion mode: %s\n", mode.c_str());
+        return 1;
+      }
     } else if (arg == "--shots") {
       opt.shots = static_cast<std::size_t>(std::atoll(need(i)));
     } else if (arg == "--top") {
       opt.top = static_cast<std::size_t>(std::atoll(need(i)));
     } else if (arg == "--stats") {
       opt.stats = true;
-    } else if (arg == "--optimize") {
-      opt.optimizeCircuit = true;
+    } else if (arg == "--report") {
+      opt.reportJson = need(i);
+    } else if (arg == "--report-csv") {
+      opt.reportCsv = need(i);
+    } else if (arg == "--trace") {
+      opt.traceCsv = need(i);
     } else if (arg == "--dot") {
       opt.dotFile = need(i);
     } else if (arg == "--export-qasm") {
