@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "bench_json.hpp"
 #include "circuits/generators.hpp"
 #include "circuits/supremacy.hpp"
 #include "simd/kernels.hpp"
@@ -197,6 +198,14 @@ void printPreamble(const char* title, const char* paperReference) {
   std::printf("Note: absolute numbers are not comparable to the paper's\n");
   std::printf("64-core Xeon testbed; compare shapes/ratios (see EXPERIMENTS.md).\n");
   std::printf("==============================================================\n\n");
+}
+
+void writeBenchJson(const std::string& path, const std::string& json) {
+  if (tools::writeTextFile(path, json)) {
+    std::printf("machine-readable results: %s\n\n", path.c_str());
+  } else {
+    std::printf("WARNING: could not write %s\n\n", path.c_str());
+  }
 }
 
 }  // namespace fdd::bench

@@ -79,6 +79,12 @@ struct BenchCircuit {
 /// Prints the standard bench header (machine facts, thread pool size).
 void printPreamble(const char* title, const char* paperReference);
 
+/// Writes a finished JSON document (tools::JsonWriter::str()) to `path` and
+/// prints where it went; benches call this to emit the BENCH_*.json
+/// artifacts CI uploads. Failure to write is reported but not fatal — the
+/// human-readable tables already went to stdout.
+void writeBenchJson(const std::string& path, const std::string& json);
+
 /// Thread count used by the "multi-threaded" configurations. The paper runs
 /// 16 threads on a 64-core Xeon; on small hosts that oversubscription only
 /// adds fork/join latency, so we default to the hardware concurrency

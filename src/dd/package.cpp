@@ -149,12 +149,16 @@ void Package::garbageCollect(bool force) {
     return;
   }
   ++gcRuns_;
-  std::size_t collected = 0;
-  collected += vUnique_.collect(
+  const std::size_t vCollected = vUnique_.collect(
       vPool_, [](const vEdge& child) { decRefNode(child.n); });
-  collected += mUnique_.collect(
+  const std::size_t mCollected = mUnique_.collect(
       mPool_, [](const mEdge& child) { decRefNode(child.n); });
-  gcCollected_ += collected;
+  gcCollected_ += vCollected + mCollected;
+  if (mCollected > 0) {
+    // Released mNode addresses will be recycled; invalidate anything keyed
+    // by raw matrix-node pointers (see mNodeGeneration()).
+    ++mNodeGeneration_;
+  }
 
   // Cached results may reference reclaimed nodes.
   vAddTable_.flush();

@@ -205,6 +205,11 @@ class FlatDDBackend final : public Backend {
     report.dmavGates = st.dmavGates;
     report.cachedGates = st.cachedGates;
     report.cacheHits = st.cacheHits;
+    report.planCacheHits = st.planCacheHits;
+    report.planCacheMisses = st.planCacheMisses;
+    report.planCompiles = st.planCompiles;
+    report.planCompileSeconds = st.planCompileSeconds;
+    report.dmavReplaySeconds = st.dmavReplaySeconds;
     report.peakDDSize = st.peakDDSize;
     report.dmavModelCost = st.dmavModelCost;
     report.perGate.clear();

@@ -40,6 +40,12 @@ struct EngineOptions {
   bool forceCaching = false;
   unsigned kOperations = 4;  // k for the "fusion-kops" pass
 
+  // ---- DMAV plan compiler (flatdd backend) ------------------------------
+  /// Execute DMAV through compiled plans from a bounded LRU cache; off
+  /// selects the pre-plan recursive path (for ablation benchmarks).
+  bool usePlanCache = true;
+  std::size_t planCacheCapacity = 64;
+
   // ---- reporting --------------------------------------------------------
   /// Record a per-gate (index, phase, seconds, DD size) trace in the
   /// RunReport. Supported by every backend (normalized trace).
@@ -70,6 +76,8 @@ struct EngineOptions {
     o.tolerance = tolerance;
     o.recordPerGate = recordPerGate;
     o.forceConversionAtGate = forceConversionAtGate;
+    o.usePlanCache = usePlanCache;
+    o.planCacheCapacity = planCacheCapacity;
     // The fusion stage is declared as a pipeline pass; the last fusion-*
     // entry wins (they configure the same conversion-point stage).
     o.fusion = flat::FusionMode::None;

@@ -377,6 +377,8 @@ std::string RunReport::toJson() const {
   w.field("dmavPhase", dmavPhaseSeconds);
   w.field("conversion", conversionSeconds);
   w.field("fusion", fusionSeconds);
+  w.field("planCompile", planCompileSeconds);
+  w.field("dmavReplay", dmavReplaySeconds);
   w.endObject();
 
   w.beginObjectIn("counters");
@@ -386,6 +388,9 @@ std::string RunReport::toJson() const {
   w.field("dmavGates", dmavGates);
   w.field("cachedGates", cachedGates);
   w.field("cacheHits", cacheHits);
+  w.field("planCacheHits", planCacheHits);
+  w.field("planCacheMisses", planCacheMisses);
+  w.field("planCompiles", planCompiles);
   w.field("peakDDSize", peakDDSize);
   w.field("dmavModelCost", dmavModelCost);
   w.endObject();
@@ -447,6 +452,8 @@ RunReport RunReport::fromJson(std::string_view json) {
       get(*t, "dmavPhase", r.dmavPhaseSeconds);
       get(*t, "conversion", r.conversionSeconds);
       get(*t, "fusion", r.fusionSeconds);
+      get(*t, "planCompile", r.planCompileSeconds);
+      get(*t, "dmavReplay", r.dmavReplaySeconds);
     }
   }
   if (const auto it = top->find("counters"); it != top->end()) {
@@ -457,6 +464,9 @@ RunReport RunReport::fromJson(std::string_view json) {
       get(*c, "dmavGates", r.dmavGates);
       get(*c, "cachedGates", r.cachedGates);
       get(*c, "cacheHits", r.cacheHits);
+      get(*c, "planCacheHits", r.planCacheHits);
+      get(*c, "planCacheMisses", r.planCacheMisses);
+      get(*c, "planCompiles", r.planCompiles);
       get(*c, "peakDDSize", r.peakDDSize);
       get(*c, "dmavModelCost", r.dmavModelCost);
     }
@@ -521,12 +531,16 @@ std::string RunReport::toCsv() const {
   row("dmav_phase_seconds", numberToString(dmavPhaseSeconds));
   row("conversion_seconds", numberToString(conversionSeconds));
   row("fusion_seconds", numberToString(fusionSeconds));
+  row("plan_compile_ms", numberToString(planCompileSeconds * 1e3));
+  row("dmav_replay_ms", numberToString(dmavReplaySeconds * 1e3));
   row("converted", converted ? "1" : "0");
   row("conversion_gate_index", std::to_string(conversionGateIndex));
   row("dd_gates", std::to_string(ddGates));
   row("dmav_gates", std::to_string(dmavGates));
   row("cached_gates", std::to_string(cachedGates));
   row("cache_hits", std::to_string(cacheHits));
+  row("plan_cache_hits", std::to_string(planCacheHits));
+  row("plan_cache_misses", std::to_string(planCacheMisses));
   row("peak_dd_size", std::to_string(peakDDSize));
   row("dmav_model_cost", numberToString(dmavModelCost));
   row("memory_bytes", std::to_string(memoryBytes));

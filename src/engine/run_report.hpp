@@ -56,6 +56,8 @@ struct RunReport {
   double dmavPhaseSeconds = 0;  // DMAV phase (flatdd only)
   double conversionSeconds = 0; // DD-to-array conversion (flatdd only)
   double fusionSeconds = 0;     // gate fusion at the conversion point
+  double planCompileSeconds = 0; // DD-to-plan lowering (flatdd only)
+  double dmavReplaySeconds = 0;  // compiled-plan replay (flatdd only)
 
   // ---- counters ---------------------------------------------------------
   bool converted = false;             // flatdd switched representation
@@ -64,6 +66,9 @@ struct RunReport {
   std::size_t dmavGates = 0;          // matrices applied by DMAV post-fusion
   std::size_t cachedGates = 0;        // DMAVs that ran with the cache
   std::size_t cacheHits = 0;
+  std::size_t planCacheHits = 0;      // DMAV plans reused from the LRU cache
+  std::size_t planCacheMisses = 0;
+  std::size_t planCompiles = 0;       // plan-cache misses that compiled
   std::size_t peakDDSize = 0;         // peak state-DD node count
   double dmavModelCost = 0;           // summed Eq. 5/6 MAC estimate
 

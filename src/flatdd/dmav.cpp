@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "flatdd/dmav_plan.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/kernels.hpp"
 
@@ -95,8 +96,9 @@ void runTask(const dd::mEdge& mr, const Complex* v, Complex* w, Qubit level,
   runTask(mr.n->e[3], v, w, level - 1, iv + step, iw + step, fw);
 }
 
-void dmav(const dd::mEdge& m, Qubit nQubits, std::span<const Complex> v,
-          std::span<Complex> w, unsigned threads) {
+void dmavRecursive(const dd::mEdge& m, Qubit nQubits,
+                   std::span<const Complex> v, std::span<Complex> w,
+                   unsigned threads) {
   const Index dim = Index{1} << nQubits;
   if (v.size() != dim || w.size() != dim) {
     throw std::invalid_argument("dmav: vector size mismatch");
@@ -115,6 +117,13 @@ void dmav(const dd::mEdge& m, Qubit nQubits, std::span<const Complex> v,
               static_cast<Index>(i) * a.h, task.f);
     }
   });
+}
+
+void dmav(const dd::mEdge& m, Qubit nQubits, std::span<const Complex> v,
+          std::span<Complex> w, unsigned threads) {
+  const DmavPlan plan =
+      compileDmavPlan(m, nQubits, threads, PlanMode::Row, nullptr);
+  replayPlan(plan, v, w);
 }
 
 }  // namespace fdd::flat

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/bits.hpp"
+#include "flatdd/dmav_plan.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/kernels.hpp"
 
@@ -35,19 +36,6 @@ void assignCacheRec(const dd::mEdge& mr, Complex f, unsigned u, Index ip,
   }
 }
 
-/// True if the two threads write overlapping row segments. Each task covers
-/// [start, start + h); starts are h-aligned, so overlap means equal starts.
-bool overlaps(const std::vector<DmavTask>& a, const std::vector<DmavTask>& b) {
-  for (const auto& x : a) {
-    for (const auto& y : b) {
-      if (x.start == y.start) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
 }  // namespace
 
 ColumnAssignment assignColumnSpace(const dd::mEdge& m, Qubit nQubits,
@@ -62,30 +50,44 @@ ColumnAssignment assignColumnSpace(const dd::mEdge& m, Qubit nQubits,
 
   // Buffer sharing (Alg. 2 lines 22-25): give thread i the first existing
   // buffer none of whose current occupants overlap it, else a new buffer.
+  // Tasks cover h-aligned row blocks [start, start + h), so each thread's
+  // footprint is a set of block indices in [0, threads); a per-buffer block
+  // bitmap makes each placement test O(blocks) instead of the former
+  // O(occupants * tasks^2) pairwise start comparison.
   a.bufferOf.assign(a.threads, 0);
-  std::vector<std::vector<unsigned>> occupants;  // buffer -> thread ids
+  std::vector<std::vector<char>> occupied;  // buffer -> block bitmap
+  std::vector<Index> blocks;                // thread i's block indices
   for (unsigned i = 0; i < a.threads; ++i) {
+    blocks.clear();
+    for (const DmavTask& task : a.perThread[i]) {
+      blocks.push_back(task.start / a.h);
+    }
     bool placed = false;
-    for (unsigned b = 0; b < occupants.size() && !placed; ++b) {
+    for (unsigned b = 0; b < occupied.size() && !placed; ++b) {
       bool clash = false;
-      for (const unsigned j : occupants[b]) {
-        if (overlaps(a.perThread[i], a.perThread[j])) {
+      for (const Index blk : blocks) {
+        if (occupied[b][blk] != 0) {
           clash = true;
           break;
         }
       }
       if (!clash) {
         a.bufferOf[i] = b;
-        occupants[b].push_back(i);
+        for (const Index blk : blocks) {
+          occupied[b][blk] = 1;
+        }
         placed = true;
       }
     }
     if (!placed) {
-      a.bufferOf[i] = static_cast<unsigned>(occupants.size());
-      occupants.push_back({i});
+      a.bufferOf[i] = static_cast<unsigned>(occupied.size());
+      occupied.emplace_back(a.threads, char{0});
+      for (const Index blk : blocks) {
+        occupied.back()[blk] = 1;
+      }
     }
   }
-  a.numBuffers = static_cast<unsigned>(occupants.size());
+  a.numBuffers = static_cast<unsigned>(occupied.size());
   return a;
 }
 
@@ -113,9 +115,10 @@ std::size_t DmavWorkspace::memoryBytes() const noexcept {
   return bytes;
 }
 
-DmavCacheStats dmavCached(const dd::mEdge& m, Qubit nQubits,
-                          std::span<const Complex> v, std::span<Complex> w,
-                          unsigned threads, DmavWorkspace& workspace) {
+DmavCacheStats dmavCachedRecursive(const dd::mEdge& m, Qubit nQubits,
+                                   std::span<const Complex> v,
+                                   std::span<Complex> w, unsigned threads,
+                                   DmavWorkspace& workspace) {
   const Index dim = Index{1} << nQubits;
   if (v.size() != dim || w.size() != dim) {
     throw std::invalid_argument("dmavCached: vector size mismatch");
@@ -154,16 +157,15 @@ DmavCacheStats dmavCached(const dd::mEdge& m, Qubit nQubits,
   std::atomic<std::size_t> totalHits{0};
   pool.run(a.threads, [&](unsigned i) {
     // Cached sub-products: coefficient + row offset keyed by the sub-matrix
-    // node (the input sub-vector is fixed per thread). A thread has at most
-    // `threads` tasks (one per h-aligned row block), so a linear array beats
-    // any hash map here.
+    // node (the input sub-vector is fixed per thread). Hashed lookup keeps
+    // the phase linear in the task count even when large thread counts
+    // produce hundreds of h-aligned row-block tasks.
     struct CacheEntry {
-      const dd::mNode* node;
       Complex coeff;
       Index start;
     };
     const auto& tasks = a.perThread[i];
-    std::vector<CacheEntry> cache;
+    std::unordered_map<const dd::mNode*, CacheEntry> cache;
     cache.reserve(tasks.size());
     Complex* buf = bufs[a.bufferOf[i]];
     const Index ivBase = static_cast<Index>(i) * a.h;
@@ -174,22 +176,15 @@ DmavCacheStats dmavCached(const dd::mEdge& m, Qubit nQubits,
     for (const DmavTask& task : tasks) {
       const Complex coeff = task.f * task.m.w;
       if (!task.m.isTerminal()) {
-        const CacheEntry* found = nullptr;
-        for (const CacheEntry& entry : cache) {
-          if (entry.node == task.m.n) {
-            found = &entry;
-            break;
-          }
-        }
-        if (found != nullptr) {
+        if (const auto found = cache.find(task.m.n); found != cache.end()) {
           // SIMD scalar multiplication reusing the historical result
           // (Alg. 2 line 7).
-          simd::scale(buf + task.start, buf + found->start,
-                      coeff / found->coeff, a.h);
+          simd::scale(buf + task.start, buf + found->second.start,
+                      coeff / found->second.coeff, a.h);
           ++hits;
           continue;
         }
-        cache.push_back(CacheEntry{task.m.n, coeff, task.start});
+        cache.emplace(task.m.n, CacheEntry{coeff, task.start});
       }
       runTask(task.m, v.data(), buf, a.borderLevel, ivBase, task.start,
               task.f);
@@ -222,6 +217,14 @@ DmavCacheStats dmavCached(const dd::mEdge& m, Qubit nQubits,
     }
   });
   return stats;
+}
+
+DmavCacheStats dmavCached(const dd::mEdge& m, Qubit nQubits,
+                          std::span<const Complex> v, std::span<Complex> w,
+                          unsigned threads, DmavWorkspace& workspace) {
+  const DmavPlan plan =
+      compileDmavPlan(m, nQubits, threads, PlanMode::Cached, nullptr);
+  return replayPlanCached(plan, v, w, workspace);
 }
 
 }  // namespace fdd::flat

@@ -1,0 +1,460 @@
+#include "flatdd/dmav_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+#include "common/timing.hpp"
+#include "dd/package.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/kernels.hpp"
+
+namespace fdd::flat {
+
+const char* toString(SpanOpKind kind) noexcept {
+  switch (kind) {
+    case SpanOpKind::MacSpan: return "MacSpan";
+    case SpanOpKind::IdentScale: return "IdentScale";
+    case SpanOpKind::DiagScale: return "DiagScale";
+    case SpanOpKind::PermuteCopy: return "PermuteCopy";
+    case SpanOpKind::BlockScale: return "BlockScale";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-op fixed cost (dispatch + loop setup) in MAC-equivalents, added to
+/// the span length when modeling a block's replay time.
+constexpr double kOpOverheadCost = 8.0;
+
+/// Flattens the runTask recursion (Alg. 1 lines 16-22) under edge `e` at
+/// `level` into span ops. `f` is the accumulated weight product excluding
+/// e.w, matching the DmavTask convention.
+void flattenTask(const dd::mEdge& e, Qubit level, Index iv, Index iw,
+                 Complex f, bool identFast, std::vector<SpanOp>& out) {
+  if (e.isZero()) {
+    return;
+  }
+  const Complex fw = f * e.w;
+  if (e.isTerminal()) {
+    out.push_back(SpanOp{iv, iw, 1, fw, SpanOpKind::MacSpan});
+    return;
+  }
+  if (e.n->ident && identFast) {
+    out.push_back(SpanOp{iv, iw, Index{1} << (level + 1), fw,
+                         SpanOpKind::IdentScale});
+    return;
+  }
+  const Index step = Index{1} << level;
+  flattenTask(e.n->e[0], level - 1, iv, iw, fw, identFast, out);
+  flattenTask(e.n->e[1], level - 1, iv + step, iw, fw, identFast, out);
+  flattenTask(e.n->e[2], level - 1, iv, iw + step, fw, identFast, out);
+  flattenTask(e.n->e[3], level - 1, iv + step, iw + step, fw, identFast, out);
+}
+
+/// Merges runs of ops that continue each other (same input/output stride,
+/// same coefficient). Scalar MACs along a constant diagonal collapse into
+/// one SIMD span; with the ident fast path disabled this rebuilds the
+/// identity spans the flattener skipped.
+void mergeAdjacent(std::vector<SpanOp>& ops) {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < ops.size(); ++r) {
+    if (w > 0) {
+      SpanOp& prev = ops[w - 1];
+      const SpanOp& cur = ops[r];
+      const bool accumKinds = !isExclusiveWrite(prev.kind) &&
+                              !isExclusiveWrite(cur.kind);
+      if (accumKinds && prev.iw + prev.len == cur.iw &&
+          prev.iv + prev.len == cur.iv && prev.f == cur.f) {
+        prev.len += cur.len;
+        if (prev.kind != cur.kind) {
+          prev.kind = SpanOpKind::MacSpan;
+        }
+        continue;
+      }
+    }
+    ops[w++] = ops[r];
+  }
+  ops.resize(w);
+}
+
+/// If the ops' output spans are pairwise disjoint, promotes them to
+/// exclusive-write kinds and returns the uncovered gaps of [rowBegin,
+/// rowBegin + rows) as the only spans that still need zero-filling.
+/// Otherwise leaves the accumulate kinds in place and zero-fills the whole
+/// range. Returns true on promotion.
+bool promoteExclusive(std::vector<SpanOp>& ops, Index rowBegin, Index rows,
+                      std::vector<ZeroSpan>& zeroSpans) {
+  std::vector<std::pair<Index, Index>> covered;  // (begin, end) of outputs
+  covered.reserve(ops.size());
+  for (const SpanOp& op : ops) {
+    covered.emplace_back(op.iw, op.iw + op.len);
+  }
+  std::sort(covered.begin(), covered.end());
+  bool disjoint = true;
+  for (std::size_t i = 1; i < covered.size(); ++i) {
+    if (covered[i].first < covered[i - 1].second) {
+      disjoint = false;
+      break;
+    }
+  }
+  if (!disjoint) {
+    zeroSpans.push_back(ZeroSpan{rowBegin, rows});
+    return false;
+  }
+  for (SpanOp& op : ops) {
+    op.kind = op.iv == op.iw ? SpanOpKind::DiagScale : SpanOpKind::PermuteCopy;
+  }
+  Index cursor = rowBegin;
+  for (const auto& [begin, end] : covered) {
+    if (begin > cursor) {
+      zeroSpans.push_back(ZeroSpan{cursor, begin - cursor});
+    }
+    cursor = end;
+  }
+  if (cursor < rowBegin + rows) {
+    zeroSpans.push_back(ZeroSpan{cursor, rowBegin + rows - cursor});
+  }
+  return true;
+}
+
+double modelCost(const std::vector<SpanOp>& ops,
+                 const std::vector<ZeroSpan>& zeroSpans) {
+  double cost = 0;
+  for (const SpanOp& op : ops) {
+    cost += static_cast<double>(op.len) + kOpOverheadCost;
+  }
+  for (const ZeroSpan& z : zeroSpans) {
+    cost += 0.5 * static_cast<double>(z.len);
+  }
+  return cost;
+}
+
+void compileRow(const dd::mEdge& m, DmavPlan& plan) {
+  const Qubit n = plan.nQubits;
+  const unsigned t = plan.threads;
+  // Balancing granularity: split each thread's row block into up to
+  // kPlanSplitFactor sub-blocks, as long as sub-blocks keep at least
+  // kMinPlanBlockRows rows (and at most 2^n blocks exist overall).
+  unsigned split = 1;
+  if (t > 1) {
+    while (split < kPlanSplitFactor &&
+           Index{t} * split * 2 <= plan.dim &&
+           plan.dim / (Index{t} * split * 2) >= kMinPlanBlockRows) {
+      split *= 2;
+    }
+  }
+  const unsigned nBlocks = t * split;
+  const Index rows = plan.dim / nBlocks;
+  const Qubit border = static_cast<Qubit>(n - ilog2(nBlocks) - 1);
+
+  // Reuse Assign (Alg. 1) with nBlocks virtual threads to partition the
+  // matrix down to the sub-block border level.
+  std::vector<std::vector<DmavTask>> perBlock(nBlocks);
+  // assignRowSpace would re-clamp; replicate its recursion via a local
+  // traversal identical to assignRec's contract.
+  struct Rec {
+    unsigned nBlocks;
+    Qubit n;
+    Qubit border;
+    std::vector<std::vector<DmavTask>>* out;
+    void operator()(const dd::mEdge& mr, Complex f, unsigned u, Index iv,
+                    Qubit l) const {
+      if (mr.isZero()) {
+        return;
+      }
+      if (l == border) {
+        (*out)[u].push_back(DmavTask{mr, iv, f});
+        return;
+      }
+      const unsigned blockStep = nBlocks >> (n - l);
+      const Index colStep = Index{1} << l;
+      const Complex fw = f * mr.w;
+      for (unsigned i = 0; i < 2; ++i) {
+        for (unsigned j = 0; j < 2; ++j) {
+          (*this)(mr.n->e[2 * i + j], fw, u + i * blockStep,
+                  iv + j * colStep, l - 1);
+        }
+      }
+    }
+  };
+  Rec{nBlocks, n, border, &perBlock}(m, Complex{1.0}, 0, 0, n - 1);
+
+  plan.blocks.resize(nBlocks);
+  for (unsigned b = 0; b < nBlocks; ++b) {
+    PlanBlock& block = plan.blocks[b];
+    block.rowBegin = static_cast<Index>(b) * rows;
+    block.rows = rows;
+    for (const DmavTask& task : perBlock[b]) {
+      flattenTask(task.m, border, task.start, block.rowBegin, task.f,
+                  plan.identFast, block.ops);
+    }
+    mergeAdjacent(block.ops);
+    promoteExclusive(block.ops, block.rowBegin, block.rows, block.zeroSpans);
+    block.cost = modelCost(block.ops, block.zeroSpans);
+  }
+
+  // Longest-processing-time packing of blocks onto threads. Row blocks own
+  // disjoint output rows, so any assignment is race-free; LPT flattens the
+  // per-thread skew that irregular DDs produce under the fixed 1:1 mapping.
+  std::vector<std::uint32_t> order(nBlocks);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return plan.blocks[a].cost > plan.blocks[b].cost;
+                   });
+  plan.blocksOf.assign(t, {});
+  std::vector<double> load(t, 0.0);
+  for (const std::uint32_t id : order) {
+    const auto it = std::min_element(load.begin(), load.end());
+    const auto u = static_cast<std::size_t>(it - load.begin());
+    plan.blocksOf[u].push_back(id);
+    *it += plan.blocks[id].cost;
+  }
+}
+
+void compileCached(const dd::mEdge& m, DmavPlan& plan) {
+  const ColumnAssignment a =
+      assignColumnSpace(m, plan.nQubits, plan.threads);
+  plan.threads = a.threads;
+  plan.h = a.h;
+  plan.numBuffers = a.numBuffers;
+  plan.colPrograms.resize(a.threads);
+  plan.reduceFrom.assign(a.threads, {});
+
+  std::vector<char> written(
+      static_cast<std::size_t>(std::max(a.numBuffers, 1u)) * a.threads, 0);
+
+  for (unsigned i = 0; i < a.threads; ++i) {
+    ColumnProgram& prog = plan.colPrograms[i];
+    prog.buffer = a.bufferOf[i];
+    const Index ivBase = static_cast<Index>(i) * a.h;
+    // First-occurrence table of sub-matrix nodes (coefficient + row offset),
+    // resolved at compile time: repeats become BlockScale ops.
+    std::unordered_map<const dd::mNode*, std::pair<Complex, Index>> seen;
+    seen.reserve(a.perThread[i].size());
+    for (const DmavTask& task : a.perThread[i]) {
+      ++plan.tasks;
+      const std::size_t block = static_cast<std::size_t>(task.start / a.h);
+      written[static_cast<std::size_t>(prog.buffer) * a.threads + block] = 1;
+      const Complex coeff = task.f * task.m.w;
+      if (!task.m.isTerminal()) {
+        const auto it = seen.find(task.m.n);
+        if (it != seen.end()) {
+          prog.ops.push_back(SpanOp{it->second.second, task.start, a.h,
+                                    coeff / it->second.first,
+                                    SpanOpKind::BlockScale});
+          ++plan.cacheHits;
+          continue;
+        }
+        seen.emplace(task.m.n, std::make_pair(coeff, task.start));
+      }
+      const std::size_t opsBegin = prog.ops.size();
+      flattenTask(task.m, a.borderLevel, ivBase, task.start, task.f,
+                  plan.identFast, prog.ops);
+      std::vector<SpanOp> taskOps(prog.ops.begin() +
+                                      static_cast<std::ptrdiff_t>(opsBegin),
+                                  prog.ops.end());
+      prog.ops.resize(opsBegin);
+      mergeAdjacent(taskOps);
+      promoteExclusive(taskOps, task.start, a.h, prog.zeroSpans);
+      prog.ops.insert(prog.ops.end(), taskOps.begin(), taskOps.end());
+    }
+  }
+
+  for (unsigned blk = 0; blk < a.threads; ++blk) {
+    for (unsigned b = 0; b < a.numBuffers; ++b) {
+      if (written[static_cast<std::size_t>(b) * a.threads + blk] != 0) {
+        plan.reduceFrom[blk].push_back(b);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t DmavPlan::opCount() const noexcept {
+  std::size_t count = 0;
+  for (const PlanBlock& b : blocks) {
+    count += b.ops.size();
+  }
+  for (const ColumnProgram& p : colPrograms) {
+    count += p.ops.size();
+  }
+  return count;
+}
+
+std::size_t DmavPlan::opCount(SpanOpKind kind) const noexcept {
+  std::size_t count = 0;
+  for (const PlanBlock& b : blocks) {
+    for (const SpanOp& op : b.ops) {
+      count += op.kind == kind ? 1 : 0;
+    }
+  }
+  for (const ColumnProgram& p : colPrograms) {
+    for (const SpanOp& op : p.ops) {
+      count += op.kind == kind ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+bool DmavPlan::fullyExclusive() const noexcept {
+  for (const PlanBlock& b : blocks) {
+    if (!b.zeroSpans.empty()) {
+      return false;
+    }
+    for (const SpanOp& op : b.ops) {
+      if (!isExclusiveWrite(op.kind)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t DmavPlan::memoryBytes() const noexcept {
+  std::size_t bytes = sizeof(DmavPlan);
+  for (const PlanBlock& b : blocks) {
+    bytes += b.ops.capacity() * sizeof(SpanOp) +
+             b.zeroSpans.capacity() * sizeof(ZeroSpan);
+  }
+  bytes += blocks.capacity() * sizeof(PlanBlock);
+  for (const ColumnProgram& p : colPrograms) {
+    bytes += p.ops.capacity() * sizeof(SpanOp) +
+             p.zeroSpans.capacity() * sizeof(ZeroSpan);
+  }
+  bytes += colPrograms.capacity() * sizeof(ColumnProgram);
+  for (const auto& ids : blocksOf) {
+    bytes += ids.capacity() * sizeof(std::uint32_t);
+  }
+  for (const auto& bufs : reduceFrom) {
+    bytes += bufs.capacity() * sizeof(unsigned);
+  }
+  return bytes;
+}
+
+bool DmavPlan::validFor(const dd::Package& pkg) const noexcept {
+  return generation == pkg.mNodeGeneration();
+}
+
+DmavPlan compileDmavPlan(const dd::mEdge& m, Qubit nQubits, unsigned threads,
+                         PlanMode mode, const dd::Package* pkg) {
+  Stopwatch clock;
+  DmavPlan plan;
+  plan.root = m.n;
+  plan.rootWeight = m.w;
+  plan.nQubits = nQubits;
+  plan.dim = Index{1} << nQubits;
+  plan.threads = clampDmavThreads(nQubits, plan.dim == 1 ? 1 : threads);
+  plan.mode = mode;
+  plan.identFast = identFastPathEnabled();
+  plan.generation = pkg != nullptr ? pkg->mNodeGeneration() : 0;
+  if (mode == PlanMode::Row) {
+    compileRow(m, plan);
+  } else {
+    compileCached(m, plan);
+  }
+  plan.compileSeconds = clock.seconds();
+  return plan;
+}
+
+namespace {
+
+inline void executeOp(const SpanOp& op, const Complex* v, Complex* w) {
+  switch (op.kind) {
+    case SpanOpKind::MacSpan:
+    case SpanOpKind::IdentScale:
+      simd::scaleAccumulate(w + op.iw, v + op.iv, op.f, op.len);
+      break;
+    case SpanOpKind::DiagScale:
+    case SpanOpKind::PermuteCopy:
+      simd::scale(w + op.iw, v + op.iv, op.f, op.len);
+      break;
+    case SpanOpKind::BlockScale:
+      simd::scale(w + op.iw, w + op.iv, op.f, op.len);
+      break;
+  }
+}
+
+}  // namespace
+
+void replayPlan(const DmavPlan& plan, std::span<const Complex> v,
+                std::span<Complex> w) {
+  if (v.size() != plan.dim || w.size() != plan.dim) {
+    throw std::invalid_argument("replayPlan: vector size mismatch");
+  }
+  if (v.data() == w.data()) {
+    throw std::invalid_argument("replayPlan: V and W must not alias");
+  }
+  auto& pool = par::globalPool();
+  pool.run(plan.threads, [&](unsigned i) {
+    const Complex* vp = v.data();
+    Complex* wp = w.data();
+    for (const std::uint32_t id : plan.blocksOf[i]) {
+      const PlanBlock& block = plan.blocks[id];
+      for (const ZeroSpan& z : block.zeroSpans) {
+        simd::zeroFill(wp + z.begin, z.len);
+      }
+      for (const SpanOp& op : block.ops) {
+        executeOp(op, vp, wp);
+      }
+    }
+  });
+}
+
+DmavCacheStats replayPlanCached(const DmavPlan& plan,
+                                std::span<const Complex> v,
+                                std::span<Complex> w,
+                                DmavWorkspace& workspace) {
+  if (v.size() != plan.dim || w.size() != plan.dim) {
+    throw std::invalid_argument("replayPlanCached: vector size mismatch");
+  }
+  if (v.data() == w.data()) {
+    throw std::invalid_argument("replayPlanCached: V and W must not alias");
+  }
+  DmavCacheStats stats;
+  stats.tasks = plan.tasks;
+  stats.cacheHits = plan.cacheHits;
+  stats.buffers = plan.numBuffers;
+
+  workspace.ensure(std::max<std::size_t>(plan.numBuffers, 1), plan.dim);
+  std::vector<Complex*> bufs(std::max<std::size_t>(plan.numBuffers, 1));
+  for (std::size_t b = 0; b < bufs.size(); ++b) {
+    bufs[b] = workspace.buffer(b, plan.dim);
+  }
+
+  auto& pool = par::globalPool();
+  // Phase 1: per-thread programs into the shared partial-output buffers.
+  pool.run(plan.threads, [&](unsigned i) {
+    const ColumnProgram& prog = plan.colPrograms[i];
+    Complex* buf = bufs[prog.buffer];
+    for (const ZeroSpan& z : prog.zeroSpans) {
+      simd::zeroFill(buf + z.begin, z.len);
+    }
+    for (const SpanOp& op : prog.ops) {
+      executeOp(op, v.data(), buf);
+    }
+  });
+  // Phase 2: reduce the buffers into W, summing only written blocks.
+  pool.run(plan.threads, [&](unsigned i) {
+    const Index lo = static_cast<Index>(i) * plan.h;
+    bool first = true;
+    for (const unsigned b : plan.reduceFrom[i]) {
+      if (first) {
+        std::copy(bufs[b] + lo, bufs[b] + lo + plan.h, w.data() + lo);
+        first = false;
+      } else {
+        simd::accumulate(w.data() + lo, bufs[b] + lo, plan.h);
+      }
+    }
+    if (first) {
+      simd::zeroFill(w.data() + lo, plan.h);
+    }
+  });
+  return stats;
+}
+
+}  // namespace fdd::flat

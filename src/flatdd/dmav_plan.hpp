@@ -1,0 +1,169 @@
+#pragma once
+// DMAV plan compiler. A DmavPlan is a gate DD lowered — once — into flat,
+// replayable span operations, so that applying the same gate matrix again
+// becomes linear SIMD replay instead of pointer-chasing DD recursion
+// (assignRec/runTask). Deep circuits apply the same few gate DDs hundreds of
+// times (QFT rotation ladders, supremacy layers, fused DMAV groups), which
+// is what makes the one-time lowering pay for itself; see plan_cache.hpp for
+// the bounded LRU that amortizes compilation across gate applications.
+//
+// Op taxonomy (all ops act on contiguous spans of 2^n-element vectors):
+//   MacSpan      w[iw..] += f * v[iv..]   accumulating MAC from terminal
+//                                         paths (may share output rows)
+//   IdentScale   w[iw..] += f * v[iv..]   accumulating span from an identity
+//                                         subtree (one op per 2^(l+1) block)
+//   DiagScale    w[iw..]  = f * v[iv..]   exclusive write, iv == iw — the
+//                                         compiler proves no other op touches
+//                                         these rows, so replay skips both
+//                                         the zero-fill and the read of w.
+//                                         Diagonal DDs (RZ/CZ/CP/T layers)
+//                                         lower entirely to this op.
+//   PermuteCopy  w[iw..]  = f * v[iv..]   exclusive write, iv != iw —
+//                                         permutation DDs (X, SWAP, CX).
+//   BlockScale   b[iw..]  = f * b[iv..]   cached-mode only: reuse of an
+//                                         already-computed sub-product block
+//                                         inside the thread's partial-output
+//                                         buffer (Alg. 2 line 7, decided at
+//                                         compile time).
+//
+// Balanced replay: row-mode plans are compiled at sub-block granularity
+// (up to kPlanSplitFactor row blocks per thread) and the blocks are packed
+// onto threads by longest-processing-time order of their modeled cost. On
+// irregular DDs whose terminal paths concentrate in a few row blocks this
+// removes the per-thread skew behind the Fig. 12 scalability cliff; row
+// blocks own disjoint output rows, so any assignment is race-free.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flatdd/dmav.hpp"
+#include "flatdd/dmav_cache.hpp"
+
+namespace fdd::dd {
+class Package;
+}
+
+namespace fdd::flat {
+
+enum class SpanOpKind : std::uint8_t {
+  MacSpan,
+  IdentScale,
+  DiagScale,
+  PermuteCopy,
+  BlockScale,
+};
+
+[[nodiscard]] const char* toString(SpanOpKind kind) noexcept;
+
+/// True for ops that overwrite their output span (no read-modify-write).
+[[nodiscard]] constexpr bool isExclusiveWrite(SpanOpKind kind) noexcept {
+  return kind == SpanOpKind::DiagScale || kind == SpanOpKind::PermuteCopy ||
+         kind == SpanOpKind::BlockScale;
+}
+
+struct SpanOp {
+  Index iv = 0;   // input offset (v; buffer for BlockScale)
+  Index iw = 0;   // output offset (w; buffer in cached mode)
+  Index len = 0;  // span length in amplitudes
+  Complex f{1.0};
+  SpanOpKind kind = SpanOpKind::MacSpan;
+};
+
+struct ZeroSpan {
+  Index begin = 0;
+  Index len = 0;
+};
+
+/// One row block of a row-mode plan: ops writing rows [rowBegin,
+/// rowBegin + rows). Blocks never share output rows, so threads can execute
+/// any subset of blocks without synchronization.
+struct PlanBlock {
+  Index rowBegin = 0;
+  Index rows = 0;
+  std::vector<SpanOp> ops;
+  std::vector<ZeroSpan> zeroSpans;  // zeroed before the ops run
+  double cost = 0;                  // modeled MACs, drives LPT packing
+};
+
+/// One thread's compiled program in cached (column-space) mode.
+struct ColumnProgram {
+  unsigned buffer = 0;  // workspace buffer this thread writes
+  std::vector<SpanOp> ops;
+  std::vector<ZeroSpan> zeroSpans;
+};
+
+enum class PlanMode : std::uint8_t {
+  Row,     // Algorithm 1 (uncached DMAV)
+  Cached,  // Algorithm 2 (column space, sub-product reuse, buffer reduce)
+};
+
+struct DmavPlan {
+  // ---- identity of the compiled function --------------------------------
+  const dd::mNode* root = nullptr;
+  Complex rootWeight{};
+  Qubit nQubits = 0;
+  unsigned threads = 1;  // clamped; width of every replay
+  PlanMode mode = PlanMode::Row;
+  bool identFast = true;  // identity-subtree lowering was enabled
+  /// dd::Package::mNodeGeneration() at compile time (0 when compiled without
+  /// a package). A plan keyed by (root, weight) is only trustworthy while no
+  /// mNode has been recycled since: the arena reuses addresses, so after a
+  /// collection the same pointer may denote a different matrix. PlanCache
+  /// sidesteps this by pinning roots (incRef) — pinned nodes cannot be
+  /// recycled — but standalone plans must re-validate with validFor().
+  std::uint64_t generation = 0;
+
+  Index dim = 0;
+
+  // ---- row mode ---------------------------------------------------------
+  std::vector<PlanBlock> blocks;
+  std::vector<std::vector<std::uint32_t>> blocksOf;  // thread -> block ids
+
+  // ---- cached mode ------------------------------------------------------
+  Index h = 0;  // row-block height = 2^n / threads
+  unsigned numBuffers = 0;
+  std::vector<ColumnProgram> colPrograms;          // one per thread
+  std::vector<std::vector<unsigned>> reduceFrom;   // block -> buffers to sum
+  std::size_t tasks = 0;
+  std::size_t cacheHits = 0;  // BlockScale ops (compile-time Alg. 2 hits)
+
+  double compileSeconds = 0;
+
+  [[nodiscard]] std::size_t opCount() const noexcept;
+  [[nodiscard]] std::size_t opCount(SpanOpKind kind) const noexcept;
+  /// True when every op of a row-mode plan writes exclusively (diagonal or
+  /// permutation gate): replay then performs no zero-fill at all.
+  [[nodiscard]] bool fullyExclusive() const noexcept;
+  [[nodiscard]] std::size_t memoryBytes() const noexcept;
+  /// False once the owning package recycled matrix nodes after compilation
+  /// (see `generation`). PlanCache-pinned plans stay valid regardless.
+  [[nodiscard]] bool validFor(const dd::Package& pkg) const noexcept;
+};
+
+/// Sub-blocks per thread that row-mode compilation aims for (the balancing
+/// granularity). The compiler backs off to fewer when 2^n is too small.
+inline constexpr unsigned kPlanSplitFactor = 4;
+/// Minimum rows per sub-block; finer splits would cut identity/diagonal
+/// spans into sub-SIMD fragments.
+inline constexpr Index kMinPlanBlockRows = 32;
+
+/// Lowers the gate DD `m` (at `nQubits`, for `threads` workers) into a
+/// replayable plan. `pkg` is only used to stamp the plan's generation; pass
+/// nullptr when recycling-safety is handled externally.
+[[nodiscard]] DmavPlan compileDmavPlan(const dd::mEdge& m, Qubit nQubits,
+                                       unsigned threads, PlanMode mode,
+                                       const dd::Package* pkg = nullptr);
+
+/// Replays a row-mode plan: W = M * V. V and W must have size 2^n and must
+/// not alias.
+void replayPlan(const DmavPlan& plan, std::span<const Complex> v,
+                std::span<Complex> w);
+
+/// Replays a cached-mode plan through `workspace` partial-output buffers.
+DmavCacheStats replayPlanCached(const DmavPlan& plan,
+                                std::span<const Complex> v,
+                                std::span<Complex> w,
+                                DmavWorkspace& workspace);
+
+}  // namespace fdd::flat

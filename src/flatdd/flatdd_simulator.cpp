@@ -16,7 +16,8 @@ FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
       options_{options},
       ddSim_{nQubits, options.tolerance},
       ewma_{options.beta, options.epsilon, options.warmupGates,
-            options.minDDSize} {}
+            options.minDDSize},
+      planCache_{options.usePlanCache ? options.planCacheCapacity : 0} {}
 
 void FlatDDSimulator::reset() {
   ddSim_.reset();
@@ -24,6 +25,8 @@ void FlatDDSimulator::reset() {
   flatPhase_ = false;
   v_.clear();
   w_.clear();
+  planCache_.clear();
+  planCache_.resetStats();
   stats_ = FlatDDStats{};
 }
 
@@ -159,13 +162,31 @@ void FlatDDSimulator::applyDmav(const dd::mEdge& gate) {
     useCache = cachingBeneficial(gate, nQubits_, threads, simd::lanes());
   }
   stats_.dmavModelCost += dmavCost(gate, nQubits_, threads, simd::lanes());
-  if (useCache) {
+  if (options_.usePlanCache) {
+    const PlanMode mode = useCache ? PlanMode::Cached : PlanMode::Row;
+    const DmavPlan& plan =
+        planCache_.get(ddSim_.package(), gate, nQubits_, threads, mode);
+    Stopwatch replayClock;
+    if (useCache) {
+      const DmavCacheStats s = replayPlanCached(plan, v_, w_, workspace_);
+      ++stats_.cachedGates;
+      stats_.cacheHits += s.cacheHits;
+    } else {
+      replayPlan(plan, v_, w_);
+    }
+    stats_.dmavReplaySeconds += replayClock.seconds();
+    const PlanCacheStats& pc = planCache_.stats();
+    stats_.planCacheHits = pc.hits;
+    stats_.planCacheMisses = pc.misses;
+    stats_.planCompiles = pc.compiles;
+    stats_.planCompileSeconds = pc.compileSeconds;
+  } else if (useCache) {
     const DmavCacheStats s =
-        dmavCached(gate, nQubits_, v_, w_, threads, workspace_);
+        dmavCachedRecursive(gate, nQubits_, v_, w_, threads, workspace_);
     ++stats_.cachedGates;
     stats_.cacheHits += s.cacheHits;
   } else {
-    dmav(gate, nQubits_, v_, w_, threads);
+    dmavRecursive(gate, nQubits_, v_, w_, threads);
   }
   std::swap(v_, w_);
 }
@@ -225,6 +246,7 @@ std::size_t FlatDDSimulator::memoryBytes() const {
   std::size_t bytes = ddSim_.package().stats().memoryBytes;
   bytes += (v_.size() + w_.size()) * sizeof(Complex);
   bytes += workspace_.memoryBytes();
+  bytes += planCache_.memoryBytes();
   return bytes;
 }
 

@@ -16,6 +16,7 @@
 #include "common/timing.hpp"
 #include "flatdd/dmav_cache.hpp"
 #include "flatdd/ewma.hpp"
+#include "flatdd/plan_cache.hpp"
 #include "qc/circuit.hpp"
 #include "sim/dd_simulator.hpp"
 
@@ -43,6 +44,11 @@ struct FlatDDOptions {
   fp tolerance = 1e-10;
   bool recordPerGate = false;      // keep a per-gate trace (Fig. 11)
   std::optional<std::size_t> forceConversionAtGate;  // override the EWMA
+  /// Execute DMAV through compiled plans from a bounded LRU cache (see
+  /// dmav_plan.hpp / plan_cache.hpp). Off = the pre-plan recursive path
+  /// (Alg. 1/2 verbatim), kept for ablation benchmarks.
+  bool usePlanCache = true;
+  std::size_t planCacheCapacity = 64;
 };
 
 struct PerGateRecord {
@@ -63,6 +69,11 @@ struct FlatDDStats {
   std::size_t dmavGates = 0;    // matrices applied after (optional) fusion
   std::size_t cachedGates = 0;  // DMAVs that ran with the cache
   std::size_t cacheHits = 0;
+  std::size_t planCacheHits = 0;    // plan reused from the LRU cache
+  std::size_t planCacheMisses = 0;
+  std::size_t planCompiles = 0;
+  double planCompileSeconds = 0;    // time spent lowering DDs to plans
+  double dmavReplaySeconds = 0;     // time spent replaying compiled plans
   std::size_t peakDDSize = 0;
   fp dmavModelCost = 0;  // sum of Section 3.2.3 costs over applied matrices
                          // (the "Cost" column of Table 2)
@@ -128,6 +139,9 @@ class FlatDDSimulator {
   AlignedVector<Complex> v_;  // current state (flat phase)
   AlignedVector<Complex> w_;  // scratch output vector
   DmavWorkspace workspace_;
+  // Declared after ddSim_ so it is destroyed (unpinning cached gate roots)
+  // before the DD package it references.
+  PlanCache planCache_;
 
   FlatDDStats stats_;
 };

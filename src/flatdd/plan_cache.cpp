@@ -1,0 +1,110 @@
+#include "flatdd/plan_cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "dd/package.hpp"
+
+namespace fdd::flat {
+
+namespace {
+
+inline void hashCombine(std::size_t& seed, std::size_t v) noexcept {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
+  std::size_t seed = std::hash<const void*>{}(k.pkg);
+  hashCombine(seed, std::hash<const void*>{}(k.root));
+  hashCombine(seed, std::hash<std::uint64_t>{}(k.weightBits[0]));
+  hashCombine(seed, std::hash<std::uint64_t>{}(k.weightBits[1]));
+  hashCombine(seed, std::hash<std::uint64_t>{}(
+                        (static_cast<std::uint64_t>(k.nQubits) << 32) ^
+                        k.threads));
+  hashCombine(seed, static_cast<std::size_t>(k.mode));
+  hashCombine(seed, k.identFast ? 1u : 0u);
+  return seed;
+}
+
+const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
+                               Qubit nQubits, unsigned threads,
+                               PlanMode mode) {
+  Key key;
+  key.pkg = &pkg;
+  key.root = m.n;
+  key.weightBits[0] = std::bit_cast<std::uint64_t>(m.w.real());
+  key.weightBits[1] = std::bit_cast<std::uint64_t>(m.w.imag());
+  key.nQubits = nQubits;
+  key.threads = threads;
+  key.mode = mode;
+  key.identFast = identFastPathEnabled();
+
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    ++stats_.compiles;
+    scratch_ = compileDmavPlan(m, nQubits, threads, mode, &pkg);
+    stats_.compileSeconds += scratch_.compileSeconds;
+    return scratch_;
+  }
+
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Pinned roots cannot be recycled, so a pointer match is a true match;
+    // the generation check below is a defensive assert, not a correctness
+    // requirement (see the header comment).
+    assert(it->second->plan.root == m.n);
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+
+  ++stats_.misses;
+  ++stats_.compiles;
+  while (index_.size() >= capacity_) {
+    evictOldest();
+  }
+  Entry entry;
+  entry.key = key;
+  entry.plan = compileDmavPlan(m, nQubits, threads, mode, &pkg);
+  entry.pkg = &pkg;
+  stats_.compileSeconds += entry.plan.compileSeconds;
+  // Pin the root so the package cannot recycle any node of this gate DD
+  // while the plan is cached (children are kept alive transitively by their
+  // parents' reference counts).
+  pkg.incRef(m);
+  lru_.push_front(std::move(entry));
+  index_.emplace(key, lru_.begin());
+  return lru_.front().plan;
+}
+
+void PlanCache::evictOldest() {
+  if (lru_.empty()) {
+    return;
+  }
+  Entry& victim = lru_.back();
+  victim.pkg->decRef(dd::mEdge{const_cast<dd::mNode*>(victim.plan.root),
+                               victim.plan.rootWeight});
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+void PlanCache::clear() {
+  for (Entry& entry : lru_) {
+    entry.pkg->decRef(dd::mEdge{const_cast<dd::mNode*>(entry.plan.root),
+                                entry.plan.rootWeight});
+  }
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t PlanCache::memoryBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Entry& entry : lru_) {
+    bytes += entry.plan.memoryBytes() + sizeof(Entry);
+  }
+  return bytes;
+}
+
+}  // namespace fdd::flat

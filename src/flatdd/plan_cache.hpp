@@ -1,0 +1,95 @@
+#pragma once
+// Bounded LRU cache of compiled DmavPlans (see dmav_plan.hpp). The cache is
+// what turns the one-time plan compilation into a per-circuit cost: deep
+// circuits apply the same few gate DDs (canonical QMDDs dedupe repeated
+// gates structurally) hundreds of times, so after warm-up every application
+// is a pure replay.
+//
+// Key identity and node recycling: a plan is keyed by the gate DD's root
+// node pointer plus its edge weight (canonical ComplexTable weights are
+// bit-exact comparable), the qubit count, thread count, plan mode, and the
+// ident-fast-path flag the compiler baked in. Raw node pointers are only
+// meaningful while the node is alive — the package's NodePool recycles
+// addresses of collected nodes — so the cache *pins* every cached root with
+// Package::incRef on insertion (and decRef on eviction). Pinned nodes are
+// ineligible for collection, which keeps pointer keys unambiguous without
+// consulting Package::mNodeGeneration() on every lookup. The generation
+// counter still matters for plans held *outside* the cache (see
+// DmavPlan::validFor) and is re-checked defensively on hits.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "flatdd/dmav_plan.hpp"
+
+namespace fdd::flat {
+
+struct PlanCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t compiles = 0;    // misses that led to an insert
+  std::size_t evictions = 0;
+  double compileSeconds = 0;   // total time spent compiling plans
+};
+
+class PlanCache {
+ public:
+  /// `capacity` = max number of live plans (0 disables caching entirely:
+  /// get() always compiles a throwaway plan).
+  explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {}
+  ~PlanCache() { clear(); }
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the plan for gate `m` at (nQubits, threads, mode), compiling
+  /// and caching it on a miss. The returned reference stays valid until the
+  /// next get()/clear() (eviction). `pkg` must own `m`'s nodes.
+  const DmavPlan& get(dd::Package& pkg, const dd::mEdge& m, Qubit nQubits,
+                      unsigned threads, PlanMode mode);
+
+  /// Drops all plans and unpins their roots. Call before the owning package
+  /// is destroyed or reset.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const PlanCacheStats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = PlanCacheStats{}; }
+
+  /// Total heap footprint of the cached plans.
+  [[nodiscard]] std::size_t memoryBytes() const noexcept;
+
+ private:
+  struct Key {
+    const dd::Package* pkg = nullptr;
+    const dd::mNode* root = nullptr;
+    std::uint64_t weightBits[2] = {0, 0};  // bit-exact canonical weight
+    Qubit nQubits = 0;
+    unsigned threads = 0;
+    PlanMode mode = PlanMode::Row;
+    bool identFast = true;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    Key key;
+    DmavPlan plan;
+    dd::Package* pkg = nullptr;  // for decRef on eviction
+  };
+  using LruList = std::list<Entry>;
+
+  void evictOldest();
+
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  DmavPlan scratch_;  // returned by get() when capacity_ == 0
+  PlanCacheStats stats_;
+};
+
+}  // namespace fdd::flat

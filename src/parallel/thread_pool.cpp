@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -68,9 +69,23 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(unsigned t, const std::function<void(unsigned)>& f) {
-  assert(t >= 1 && t <= threads_);
+  assert(t >= 1);
   if (t == 1) {
     f(0);
+    return;
+  }
+  if (t > threads_) {
+    // Oversubscribed region (e.g. a caller tuned for more workers than the
+    // pool provides): all t logical indices still execute, distributed over
+    // the available workers by an atomic work counter.
+    std::atomic<unsigned> next{0};
+    const std::function<void(unsigned)> distribute = [&](unsigned) {
+      for (unsigned i = next.fetch_add(1, std::memory_order_relaxed); i < t;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        f(i);
+      }
+    };
+    run(threads_, distribute);
     return;
   }
   job_ = &f;
@@ -162,10 +177,17 @@ std::unique_ptr<ThreadPool>& poolSlot() {
 ThreadPool& globalPool() {
   auto& slot = poolSlot();
   if (!slot) {
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    // Benchmarks sweep past the physical core count to show saturation, so
-    // provision generously; idle workers cost nothing but a blocked thread.
-    slot = std::make_unique<ThreadPool>(std::max(16u, hw));
+    unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+    // FLATDD_THREADS overrides the hardware default (benchmark sweeps, CI
+    // runners where hardware_concurrency lies about the usable cores).
+    if (const char* env = std::getenv("FLATDD_THREADS"); env != nullptr) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0 && parsed <= 4096) {
+        threads = static_cast<unsigned>(parsed);
+      }
+    }
+    slot = std::make_unique<ThreadPool>(threads);
   }
   return *slot;
 }

@@ -33,7 +33,9 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const noexcept { return threads_; }
 
   /// Runs f(i) for i in [0, t) across the pool and blocks until all finish.
-  /// t must be <= size(). f must be callable concurrently.
+  /// f must be callable concurrently. When t exceeds size(), all t indices
+  /// still execute: they are distributed over the available workers (so f
+  /// must not rely on all indices running simultaneously, e.g. barriers).
   void run(unsigned t, const std::function<void(unsigned)>& f);
 
   /// Splits [begin, end) into contiguous chunks over `t` workers and calls
@@ -64,9 +66,10 @@ class ThreadPool {
   std::atomic<bool> stop_{false};
 };
 
-/// Process-wide pool sized to the maximum thread count the benchmarks sweep.
-/// Thread-safe lazy construction; resizePool() is not thread-safe and must be
-/// called from a single-threaded context (e.g. the start of main()).
+/// Process-wide pool. Default size is the hardware concurrency, overridable
+/// with the FLATDD_THREADS environment variable (checked once, on first
+/// use). Thread-safe lazy construction; resizePool() is not thread-safe and
+/// must be called from a single-threaded context (e.g. the start of main()).
 ThreadPool& globalPool();
 
 /// Recreates the global pool with `threads` workers.

@@ -176,6 +176,29 @@ TEST(DmavCache, WorkspaceIsReusableAcrossGates) {
   EXPECT_GT(ws.memoryBytes(), 0u);
 }
 
+TEST(DmavCache, OneThreadOneQubitSharesNoBuffers) {
+  // Regression for the buffer-placement rewrite: the degenerate 1-thread,
+  // 1-qubit assignment has a single task covering the whole (2-row) output,
+  // so there is exactly one buffer and nothing is shared.
+  dd::Package p{1};
+  const dd::mEdge h = p.makeGateDD(qc::gateMatrix(qc::GateKind::H, {}), 0);
+  const ColumnAssignment a = assignColumnSpace(h, 1, 1);
+  EXPECT_EQ(a.threads, 1u);
+  EXPECT_EQ(a.numBuffers, 1u);
+  ASSERT_EQ(a.bufferOf.size(), 1u);
+  EXPECT_EQ(a.bufferOf[0], 0u);
+
+  const auto v = test::randomState(1, 27);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  DmavWorkspace ws;
+  const DmavCacheStats s = dmavCached(h, 1, in, out, 1, ws);
+  EXPECT_EQ(s.buffers, 1u);
+  const auto ref = test::denseApply(
+      test::denseOperator(qc::Operation{qc::GateKind::H, 0, {}, {}}, 1), v);
+  EXPECT_STATE_NEAR(out, ref, 1e-12);
+}
+
 TEST(DmavCache, AliasedVectorsThrow) {
   dd::Package p{3};
   AlignedVector<Complex> v(8);

@@ -1,0 +1,358 @@
+// DMAV plan compiler: op-stream taxonomy (diagonal gates lower to DiagScale,
+// permutations to PermuteCopy), replay equivalence with the recursive path,
+// balanced block packing, the LRU plan cache, and generation-based
+// invalidation against node recycling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "dd/package.hpp"
+#include "flatdd/dmav_plan.hpp"
+#include "flatdd/plan_cache.hpp"
+#include "helpers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fdd::flat {
+namespace {
+
+AlignedVector<Complex> replayRow(const DmavPlan& plan,
+                                 const test::DenseVector& v) {
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(v.size());
+  replayPlan(plan, in, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Op taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(DmavPlan, DiagonalGatesLowerToDiagScale) {
+  // RZ, T, CZ, CP are diagonal matrices: every output row depends on exactly
+  // the same input row, so the compiler must prove exclusivity and emit only
+  // DiagScale ops — no accumulating MacSpan and no zero-fill at all.
+  const Qubit n = 6;
+  const std::vector<qc::Operation> diagonalGates = {
+      {qc::GateKind::RZ, 2, {}, {0.37}},
+      {qc::GateKind::T, 0, {}, {}},
+      {qc::GateKind::Z, 4, {1}, {}},          // CZ
+      {qc::GateKind::P, 3, {5}, {1.1}},       // CP
+  };
+  for (const auto& op : diagonalGates) {
+    dd::Package p{n};
+    const dd::mEdge m = p.makeGateDD(op);
+    for (const unsigned threads : {1u, 4u}) {
+      const DmavPlan plan =
+          compileDmavPlan(m, n, threads, PlanMode::Row, &p);
+      EXPECT_GT(plan.opCount(SpanOpKind::DiagScale), 0u)
+          << op.toString() << " t=" << threads;
+      EXPECT_EQ(plan.opCount(SpanOpKind::MacSpan), 0u);
+      EXPECT_EQ(plan.opCount(SpanOpKind::PermuteCopy), 0u);
+      EXPECT_TRUE(plan.fullyExclusive());
+      for (const PlanBlock& block : plan.blocks) {
+        for (const SpanOp& sop : block.ops) {
+          EXPECT_EQ(sop.iv, sop.iw);  // diagonal: input row == output row
+        }
+      }
+      const auto v = test::randomState(n, 91);
+      EXPECT_STATE_NEAR(replayRow(plan, v),
+                        test::denseApply(test::denseOperator(op, n), v),
+                        1e-12);
+    }
+  }
+}
+
+TEST(DmavPlan, PermutationGatesLowerToPermuteCopy) {
+  const Qubit n = 6;
+  const std::vector<qc::Operation> permutations = {
+      {qc::GateKind::X, n - 1, {}, {}},  // X on the top qubit
+      {qc::GateKind::X, 0, {}, {}},      // X on the bottom qubit
+  };
+  for (const auto& op : permutations) {
+    dd::Package p{n};
+    const dd::mEdge m = p.makeGateDD(op);
+    const DmavPlan plan = compileDmavPlan(m, n, 2, PlanMode::Row, &p);
+    EXPECT_GT(plan.opCount(SpanOpKind::PermuteCopy), 0u);
+    EXPECT_EQ(plan.opCount(SpanOpKind::MacSpan), 0u);
+    EXPECT_TRUE(plan.fullyExclusive());
+    const auto v = test::randomState(n, 92);
+    EXPECT_STATE_NEAR(replayRow(plan, v),
+                      test::denseApply(test::denseOperator(op, n), v),
+                      1e-12);
+  }
+}
+
+TEST(DmavPlan, HadamardKeepsAccumulatingOps) {
+  // H mixes two input rows into each output row: outputs overlap, so the
+  // ops stay accumulating and the block is zero-filled before replay.
+  const Qubit n = 6;
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::H, 0, {}, {}});
+  const DmavPlan plan = compileDmavPlan(m, n, 2, PlanMode::Row, &p);
+  EXPECT_FALSE(plan.fullyExclusive());
+  EXPECT_GT(plan.opCount(SpanOpKind::MacSpan) +
+                plan.opCount(SpanOpKind::IdentScale),
+            0u);
+  for (const PlanBlock& block : plan.blocks) {
+    ASSERT_FALSE(block.zeroSpans.empty());
+    EXPECT_EQ(block.zeroSpans.front().begin, block.rowBegin);
+    EXPECT_EQ(block.zeroSpans.front().len, block.rows);
+  }
+}
+
+TEST(DmavPlan, IdentFastPathFlagIsBakedIn) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::X, 0, {n - 1}, {}});  // CX
+  const DmavPlan withIdent = compileDmavPlan(m, n, 1, PlanMode::Row, &p);
+  setIdentFastPath(false);
+  const DmavPlan without = compileDmavPlan(m, n, 1, PlanMode::Row, &p);
+  setIdentFastPath(true);
+  EXPECT_TRUE(withIdent.identFast);
+  EXPECT_FALSE(without.identFast);
+  // Without the fast path the identity subtree is expanded into per-row
+  // ops, but merging rebuilds contiguous spans: both replays must agree.
+  const auto v = test::randomState(n, 93);
+  const auto a = replayRow(withIdent, v);
+  const auto b = replayRow(without, v);
+  EXPECT_STATE_NEAR(a, b, 1e-14);
+}
+
+// ---------------------------------------------------------------------------
+// Balanced replay
+// ---------------------------------------------------------------------------
+
+TEST(DmavPlan, BlocksAreSplitFinerThanThreadsAndPackedOnce) {
+  const Qubit n = 8;  // dim 256: t=4 -> split 2 (min block rows 32)
+  dd::Package p{n};
+  const auto circuit = circuits::supremacy(n, 4, 5);
+  const dd::mEdge m = p.makeGateDD(circuit.operations().front());
+  const DmavPlan plan = compileDmavPlan(m, n, 4, PlanMode::Row, &p);
+  EXPECT_EQ(plan.threads, 4u);
+  EXPECT_EQ(plan.blocks.size(), 8u);  // 4 threads x split 2
+  // Every block is assigned to exactly one thread.
+  std::vector<int> seen(plan.blocks.size(), 0);
+  for (const auto& ids : plan.blocksOf) {
+    for (const std::uint32_t id : ids) {
+      ASSERT_LT(id, plan.blocks.size());
+      ++seen[id];
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+  // Blocks tile the row space and ops stay inside their block.
+  for (const PlanBlock& block : plan.blocks) {
+    for (const SpanOp& sop : block.ops) {
+      EXPECT_GE(sop.iw, block.rowBegin);
+      EXPECT_LE(sop.iw + sop.len, block.rowBegin + block.rows);
+    }
+  }
+}
+
+TEST(DmavPlan, ReplayMatchesRecursiveOnIrregularCircuit) {
+  const Qubit n = 7;
+  dd::Package p{n};
+  AlignedVector<Complex> v1(Index{1} << n, Complex{});
+  v1[0] = Complex{1.0};
+  AlignedVector<Complex> v2 = v1;
+  AlignedVector<Complex> w1(v1.size());
+  AlignedVector<Complex> w2(v1.size());
+  for (const auto& op : circuits::supremacy(n, 6, 17)) {
+    const dd::mEdge m = p.makeGateDD(op);
+    const DmavPlan plan = compileDmavPlan(m, n, 4, PlanMode::Row, &p);
+    replayPlan(plan, v1, w1);
+    dmavRecursive(m, n, v2, w2, 4);
+    std::swap(v1, w1);
+    std::swap(v2, w2);
+  }
+  EXPECT_STATE_NEAR(v1, v2, 1e-12);
+}
+
+TEST(DmavPlan, ReplaySurvivesShrunkenPool) {
+  // A plan compiled for 8 threads must still replay correctly when the pool
+  // has fewer workers (oversubscribed run() distributes the indices).
+  const Qubit n = 6;
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::H, 3, {}, {}});
+  const DmavPlan plan = compileDmavPlan(m, n, 8, PlanMode::Row, &p);
+  EXPECT_EQ(plan.threads, 8u);
+  par::resizePool(2);
+  const auto v = test::randomState(n, 94);
+  const auto out = replayRow(plan, v);
+  par::resizePool(16);
+  EXPECT_STATE_NEAR(
+      out,
+      test::denseApply(test::denseOperator({qc::GateKind::H, 3, {}, {}}, n),
+                       v),
+      1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Cached (column-space) plans
+// ---------------------------------------------------------------------------
+
+TEST(DmavPlan, CachedPlanEmitsBlockScaleForRepeats) {
+  // H on the top qubit: both tasks of a thread share the sub-matrix node, so
+  // the compiled program must contain BlockScale ops (compile-time Alg. 2
+  // hits) and replay must agree with the dense reference.
+  const Qubit n = 8;
+  dd::Package p{n};
+  const qc::Operation op{qc::GateKind::H, n - 1, {}, {}};
+  const dd::mEdge m = p.makeGateDD(op);
+  const DmavPlan plan = compileDmavPlan(m, n, 4, PlanMode::Cached, &p);
+  EXPECT_GT(plan.cacheHits, 0u);
+  EXPECT_EQ(plan.opCount(SpanOpKind::BlockScale), plan.cacheHits);
+  AlignedVector<Complex> in(Index{1} << n);
+  const auto v = test::randomState(n, 95);
+  std::copy(v.begin(), v.end(), in.begin());
+  AlignedVector<Complex> out(in.size());
+  DmavWorkspace ws;
+  const DmavCacheStats s = replayPlanCached(plan, in, out, ws);
+  EXPECT_EQ(s.cacheHits, plan.cacheHits);
+  EXPECT_EQ(s.buffers, plan.numBuffers);
+  EXPECT_STATE_NEAR(out, test::denseApply(test::denseOperator(op, n), v),
+                    1e-12);
+}
+
+TEST(DmavPlan, CachedPlanMatchesRecursiveCachedPath) {
+  const Qubit n = 7;
+  dd::Package p{n};
+  DmavWorkspace ws1;
+  DmavWorkspace ws2;
+  AlignedVector<Complex> v1(Index{1} << n, Complex{});
+  v1[0] = Complex{1.0};
+  AlignedVector<Complex> v2 = v1;
+  AlignedVector<Complex> w1(v1.size());
+  AlignedVector<Complex> w2(v1.size());
+  for (const auto& op : circuits::qft(n, 3)) {
+    const dd::mEdge m = p.makeGateDD(op);
+    const DmavPlan plan = compileDmavPlan(m, n, 4, PlanMode::Cached, &p);
+    const DmavCacheStats a = replayPlanCached(plan, v1, w1, ws1);
+    const DmavCacheStats b = dmavCachedRecursive(m, n, v2, w2, 4, ws2);
+    EXPECT_EQ(a.tasks, b.tasks);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.buffers, b.buffers);
+    std::swap(v1, w1);
+    std::swap(v2, w2);
+  }
+  EXPECT_STATE_NEAR(v1, v2, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, HitsOnRepeatedGateMissesOnNew) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  PlanCache cache{8};
+  const dd::mEdge rz = p.makeGateDD({qc::GateKind::RZ, 2, {}, {0.5}});
+  const dd::mEdge h = p.makeGateDD({qc::GateKind::H, 2, {}, {}});
+  p.incRef(rz);
+  p.incRef(h);
+
+  const DmavPlan& first = cache.get(p, rz, n, 4, PlanMode::Row);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  const DmavPlan& again = cache.get(p, rz, n, 4, PlanMode::Row);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(&first, &again);  // same cached object
+
+  cache.get(p, h, n, 4, PlanMode::Row);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // Different thread count / mode / ident flag are different plans.
+  cache.get(p, rz, n, 2, PlanMode::Row);
+  cache.get(p, rz, n, 4, PlanMode::Cached);
+  setIdentFastPath(false);
+  cache.get(p, rz, n, 4, PlanMode::Row);
+  setIdentFastPath(true);
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_EQ(cache.size(), 5u);
+  cache.clear();
+  p.decRef(rz);
+  p.decRef(h);
+}
+
+TEST(PlanCacheTest, LruEvictsOldestAtCapacity) {
+  const Qubit n = 5;
+  dd::Package p{n};
+  PlanCache cache{2};
+  const dd::mEdge a = p.makeGateDD({qc::GateKind::RZ, 0, {}, {0.1}});
+  const dd::mEdge b = p.makeGateDD({qc::GateKind::RZ, 1, {}, {0.2}});
+  const dd::mEdge c = p.makeGateDD({qc::GateKind::RZ, 2, {}, {0.3}});
+  p.incRef(a);
+  p.incRef(b);
+  p.incRef(c);
+  cache.get(p, a, n, 1, PlanMode::Row);
+  cache.get(p, b, n, 1, PlanMode::Row);
+  cache.get(p, a, n, 1, PlanMode::Row);  // touch a: b becomes oldest
+  cache.get(p, c, n, 1, PlanMode::Row);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.get(p, a, n, 1, PlanMode::Row);  // still cached
+  EXPECT_EQ(cache.stats().hits, 2u);
+  cache.get(p, b, n, 1, PlanMode::Row);  // recompiled
+  EXPECT_EQ(cache.stats().compiles, 4u);
+  cache.clear();
+  p.decRef(a);
+  p.decRef(b);
+  p.decRef(c);
+}
+
+TEST(PlanCacheTest, PinnedRootsSurviveGarbageCollection) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  PlanCache cache{4};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::RY, 3, {}, {0.7}});
+  p.incRef(m);
+  cache.get(p, m, n, 2, PlanMode::Row);
+  p.decRef(m);  // the cache's pin is now the only reference
+  p.garbageCollect(true);
+  // The pinned root (and its subtree) must not have been recycled: a lookup
+  // still hits and the plan still replays correctly.
+  const DmavPlan& plan = cache.get(p, m, n, 2, PlanMode::Row);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  const auto v = test::randomState(n, 96);
+  EXPECT_STATE_NEAR(
+      replayRow(plan, v),
+      test::denseApply(
+          test::denseOperator({qc::GateKind::RY, 3, {}, {0.7}}, n), v),
+      1e-12);
+  cache.clear();
+}
+
+TEST(PlanCacheTest, GenerationInvalidatesStandalonePlans) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  const dd::mEdge keep = p.makeGateDD({qc::GateKind::RZ, 1, {}, {0.4}});
+  p.incRef(keep);
+  const DmavPlan plan = compileDmavPlan(keep, n, 2, PlanMode::Row, &p);
+  EXPECT_TRUE(plan.validFor(p));
+  // Build an unreferenced gate DD and collect it: matrix nodes are released
+  // back to the pool, so the generation advances and any standalone plan
+  // keyed by raw pointers must report itself stale.
+  (void)p.makeGateDD({qc::GateKind::U3, 4, {}, {0.3, 0.6, 0.9}});
+  p.garbageCollect(true);
+  EXPECT_FALSE(plan.validFor(p));
+  p.decRef(keep);
+}
+
+TEST(PlanCacheTest, ZeroCapacityCompilesEveryTime) {
+  const Qubit n = 5;
+  dd::Package p{n};
+  PlanCache cache{0};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::H, 2, {}, {}});
+  p.incRef(m);
+  cache.get(p, m, n, 2, PlanMode::Row);
+  cache.get(p, m, n, 2, PlanMode::Row);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  p.decRef(m);
+}
+
+}  // namespace
+}  // namespace fdd::flat

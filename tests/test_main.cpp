@@ -1,0 +1,15 @@
+// Shared gtest main. The global pool defaults to the hardware concurrency
+// (or FLATDD_THREADS), but the test suite exercises fixed thread counts up
+// to 16 — clampDmavThreads caps at the pool size, so on small CI machines
+// those paths would silently degrade to fewer threads. Provision 16 logical
+// workers up front; the pool tolerates oversubscription.
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  fdd::par::resizePool(16);
+  return RUN_ALL_TESTS();
+}

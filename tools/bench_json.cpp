@@ -1,0 +1,168 @@
+#include "bench_json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace fdd::tools {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (afterKey_) {
+    afterKey_ = false;
+    return;  // value completes a "key": pair, no comma
+  }
+  if (needComma_) {
+    out_ += ",\n";
+  } else if (!stack_.empty()) {
+    out_ += "\n";
+  }
+  indent();
+}
+
+void JsonWriter::indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  comma();
+  out_.push_back('{');
+  stack_.push_back('{');
+  needComma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  assert(!stack_.empty() && stack_.back() == '{');
+  const bool hadMembers = needComma_;
+  stack_.pop_back();
+  if (hadMembers) {
+    out_.push_back('\n');
+    indent();
+  }
+  out_.push_back('}');
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  comma();
+  out_.push_back('[');
+  stack_.push_back('[');
+  needComma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  assert(!stack_.empty() && stack_.back() == '[');
+  const bool hadMembers = needComma_;
+  stack_.pop_back();
+  if (hadMembers) {
+    out_.push_back('\n');
+    indent();
+  }
+  out_.push_back(']');
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  assert(!stack_.empty() && stack_.back() == '{');
+  comma();
+  out_ += jsonEscape(k);
+  out_ += ": ";
+  afterKey_ = true;
+  needComma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += jsonEscape(v);
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string{v});
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  needComma_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  assert(stack_.empty() && "unclosed object/array in JsonWriter");
+  return out_;
+}
+
+bool writeTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace fdd::tools

@@ -1,0 +1,67 @@
+#pragma once
+// Tiny dependency-free JSON emitter for machine-readable benchmark results
+// (the BENCH_*.json artifacts CI uploads). Write-only by design: benches
+// build a document with push/pop calls and dump it to a file; parsing stays
+// in the analysis scripts. Not a general serializer — no pretty-printing
+// knobs, no streaming, documents are built in memory.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdd::tools {
+
+/// Builds one JSON document. Keys are only legal inside objects; values
+/// outside any container are only legal once (the root). Misuse (a key at
+/// array level, two roots, unclosed containers at str()) trips an assert in
+/// debug builds and yields well-formed-but-wrong JSON in release — callers
+/// are our own benches, not untrusted input.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Starts a "key": inside the current object; follow with a value or
+  /// container. Returns *this so `w.key("x").value(1)` chains.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);     // finite -> shortest round-trip, else null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v);
+
+  /// Shorthand: key(k).value(v).
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+
+  /// The finished document. All containers must be closed.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  void comma();
+  void indent();
+
+  std::string out_;
+  std::vector<char> stack_;     // '{' or '['
+  bool needComma_ = false;
+  bool afterKey_ = false;
+};
+
+/// Escapes `s` as a JSON string literal, including the quotes.
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+/// Writes `content` to `path` atomically enough for bench artifacts
+/// (truncate + write + close). Returns false on any I/O error.
+bool writeTextFile(const std::string& path, const std::string& content);
+
+}  // namespace fdd::tools

@@ -41,6 +41,7 @@ struct CliOptions {
   std::size_t shots = 0;
   std::size_t top = 8;
   bool stats = false;
+  bool planCache = true;
   std::string reportJson;
   std::string reportCsv;
   std::string traceCsv;
@@ -76,6 +77,7 @@ output:
   --shots N          sample N measurements from the final state
   --top K            print the K most probable outcomes (default 8)
   --stats            print the run report as text
+  --no-plan-cache    disable the DMAV plan compiler (pre-plan recursive path)
   --report FILE      write the machine-readable run report as JSON
   --report-csv FILE  write the run report as key,value CSV
   --trace FILE       write the per-gate trace as CSV (enables recording)
@@ -177,6 +179,13 @@ void printStats(const engine::RunReport& report) {
                 report.conversionGateIndex, report.conversionSeconds * 1e3);
     std::printf("cached DMAVs: %zu (%zu cache hits)\n", report.cachedGates,
                 report.cacheHits);
+    if (report.planCacheHits + report.planCacheMisses > 0) {
+      std::printf(
+          "plan cache: %zu hits / %zu misses (%zu compiles, %.3f ms "
+          "compiling, %.3f ms replaying)\n",
+          report.planCacheHits, report.planCacheMisses, report.planCompiles,
+          report.planCompileSeconds * 1e3, report.dmavReplaySeconds * 1e3);
+    }
   }
   if (report.peakDDSize > 0) {
     std::printf("peak DD size: %zu nodes", report.peakDDSize);
@@ -216,6 +225,7 @@ int runCli(const CliOptions& opt) {
                    : std::max(1u, std::thread::hardware_concurrency());
   eo.passes = opt.passes;
   eo.recordPerGate = !opt.traceCsv.empty();
+  eo.usePlanCache = opt.planCache;
 
   engine::SimulationEngine sim{eo};
   const engine::RunReport report = sim.run(opt.backend, circuit);
@@ -333,6 +343,8 @@ int main(int argc, char** argv) {
       opt.top = static_cast<std::size_t>(std::atoll(need(i)));
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (arg == "--no-plan-cache") {
+      opt.planCache = false;
     } else if (arg == "--report") {
       opt.reportJson = need(i);
     } else if (arg == "--report-csv") {
