@@ -192,9 +192,9 @@ void printPreamble(const char* title, const char* paperReference) {
   std::printf("%s\n", title);
   std::printf("Reproduces: %s\n", paperReference);
   std::printf("Host: %u hardware threads; bench threads: %u (paper: 16); "
-              "SIMD: %s (d=%u)\n",
+              "SIMD dispatch: %s (d=%u)\n",
               std::thread::hardware_concurrency(), benchThreads(),
-              simd::avx2Enabled() ? "AVX2+FMA" : "scalar", simd::lanes());
+              simd::toString(simd::activeTier()), simd::lanes());
   std::printf("Note: absolute numbers are not comparable to the paper's\n");
   std::printf("64-core Xeon testbed; compare shapes/ratios (see EXPERIMENTS.md).\n");
   std::printf("==============================================================\n\n");

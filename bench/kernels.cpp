@@ -1,0 +1,233 @@
+// Kernel microbenchmark suite: every dispatched span kernel timed under the
+// scalar and AVX2 tiers (setDispatchTier flips the table in-process, so both
+// tiers run in one invocation on identical buffers). Reports ns/amplitude
+// and the AVX2-over-scalar speedup per kernel, per working-set size, and —
+// for the comb kernels — per stride, then emits BENCH_kernels.json for CI.
+//
+// The speedup column is the d of Eq. 6 made observable: the cost model
+// divides the flat-array term by simd::lanes(), and this bench is the
+// evidence that the divide is earned on real buffers, not just in cpuid.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/aligned.hpp"
+#include "common/harness.hpp"
+#include "common/prng.hpp"
+#include "common/timing.hpp"
+#include "simd/kernels.hpp"
+
+namespace fdd::bench {
+namespace {
+
+struct KernelCase {
+  std::string kernel;
+  std::size_t amps;    // amplitudes touched per call
+  std::size_t stride;  // 1 for contiguous kernels
+  std::function<void()> run;
+};
+
+struct KernelResult {
+  std::string kernel;
+  std::size_t amps;
+  std::size_t stride;
+  double scalarNs;  // per amplitude
+  double avx2Ns;    // per amplitude
+  double speedup;
+};
+
+AlignedVector<Complex> randomBuf(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng{seed};
+  AlignedVector<Complex> v(n);
+  for (auto& z : v) {
+    z = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  return v;
+}
+
+/// Best-of-5 timing of `iters` back-to-back calls, in ns per amplitude.
+double timeKernel(const KernelCase& c, std::size_t iters) {
+  c.run();  // warm the buffers and the dispatch table
+  double best = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch sw;
+    for (std::size_t i = 0; i < iters; ++i) {
+      c.run();
+    }
+    const double s = sw.seconds();
+    if (rep == 0 || s < best) {
+      best = s;
+    }
+  }
+  return best * 1e9 / (static_cast<double>(iters) * static_cast<double>(c.amps));
+}
+
+std::vector<KernelResult> runSuite() {
+  constexpr std::size_t kMaxAmps = std::size_t{1} << 20;
+  // Shared buffers sized for the largest case; sink is volatile-ish via
+  // normSquared accumulation into a global-visible double.
+  static AlignedVector<Complex> out = randomBuf(kMaxAmps, 1);
+  static AlignedVector<Complex> x = randomBuf(kMaxAmps, 2);
+  static AlignedVector<Complex> y = randomBuf(kMaxAmps, 3);
+  // The butterfly kernels mutate both operands in place, so they get their
+  // own buffers; u is unitary and the scale factors are unit-modulus so
+  // repeated application keeps every value in the normal double range
+  // (decaying values hit denormals and skew timings by an order of
+  // magnitude).
+  static AlignedVector<Complex> bf1 = randomBuf(kMaxAmps, 4);
+  static AlignedVector<Complex> bf2 = randomBuf(kMaxAmps, 5);
+  static double sink = 0;
+  const Complex a{0.6, 0.8};
+  const Complex b{-0.8, 0.6};
+  static const Complex u[4] = {{0.6, 0.0}, {0.8, 0.0}, {0.8, 0.0}, {-0.6, 0.0}};
+
+  const std::vector<std::size_t> sizes = {std::size_t{1} << 12,
+                                          std::size_t{1} << 16, kMaxAmps};
+  std::vector<KernelCase> cases;
+  for (const std::size_t n : sizes) {
+    cases.push_back({"scale", n, 1,
+                     [n, a] { simd::scale(out.data(), x.data(), a, n); }});
+    cases.push_back({"scaleAccumulate", n, 1, [n, a] {
+                       simd::scaleAccumulate(out.data(), x.data(), a, n);
+                     }});
+    cases.push_back({"accumulate", n, 1,
+                     [n] { simd::accumulate(out.data(), x.data(), n); }});
+    cases.push_back({"mac2", n, 1, [n, a, b] {
+                       simd::mac2(out.data(), x.data(), a, y.data(), b, n);
+                     }});
+    cases.push_back({"butterfly", n, 1, [n] {
+                       simd::butterfly(bf1.data(), bf2.data(), u, n);
+                     }});
+    cases.push_back({"butterflyAdjacent", n, 1, [n] {
+                       simd::butterflyAdjacent(bf1.data(), u, n / 2);
+                     }});
+    cases.push_back({"normSquared", n, 1, [n] {
+                       sink += simd::normSquared(x.data(), n);
+                     }});
+    // Comb kernels at the strides the plan compiler emits: stride 2^(q+1)
+    // with len = stride/2 for a low-qubit gate on q (period-2 collapse).
+    for (const std::size_t stride : {2u, 8u, 64u, 256u}) {
+      const std::size_t len = stride / 2;
+      const std::size_t count = n / stride;
+      const std::string tag = " s=" + std::to_string(stride);
+      cases.push_back({"scaleStrided" + tag, count * len, stride,
+                       [count, len, stride, a] {
+                         simd::scaleStrided(out.data(), x.data(), a, count,
+                                            len, stride);
+                       }});
+      cases.push_back({"macStrided" + tag, count * len, stride,
+                       [count, len, stride, a] {
+                         simd::macStrided(out.data(), x.data(), a, count,
+                                          len, stride);
+                       }});
+      cases.push_back({"mac2Strided" + tag, count * len, stride,
+                       [count, len, stride, a, b] {
+                         simd::mac2Strided(out.data(), x.data(), a, y.data(),
+                                           b, count, len, stride);
+                       }});
+    }
+  }
+
+  // Replay-shaped MAC: DMAV MacSpans read a streaming 2^20-amplitude input
+  // but accumulate into block-sized partial-output buffers that stay
+  // cache-hot across spans (Eq. 6's b buffers). One call sweeps the whole
+  // input, so the row reports ns per input amplitude at a 2^20 working set
+  // without charging the artificial cost of also streaming the output.
+  static constexpr std::size_t kSpan = std::size_t{1} << 9;
+  cases.push_back({"scaleAccumulate/hot-out", kMaxAmps, 1, [a] {
+                     for (std::size_t off = 0; off < kMaxAmps; off += kSpan) {
+                       simd::scaleAccumulate(out.data(), x.data() + off, a,
+                                             kSpan);
+                     }
+                   }});
+  cases.push_back({"mac2/hot-out", kMaxAmps, 1, [a, b] {
+                     for (std::size_t off = 0; off < kMaxAmps; off += kSpan) {
+                       simd::mac2(out.data(), x.data() + off, a,
+                                  y.data() + off, b, kSpan);
+                     }
+                   }});
+
+  std::vector<KernelResult> results;
+  for (const KernelCase& c : cases) {
+    // ~2^22 amplitudes of work per measurement keeps each case ~ms-scale.
+    const std::size_t iters =
+        std::max<std::size_t>(1, (std::size_t{1} << 22) / c.amps);
+    KernelResult r;
+    r.kernel = c.kernel;
+    r.amps = c.amps;
+    r.stride = c.stride;
+    simd::setDispatchTier(simd::DispatchTier::Scalar);
+    r.scalarNs = timeKernel(c, iters);
+    if (simd::tierAvailable(simd::DispatchTier::Avx2)) {
+      simd::setDispatchTier(simd::DispatchTier::Avx2);
+      r.avx2Ns = timeKernel(c, iters);
+      r.speedup = r.avx2Ns > 0 ? r.scalarNs / r.avx2Ns : 0.0;
+    } else {
+      r.avx2Ns = 0;
+      r.speedup = 0;
+    }
+    results.push_back(r);
+  }
+  if (sink == 12345.6789) {  // defeat dead-code elimination of normSquared
+    std::printf("%f\n", sink);
+  }
+  return results;
+}
+
+int run() {
+  printPreamble("Kernel microbenchmarks — scalar vs dispatched SIMD",
+                "FlatDD (ICPP'24), Eq. 6 SIMD width d (Section 3.2.3)");
+  const bool haveAvx2 = simd::tierAvailable(simd::DispatchTier::Avx2);
+  if (!haveAvx2) {
+    std::printf("AVX2 tier unavailable on this host/build; "
+                "scalar numbers only.\n\n");
+  }
+
+  const std::vector<KernelResult> results = runSuite();
+  // Leave the process on its startup tier.
+  simd::setDispatchTier(haveAvx2 ? simd::DispatchTier::Avx2
+                                 : simd::DispatchTier::Scalar);
+
+  Table table({"Kernel", "amps", "scalar ns/amp", "avx2 ns/amp", "speedup"});
+  char buf[32];
+  for (const KernelResult& r : results) {
+    std::snprintf(buf, sizeof(buf), "%.3f", r.scalarNs);
+    std::string scalarCell = buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", r.avx2Ns);
+    std::string avx2Cell = haveAvx2 ? buf : "-";
+    table.addRow({r.kernel, std::to_string(r.amps), scalarCell, avx2Cell,
+                  haveAvx2 ? fmtRatio(r.speedup) : "-"});
+  }
+  table.print();
+  std::printf("\n");
+
+  tools::JsonWriter w;
+  w.beginObject();
+  w.kv("bench", "kernels");
+  w.kv("avx2Available", haveAvx2);
+  w.kv("scalarLanes", 1);
+  w.kv("avx2Lanes", haveAvx2 ? 4 : 0);
+  w.key("kernels").beginArray();
+  for (const KernelResult& r : results) {
+    w.beginObject();
+    w.kv("kernel", r.kernel);
+    w.kv("amps", static_cast<std::uint64_t>(r.amps));
+    w.kv("stride", static_cast<std::uint64_t>(r.stride));
+    w.kv("scalarNsPerAmp", r.scalarNs);
+    w.kv("avx2NsPerAmp", r.avx2Ns);
+    w.kv("speedup", r.speedup);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  writeBenchJson("BENCH_kernels.json", w.str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdd::bench
+
+int main() { return fdd::bench::run(); }

@@ -39,6 +39,23 @@ namespace fdd {
   return insertBit(insertBit(x, p0), p1);
 }
 
+/// Scatters the low bits of `value` into the set positions of `mask`
+/// (software PDEP): bit i of `value` lands at the position of the i-th
+/// lowest set bit of `mask`. Used to seed masked-counter enumerations at an
+/// arbitrary start index (parallel chunking of control-run decompositions).
+[[nodiscard]] constexpr Index scatterBits(Index value, Index mask) noexcept {
+  Index out = 0;
+  while (value != 0 && mask != 0) {
+    const Index pos = mask & (~mask + 1);
+    if ((value & 1u) != 0) {
+      out |= pos;
+    }
+    value >>= 1;
+    mask &= mask - 1;
+  }
+  return out;
+}
+
 [[nodiscard]] constexpr bool testBit(Index x, Qubit pos) noexcept {
   return ((x >> pos) & 1u) != 0;
 }

@@ -136,8 +136,9 @@ class ArrayBackend final : public Backend {
                                           Xoshiro256& rng) const override {
     std::vector<Index> out;
     out.reserve(shots);
+    const fp totalNorm = sim_.norm();  // one scan for all shots
     for (std::size_t s = 0; s < shots; ++s) {
-      out.push_back(sim_.sample(rng));
+      out.push_back(sim_.sample(rng, totalNorm));
     }
     return out;
   }

@@ -368,6 +368,8 @@ std::string RunReport::toJson() const {
   w.field("gates", gates);
   w.field("depth", depth);
   w.field("threads", threads);
+  w.field("simdTier", simdTier);
+  w.field("simdLanes", simdLanes);
 
   w.beginObjectIn("timings");
   w.field("total", totalSeconds);
@@ -442,6 +444,8 @@ RunReport RunReport::fromJson(std::string_view json) {
   get(*top, "gates", r.gates);
   get(*top, "depth", r.depth);
   get(*top, "threads", r.threads);
+  get(*top, "simdTier", r.simdTier);
+  get(*top, "simdLanes", r.simdLanes);
 
   if (const auto it = top->find("timings"); it != top->end()) {
     if (const JsonObject* t = it->second.object()) {
@@ -524,6 +528,8 @@ std::string RunReport::toCsv() const {
   row("gates", std::to_string(gates));
   row("depth", std::to_string(depth));
   row("threads", std::to_string(threads));
+  row("simd_tier", simdTier);
+  row("simd_lanes", std::to_string(simdLanes));
   row("total_seconds", numberToString(totalSeconds));
   row("pipeline_seconds", numberToString(pipelineSeconds));
   row("simulate_seconds", numberToString(simulateSeconds));

@@ -47,6 +47,8 @@ struct RunReport {
   std::size_t gates = 0;  // gates simulated (after the pass pipeline)
   std::size_t depth = 0;
   unsigned threads = 1;
+  std::string simdTier;      // kernel dispatch tier: "avx2" or "scalar"
+  unsigned simdLanes = 1;    // Eq. 6's d — doubles per vector instruction
 
   // ---- phase timings (seconds) ------------------------------------------
   double totalSeconds = 0;      // pipeline + simulate

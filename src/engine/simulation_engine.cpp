@@ -4,6 +4,7 @@
 
 #include "common/rss.hpp"
 #include "common/timing.hpp"
+#include "simd/kernels.hpp"
 
 namespace fdd::engine {
 
@@ -17,6 +18,8 @@ RunReport SimulationEngine::run(const std::string& backendName,
   report.circuit = circuit.name();
   report.qubits = circuit.numQubits();
   report.threads = options_.threads;
+  report.simdTier = simd::toString(simd::activeTier());
+  report.simdLanes = simd::lanes();
 
   Stopwatch total;
 

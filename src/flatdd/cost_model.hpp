@@ -23,7 +23,10 @@ namespace fdd::flat {
 ///   C2 = K2/t + 2^n/(d*t) * (H/t + b)
 /// where K2 counts MACs with repeated border nodes deduplicated, H is the
 /// number of cache hits under the column-space assignment, b the number of
-/// partial-output buffers, and d the SIMD width. Requires simulating the
+/// partial-output buffers, and d the SIMD width. Callers pass
+/// simd::lanes(), which is resolved by runtime dispatch (cpuid +
+/// FLATDD_FORCE_SCALAR), so switch decisions use the width that will
+/// actually execute, not a compile-time guess. Requires simulating the
 /// assignment, so it is costlier to evaluate than Eq. 5.
 [[nodiscard]] fp costWithCache(const dd::mEdge& m, Qubit nQubits,
                                unsigned threads, unsigned simdWidth);

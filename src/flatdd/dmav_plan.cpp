@@ -1,6 +1,7 @@
 #include "flatdd/dmav_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <unordered_map>
 
@@ -16,6 +17,7 @@ const char* toString(SpanOpKind kind) noexcept {
   switch (kind) {
     case SpanOpKind::MacSpan: return "MacSpan";
     case SpanOpKind::IdentScale: return "IdentScale";
+    case SpanOpKind::Mac2Span: return "Mac2Span";
     case SpanOpKind::DiagScale: return "DiagScale";
     case SpanOpKind::PermuteCopy: return "PermuteCopy";
     case SpanOpKind::BlockScale: return "BlockScale";
@@ -39,12 +41,13 @@ void flattenTask(const dd::mEdge& e, Qubit level, Index iv, Index iw,
   }
   const Complex fw = f * e.w;
   if (e.isTerminal()) {
-    out.push_back(SpanOp{iv, iw, 1, fw, SpanOpKind::MacSpan});
+    out.push_back(SpanOp{.iv = iv, .iw = iw, .len = 1, .f = fw,
+                         .kind = SpanOpKind::MacSpan});
     return;
   }
   if (e.n->ident && identFast) {
-    out.push_back(SpanOp{iv, iw, Index{1} << (level + 1), fw,
-                         SpanOpKind::IdentScale});
+    out.push_back(SpanOp{.iv = iv, .iw = iw, .len = Index{1} << (level + 1),
+                         .f = fw, .kind = SpanOpKind::IdentScale});
     return;
   }
   const Index step = Index{1} << level;
@@ -59,15 +62,17 @@ void flattenTask(const dd::mEdge& e, Qubit level, Index iv, Index iw,
 /// one SIMD span; with the ident fast path disabled this rebuilds the
 /// identity spans the flattener skipped.
 void mergeAdjacent(std::vector<SpanOp>& ops) {
+  const auto singleAccum = [](SpanOpKind k) {
+    return k == SpanOpKind::MacSpan || k == SpanOpKind::IdentScale;
+  };
   std::size_t w = 0;
   for (std::size_t r = 0; r < ops.size(); ++r) {
     if (w > 0) {
       SpanOp& prev = ops[w - 1];
       const SpanOp& cur = ops[r];
-      const bool accumKinds = !isExclusiveWrite(prev.kind) &&
-                              !isExclusiveWrite(cur.kind);
-      if (accumKinds && prev.iw + prev.len == cur.iw &&
-          prev.iv + prev.len == cur.iv && prev.f == cur.f) {
+      if (singleAccum(prev.kind) && singleAccum(cur.kind) &&
+          prev.iw + prev.len == cur.iw && prev.iv + prev.len == cur.iv &&
+          prev.f == cur.f) {
         prev.len += cur.len;
         if (prev.kind != cur.kind) {
           prev.kind = SpanOpKind::MacSpan;
@@ -78,6 +83,120 @@ void mergeAdjacent(std::vector<SpanOp>& ops) {
     ops[w++] = ops[r];
   }
   ops.resize(w);
+}
+
+/// Fuses adjacent single-input accumulates into the same output span — the
+/// two nonzero entries of a dense 2x2 row — into one Mac2Span, halving the
+/// reads and writes of w. Runs after promoteExclusive (a promoted block has
+/// no accumulates left) and before collapseStrided (so low-qubit combs of
+/// fused ops still collapse).
+void fuseMac2(std::vector<SpanOp>& ops) {
+  const auto fusable = [](SpanOpKind k) {
+    return k == SpanOpKind::MacSpan || k == SpanOpKind::IdentScale;
+  };
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < ops.size(); ++r) {
+    if (w > 0) {
+      SpanOp& prev = ops[w - 1];
+      const SpanOp& cur = ops[r];
+      if (fusable(prev.kind) && fusable(cur.kind) && prev.iw == cur.iw &&
+          prev.len == cur.len) {
+        prev.kind = SpanOpKind::Mac2Span;
+        prev.iv2 = cur.iv;
+        prev.f2 = cur.f;
+        continue;
+      }
+    }
+    ops[w++] = ops[r];
+  }
+  ops.resize(w);
+}
+
+/// Minimum run length worth collapsing into a strided comb op.
+constexpr std::size_t kMinStridedRun = 4;
+
+bool sameShape(const SpanOp& a, const SpanOp& b) noexcept {
+  return a.kind == b.kind && a.len == b.len && a.count == 1 && b.count == 1 &&
+         a.f == b.f && a.f2 == b.f2;
+}
+
+/// Length of the arithmetic run ops[i], ops[i+p], ops[i+2p], ... sharing
+/// shape and advancing every offset (iw, iv, and iv2 for Mac2Span) by the
+/// same constant positive delta. Writes that delta to `strideOut`.
+std::size_t stridedRunLength(const std::vector<SpanOp>& ops, std::size_t i,
+                             std::size_t p, Index& strideOut) {
+  if (i + p >= ops.size()) {
+    return 1;
+  }
+  const SpanOp& a = ops[i];
+  const SpanOp& b = ops[i + p];
+  if (!sameShape(a, b) || b.iw <= a.iw) {
+    return 1;
+  }
+  const Index d = b.iw - a.iw;
+  if (d < a.len) {
+    return 1;  // repetitions would overlap
+  }
+  const auto follows = [&](const SpanOp& prev, const SpanOp& cur) {
+    return sameShape(prev, cur) && cur.iw == prev.iw + d &&
+           cur.iv == prev.iv + d &&
+           (prev.kind != SpanOpKind::Mac2Span || cur.iv2 == prev.iv2 + d);
+  };
+  std::size_t runLen = 1;
+  for (std::size_t j = i; j + p < ops.size() && follows(ops[j], ops[j + p]);
+       j += p) {
+    ++runLen;
+  }
+  strideOut = d;
+  return runLen;
+}
+
+SpanOp makeStrided(const SpanOp& first, std::size_t count, Index stride) {
+  SpanOp op = first;
+  op.count = static_cast<Index>(count);
+  op.stride = stride;
+  return op;
+}
+
+/// Collapses arithmetic runs of identically-shaped ops into strided comb
+/// ops. Low-qubit gates emit one op per 2^q-element sub-span — O(2^n) ops —
+/// with offsets advancing by a constant 2^(q+1); after this pass they are
+/// O(1) comb ops per block. Runs are detected at period 1 (back-to-back)
+/// and period 2 (two interleaved combs, the shape alternating-coefficient
+/// diagonals and X-style swaps produce). Interleaved runs re-order ops,
+/// which is safe: exclusive writes are disjoint and accumulates commute.
+void collapseStrided(std::vector<SpanOp>& ops) {
+  if (ops.size() < kMinStridedRun) {
+    return;
+  }
+  std::vector<SpanOp> out;
+  out.reserve(ops.size());
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    Index d1 = 0;
+    const std::size_t r1 = stridedRunLength(ops, i, 1, d1);
+    if (r1 >= kMinStridedRun) {
+      out.push_back(makeStrided(ops[i], r1, d1));
+      i += r1;
+      continue;
+    }
+    if (i + 1 < ops.size()) {
+      Index dA = 0;
+      Index dB = 0;
+      const std::size_t rA = stridedRunLength(ops, i, 2, dA);
+      const std::size_t rB = stridedRunLength(ops, i + 1, 2, dB);
+      const std::size_t c = std::min(rA, rB);
+      if (c >= kMinStridedRun && dA == dB) {
+        out.push_back(makeStrided(ops[i], c, dA));
+        out.push_back(makeStrided(ops[i + 1], c, dB));
+        i += 2 * c;
+        continue;
+      }
+    }
+    out.push_back(ops[i]);
+    ++i;
+  }
+  ops = std::move(out);
 }
 
 /// If the ops' output spans are pairwise disjoint, promotes them to
@@ -122,12 +241,19 @@ bool promoteExclusive(std::vector<SpanOp>& ops, Index rowBegin, Index rows,
 
 double modelCost(const std::vector<SpanOp>& ops,
                  const std::vector<ZeroSpan>& zeroSpans) {
+  // Cost unit: vector iterations at the runtime dispatch width. One complex
+  // amplitude is two doubles, so a span of len amplitudes retires in
+  // ceil(2*len / d) instructions (Eq. 6's d, resolved at runtime).
+  const double d = static_cast<double>(simd::lanes());
   double cost = 0;
   for (const SpanOp& op : ops) {
-    cost += static_cast<double>(op.len) + kOpOverheadCost;
+    const double iters = std::ceil(2.0 * static_cast<double>(op.len) / d) *
+                         static_cast<double>(op.count);
+    const double terms = op.kind == SpanOpKind::Mac2Span ? 2.0 : 1.0;
+    cost += iters * terms + kOpOverheadCost;
   }
   for (const ZeroSpan& z : zeroSpans) {
-    cost += 0.5 * static_cast<double>(z.len);
+    cost += static_cast<double>(z.len) / d;
   }
   return cost;
 }
@@ -193,6 +319,8 @@ void compileRow(const dd::mEdge& m, DmavPlan& plan) {
     }
     mergeAdjacent(block.ops);
     promoteExclusive(block.ops, block.rowBegin, block.rows, block.zeroSpans);
+    fuseMac2(block.ops);
+    collapseStrided(block.ops);
     block.cost = modelCost(block.ops, block.zeroSpans);
   }
 
@@ -243,9 +371,10 @@ void compileCached(const dd::mEdge& m, DmavPlan& plan) {
       if (!task.m.isTerminal()) {
         const auto it = seen.find(task.m.n);
         if (it != seen.end()) {
-          prog.ops.push_back(SpanOp{it->second.second, task.start, a.h,
-                                    coeff / it->second.first,
-                                    SpanOpKind::BlockScale});
+          prog.ops.push_back(SpanOp{.iv = it->second.second,
+                                    .iw = task.start, .len = a.h,
+                                    .f = coeff / it->second.first,
+                                    .kind = SpanOpKind::BlockScale});
           ++plan.cacheHits;
           continue;
         }
@@ -260,6 +389,8 @@ void compileCached(const dd::mEdge& m, DmavPlan& plan) {
       prog.ops.resize(opsBegin);
       mergeAdjacent(taskOps);
       promoteExclusive(taskOps, task.start, a.h, prog.zeroSpans);
+      fuseMac2(taskOps);
+      collapseStrided(taskOps);
       prog.ops.insert(prog.ops.end(), taskOps.begin(), taskOps.end());
     }
   }
@@ -364,10 +495,35 @@ DmavPlan compileDmavPlan(const dd::mEdge& m, Qubit nQubits, unsigned threads,
 namespace {
 
 inline void executeOp(const SpanOp& op, const Complex* v, Complex* w) {
+  if (op.count > 1) {
+    switch (op.kind) {
+      case SpanOpKind::MacSpan:
+      case SpanOpKind::IdentScale:
+        simd::macStrided(w + op.iw, v + op.iv, op.f, op.count, op.len,
+                         op.stride);
+        return;
+      case SpanOpKind::Mac2Span:
+        simd::mac2Strided(w + op.iw, v + op.iv, op.f, v + op.iv2, op.f2,
+                          op.count, op.len, op.stride);
+        return;
+      case SpanOpKind::DiagScale:
+      case SpanOpKind::PermuteCopy:
+        simd::scaleStrided(w + op.iw, v + op.iv, op.f, op.count, op.len,
+                           op.stride);
+        return;
+      case SpanOpKind::BlockScale:
+        simd::scaleStrided(w + op.iw, w + op.iv, op.f, op.count, op.len,
+                           op.stride);
+        return;
+    }
+  }
   switch (op.kind) {
     case SpanOpKind::MacSpan:
     case SpanOpKind::IdentScale:
       simd::scaleAccumulate(w + op.iw, v + op.iv, op.f, op.len);
+      break;
+    case SpanOpKind::Mac2Span:
+      simd::mac2(w + op.iw, v + op.iv, op.f, v + op.iv2, op.f2, op.len);
       break;
     case SpanOpKind::DiagScale:
     case SpanOpKind::PermuteCopy:

@@ -7,11 +7,15 @@
 // is what makes the one-time lowering pay for itself; see plan_cache.hpp for
 // the bounded LRU that amortizes compilation across gate applications.
 //
-// Op taxonomy (all ops act on contiguous spans of 2^n-element vectors):
+// Op taxonomy (all ops act on spans of 2^n-element vectors):
 //   MacSpan      w[iw..] += f * v[iv..]   accumulating MAC from terminal
 //                                         paths (may share output rows)
 //   IdentScale   w[iw..] += f * v[iv..]   accumulating span from an identity
 //                                         subtree (one op per 2^(l+1) block)
+//   Mac2Span     w[iw..] += f * v[iv..]   two-term fused MAC: adjacent
+//                         + f2 * v[iv2..] accumulates into the same output
+//                                         span fuse so w is read+written once
+//                                         (dense 2x2 rows, e.g. Hadamard)
 //   DiagScale    w[iw..]  = f * v[iv..]   exclusive write, iv == iw — the
 //                                         compiler proves no other op touches
 //                                         these rows, so replay skips both
@@ -25,6 +29,13 @@
 //                                         inside the thread's partial-output
 //                                         buffer (Alg. 2 line 7, decided at
 //                                         compile time).
+//
+// Every op additionally carries a comb shape (count, stride): the op repeats
+// `count` times with all offsets advancing by `stride` amplitudes per
+// repetition (count == 1 for plain spans). The collapse pass turns the long
+// arithmetic runs that low-qubit gates produce — e.g. RZ(q0)'s alternating
+// per-element DiagScales — into two strided comb ops per block, so replay
+// cost stays O(ops) instead of O(2^n) dispatches.
 //
 // Balanced replay: row-mode plans are compiled at sub-block granularity
 // (up to kPlanSplitFactor row blocks per thread) and the blocks are packed
@@ -49,6 +60,7 @@ namespace fdd::flat {
 enum class SpanOpKind : std::uint8_t {
   MacSpan,
   IdentScale,
+  Mac2Span,
   DiagScale,
   PermuteCopy,
   BlockScale,
@@ -63,11 +75,20 @@ enum class SpanOpKind : std::uint8_t {
 }
 
 struct SpanOp {
-  Index iv = 0;   // input offset (v; buffer for BlockScale)
-  Index iw = 0;   // output offset (w; buffer in cached mode)
-  Index len = 0;  // span length in amplitudes
+  Index iv = 0;     // input offset (v; buffer for BlockScale)
+  Index iw = 0;     // output offset (w; buffer in cached mode)
+  Index len = 0;    // span length in amplitudes
+  Index iv2 = 0;    // second input offset (Mac2Span only)
+  Index count = 1;  // comb repetitions (1 = plain contiguous span)
+  Index stride = 0; // offset advance per repetition (0 when count == 1)
   Complex f{1.0};
+  Complex f2{};     // second coefficient (Mac2Span only)
   SpanOpKind kind = SpanOpKind::MacSpan;
+
+  /// Last output amplitude written is extent() - 1.
+  [[nodiscard]] constexpr Index extent() const noexcept {
+    return iw + (count - 1) * stride + len;
+  }
 };
 
 struct ZeroSpan {

@@ -1,5 +1,7 @@
 #include "sim/array_simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "common/bits.hpp"
@@ -40,62 +42,26 @@ void ArraySimulator::applyOperation(const qc::Operation& op) {
 void ArraySimulator::applyControlledSingleQubit(const qc::Matrix2& u,
                                                 Qubit target,
                                                 Index controlMask) {
-  const Index pairs = Index{1} << (nQubits_ - 1);
+  const Index dim = Index{1} << nQubits_;
+  const Index pairs = dim >> 1;
   const Index targetBit = Index{1} << target;
   const Complex u00 = u[0];
   const Complex u01 = u[1];
   const Complex u10 = u[2];
   const Complex u11 = u[3];
   Complex* s = state_.data();
+  const bool threaded =
+      options_.threads > 1 && dim >= options_.parallelThresholdDim;
 
-  const Qubit nq = nQubits_;
-  const bool multiIndex = options_.indexing == ArrayIndexing::MultiIndex;
-
-  // Specialized kernels for the two sparse 2x2 shapes that dominate real
-  // circuits. Only taken in the optimized (bit-tricks) mode — the faithful
-  // Quantum++ baseline keeps its general O(n)-indexing path for every gate.
-  const bool diagonal = !multiIndex && u01 == Complex{} && u10 == Complex{};
-  const bool antiDiagonal =
-      !multiIndex && u00 == Complex{} && u11 == Complex{};
-
-  auto diagonalKernel = [&](std::size_t lo, std::size_t hi) {
-    for (Index g = lo; g < hi; ++g) {
-      const Index i0 = insertBit(g, target);
-      if ((i0 & controlMask) != controlMask) {
-        continue;
-      }
-      const Index i1 = i0 | targetBit;
-      s[i0] *= u00;
-      s[i1] *= u11;
-    }
-  };
-  auto antiDiagonalKernel = [&](std::size_t lo, std::size_t hi) {
-    for (Index g = lo; g < hi; ++g) {
-      const Index i0 = insertBit(g, target);
-      if ((i0 & controlMask) != controlMask) {
-        continue;
-      }
-      const Index i1 = i0 | targetBit;
-      const Complex a0 = s[i0];
-      s[i0] = u01 * s[i1];
-      s[i1] = u10 * a0;
-    }
-  };
-  auto kernel = [&](std::size_t lo, std::size_t hi) {
-    if (diagonal) {
-      diagonalKernel(lo, hi);
-      return;
-    }
-    if (antiDiagonal) {
-      antiDiagonalKernel(lo, hi);
-      return;
-    }
-    for (Index g = lo; g < hi; ++g) {
-      Index i0;
-      if (multiIndex) {
-        // Quantum++-style: rebuild the amplitude index one qubit digit at a
-        // time (O(n) work per pair), skipping the target position.
-        i0 = 0;
+  if (options_.indexing == ArrayIndexing::MultiIndex) {
+    // Quantum++-style faithful baseline: rebuild the amplitude index one
+    // qubit digit at a time (O(n) work per pair), skipping the target
+    // position. Kept scalar on purpose — the paper's DMAV-vs-Quantum++
+    // speedup is measured against exactly this indexing scheme.
+    const Qubit nq = nQubits_;
+    auto kernel = [&](std::size_t lo, std::size_t hi) {
+      for (Index g = lo; g < hi; ++g) {
+        Index i0 = 0;
         Index rem = g;
         for (Qubit b = 0; b < nq; ++b) {
           if (b == target) {
@@ -104,25 +70,95 @@ void ArraySimulator::applyControlledSingleQubit(const qc::Matrix2& u,
           i0 |= (rem & 1u) << b;
           rem >>= 1;
         }
+        if ((i0 & controlMask) != controlMask) {
+          continue;  // controls not all |1> -> amplitudes untouched (Eq. 3)
+        }
+        const Index i1 = i0 | targetBit;
+        const Complex a0 = s[i0];
+        const Complex a1 = s[i1];
+        s[i0] = u00 * a0 + u01 * a1;
+        s[i1] = u10 * a0 + u11 * a1;
+      }
+    };
+    if (threaded) {
+      par::globalPool().parallelFor(options_.threads, 0, pairs, kernel);
+    } else {
+      kernel(0, pairs);
+    }
+    return;
+  }
+
+  // Optimized mode: control-run decomposition. The valid pair bases (target
+  // bit 0, all control bits 1) form contiguous runs whose length is the
+  // lowest constrained bit; enumerating run bases with a masked counter
+  // turns the per-element insertBit/mask loop into span kernels that execute
+  // at vector width for low and high targets alike.
+  const bool diagonal = u01 == Complex{} && u10 == Complex{};
+
+  if (target == 0) {
+    // Adjacent pairs: work in pair space g (amplitudes 2g, 2g+1). Controls
+    // all sit above the target, so in pair space they are controlMask >> 1.
+    const Index cg = controlMask >> 1;
+    const Index runPairs = cg != 0 ? (cg & (~cg + 1)) : pairs;
+    const Index freeMask = (pairs - 1) & ~(cg | (runPairs - 1));
+    const Index carry = cg | (runPairs - 1);
+    const Index validPairs = pairs >> std::popcount(controlMask);
+    auto kernel = [&](std::size_t lo, std::size_t hi) {
+      Index g = scatterBits(lo / runPairs, freeMask) | cg;
+      Index off = lo % runPairs;
+      for (std::size_t p = lo; p < hi;) {
+        const Index chunk = std::min<Index>(runPairs - off, hi - p);
+        Complex* base = s + 2 * (g + off);
+        if (diagonal) {
+          simd::scaleStrided(base, base, u00, chunk, 1, 2);
+          simd::scaleStrided(base + 1, base + 1, u11, chunk, 1, 2);
+        } else {
+          simd::butterflyAdjacent(base, u.data(), chunk);
+        }
+        p += chunk;
+        off = 0;
+        g = (((g | carry) + 1) & ~carry) | cg;
+      }
+    };
+    if (threaded) {
+      par::globalPool().parallelFor(options_.threads, 0, validPairs, kernel);
+    } else {
+      kernel(0, validPairs);
+    }
+    return;
+  }
+
+  // target > 0: runs live in amplitude space. Run length is the lowest
+  // control bit below the target, or 2^target when none exists; each run of
+  // bases b pairs with b + targetBit.
+  const Index lowC = controlMask & (targetBit - 1);
+  const Index run = lowC != 0 ? (lowC & (~lowC + 1)) : targetBit;
+  const Index constrained = controlMask | targetBit;
+  const Index freeMask = (dim - 1) & ~(constrained | (run - 1));
+  const Index carry = constrained | (run - 1);
+  const Index validPairs = pairs >> std::popcount(controlMask);
+  auto kernel = [&](std::size_t lo, std::size_t hi) {
+    Index b = scatterBits(lo / run, freeMask) | controlMask;
+    Index off = lo % run;
+    for (std::size_t p = lo; p < hi;) {
+      const Index chunk = std::min<Index>(run - off, hi - p);
+      Complex* b0 = s + b + off;
+      Complex* b1 = b0 + targetBit;
+      if (diagonal) {
+        simd::scale(b0, b0, u00, chunk);
+        simd::scale(b1, b1, u11, chunk);
       } else {
-        i0 = insertBit(g, target);
+        simd::butterfly(b0, b1, u.data(), chunk);
       }
-      if ((i0 & controlMask) != controlMask) {
-        continue;  // controls not all |1> -> amplitudes untouched (Eq. 3)
-      }
-      const Index i1 = i0 | targetBit;
-      const Complex a0 = s[i0];
-      const Complex a1 = s[i1];
-      s[i0] = u00 * a0 + u01 * a1;
-      s[i1] = u10 * a0 + u11 * a1;
+      p += chunk;
+      off = 0;
+      b = (((b | carry) + 1) & ~carry) | controlMask;
     }
   };
-
-  const Index dim = Index{1} << nQubits_;
-  if (options_.threads > 1 && dim >= options_.parallelThresholdDim) {
-    par::globalPool().parallelFor(options_.threads, 0, pairs, kernel);
+  if (threaded) {
+    par::globalPool().parallelFor(options_.threads, 0, validPairs, kernel);
   } else {
-    kernel(0, pairs);
+    kernel(0, validPairs);
   }
 }
 
@@ -140,7 +176,15 @@ fp ArraySimulator::norm() const {
 }
 
 Index ArraySimulator::sample(Xoshiro256& rng) const {
-  const fp r = rng.uniform() * norm();
+  return sample(rng, norm());
+}
+
+Index ArraySimulator::sample(Xoshiro256& rng, fp totalNorm) const {
+  // `totalNorm` lets callers drawing many shots compute the full-state norm
+  // once instead of rescanning 2^n amplitudes per shot. Clamping keeps the
+  // draw inside the accumulated mass even for unnormalized states (or a
+  // slightly stale norm), so the scan cannot fall off the end spuriously.
+  const fp r = std::clamp(rng.uniform() * totalNorm, fp{0}, totalNorm);
   fp acc = 0;
   for (Index i = 0; i < state_.size(); ++i) {
     acc += norm2(state_[i]);

@@ -58,6 +58,10 @@ class ArraySimulator {
 
   /// Samples one basis state from |amplitude|^2 (strong-simulation readout).
   [[nodiscard]] Index sample(Xoshiro256& rng) const;
+  /// Same, with the state norm precomputed by the caller — multi-shot
+  /// readout computes the norm once instead of rescanning 2^n amplitudes
+  /// per shot. `r` is clamped to the available mass for unnormalized states.
+  [[nodiscard]] Index sample(Xoshiro256& rng, fp totalNorm) const;
 
   /// Bytes held by the state vector (for the memory columns of Table 1).
   [[nodiscard]] std::size_t memoryBytes() const noexcept {

@@ -1,0 +1,65 @@
+#pragma once
+// Internal kernel dispatch table. Each dispatch tier (scalar, AVX2+FMA)
+// provides one immutable table of function pointers; the public API in
+// kernels.hpp selects a table once at startup (cpuid + FLATDD_FORCE_SCALAR)
+// and forwards every call through it. Benchmarks and tests may switch the
+// active table at runtime via setDispatchTier() to time both tiers in one
+// process.
+//
+// Strided kernels operate on a comb of `count` sub-spans of `len` complex
+// amplitudes whose bases advance by `stride` elements: sub-span k covers
+// [k*stride, k*stride + len). Callers guarantee len <= stride and that the
+// combs of out/in never overlap except out == in (in-place).
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace fdd::simd::detail {
+
+struct KernelTable {
+  unsigned lanes;
+
+  /// out[i] = s * in[i]
+  void (*scale)(Complex* out, const Complex* in, Complex s,
+                std::size_t n) noexcept;
+  /// out[i] += s * in[i]
+  void (*scaleAccumulate)(Complex* out, const Complex* in, Complex s,
+                          std::size_t n) noexcept;
+  /// out[i] += in[i]
+  void (*accumulate)(Complex* out, const Complex* in, std::size_t n) noexcept;
+  /// out[i] += a * x[i] + b * y[i]
+  void (*mac2)(Complex* out, const Complex* x, Complex a, const Complex* y,
+               Complex b, std::size_t n) noexcept;
+  /// (a[i], b[i]) = (u[0]*a[i] + u[1]*b[i], u[2]*a[i] + u[3]*b[i])
+  void (*butterfly)(Complex* a, Complex* b, const Complex* u,
+                    std::size_t n) noexcept;
+  /// (s[2i], s[2i+1]) = U * (s[2i], s[2i+1]) for i in [0, nPairs)
+  void (*butterflyAdjacent)(Complex* s, const Complex* u,
+                            std::size_t nPairs) noexcept;
+  /// out[k*stride + j] = s * in[k*stride + j]
+  void (*scaleStrided)(Complex* out, const Complex* in, Complex s,
+                       std::size_t count, std::size_t len,
+                       std::size_t stride) noexcept;
+  /// out[k*stride + j] += s * in[k*stride + j]
+  void (*macStrided)(Complex* out, const Complex* in, Complex s,
+                     std::size_t count, std::size_t len,
+                     std::size_t stride) noexcept;
+  /// out[k*stride+j] += a * x[k*stride+j] + b * y[k*stride+j]
+  void (*mac2Strided)(Complex* out, const Complex* x, Complex a,
+                      const Complex* y, Complex b, std::size_t count,
+                      std::size_t len, std::size_t stride) noexcept;
+  /// sum of |v[i]|^2
+  fp (*normSquared)(const Complex* v, std::size_t n) noexcept;
+};
+
+[[nodiscard]] const KernelTable& scalarTable() noexcept;
+
+/// The AVX2+FMA table; aliases scalarTable() when the AVX2 translation unit
+/// was compiled without vector support.
+[[nodiscard]] const KernelTable& avx2Table() noexcept;
+
+/// True when avx2Table() really holds vector kernels.
+[[nodiscard]] bool avx2Compiled() noexcept;
+
+}  // namespace fdd::simd::detail

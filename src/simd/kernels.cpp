@@ -1,128 +1,134 @@
+// Runtime kernel dispatch. The active tier is resolved once, lazily, from
+// (a) whether the AVX2 translation unit was compiled with vector support,
+// (b) the FLATDD_FORCE_SCALAR environment variable, and (c) cpuid
+// (avx2 + fma). setDispatchTier() lets benchmarks and tests flip tables
+// mid-process to time both paths in one binary.
+
 #include "simd/kernels.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 
-#if defined(FLATDD_AVX2)
-#include <immintrin.h>
-#endif
+#include "simd/kernel_table.hpp"
 
 namespace fdd::simd {
-
-#if defined(FLATDD_AVX2)
-
-unsigned lanes() noexcept { return 4; }
-bool avx2Enabled() noexcept { return true; }
-
 namespace {
 
-// A 256-bit lane holds two interleaved complex doubles [r0 i0 r1 i1].
-// Complex scalar product per lane:
-//   even slots:  sr*r - si*i
-//   odd  slots:  sr*i + si*r
-// which is exactly vaddsubpd(v*sr, swap(v)*si).
-inline __m256d complexScale(__m256d v, __m256d sr, __m256d si) noexcept {
-  const __m256d swapped = _mm256_permute_pd(v, 0b0101);
-  return _mm256_addsub_pd(_mm256_mul_pd(v, sr), _mm256_mul_pd(swapped, si));
+bool forceScalarEnv() noexcept {
+  const char* v = std::getenv("FLATDD_FORCE_SCALAR");
+  if (v == nullptr || v[0] == '\0') {
+    return false;
+  }
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+bool cpuHasAvx2Fma() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const detail::KernelTable* resolveDefault() noexcept {
+  if (!detail::avx2Compiled() || forceScalarEnv() || !cpuHasAvx2Fma()) {
+    return &detail::scalarTable();
+  }
+  return &detail::avx2Table();
+}
+
+std::atomic<const detail::KernelTable*> gActive{nullptr};
+
+const detail::KernelTable& active() noexcept {
+  const detail::KernelTable* t = gActive.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = resolveDefault();
+    gActive.store(t, std::memory_order_release);
+  }
+  return *t;
 }
 
 }  // namespace
 
+const char* toString(DispatchTier tier) noexcept {
+  return tier == DispatchTier::Avx2 ? "avx2" : "scalar";
+}
+
+DispatchTier activeTier() noexcept {
+  return &active() == &detail::scalarTable() ? DispatchTier::Scalar
+                                             : DispatchTier::Avx2;
+}
+
+bool tierAvailable(DispatchTier tier) noexcept {
+  if (tier == DispatchTier::Scalar) {
+    return true;
+  }
+  return detail::avx2Compiled() && cpuHasAvx2Fma();
+}
+
+bool setDispatchTier(DispatchTier tier) noexcept {
+  if (!tierAvailable(tier)) {
+    return false;
+  }
+  gActive.store(tier == DispatchTier::Avx2 ? &detail::avx2Table()
+                                           : &detail::scalarTable(),
+                std::memory_order_release);
+  return true;
+}
+
+unsigned lanes() noexcept { return active().lanes; }
+
+bool avx2Enabled() noexcept { return activeTier() == DispatchTier::Avx2; }
+
 void scale(Complex* out, const Complex* in, Complex s, std::size_t n) noexcept {
-  const __m256d sr = _mm256_set1_pd(s.real());
-  const __m256d si = _mm256_set1_pd(s.imag());
-  auto* o = reinterpret_cast<double*>(out);
-  const auto* p = reinterpret_cast<const double*>(in);
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const __m256d v = _mm256_loadu_pd(p + 2 * i);
-    _mm256_storeu_pd(o + 2 * i, complexScale(v, sr, si));
-  }
-  for (; i < n; ++i) {
-    out[i] = s * in[i];
-  }
+  active().scale(out, in, s, n);
 }
 
 void scaleAccumulate(Complex* out, const Complex* in, Complex s,
                      std::size_t n) noexcept {
-  const __m256d sr = _mm256_set1_pd(s.real());
-  const __m256d si = _mm256_set1_pd(s.imag());
-  auto* o = reinterpret_cast<double*>(out);
-  const auto* p = reinterpret_cast<const double*>(in);
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const __m256d v = _mm256_loadu_pd(p + 2 * i);
-    const __m256d acc = _mm256_loadu_pd(o + 2 * i);
-    _mm256_storeu_pd(o + 2 * i, _mm256_add_pd(acc, complexScale(v, sr, si)));
-  }
-  for (; i < n; ++i) {
-    out[i] += s * in[i];
-  }
+  active().scaleAccumulate(out, in, s, n);
 }
 
 void accumulate(Complex* out, const Complex* in, std::size_t n) noexcept {
-  auto* o = reinterpret_cast<double*>(out);
-  const auto* p = reinterpret_cast<const double*>(in);
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const __m256d a = _mm256_loadu_pd(o + 2 * i);
-    const __m256d b = _mm256_loadu_pd(p + 2 * i);
-    _mm256_storeu_pd(o + 2 * i, _mm256_add_pd(a, b));
-  }
-  for (; i < n; ++i) {
-    out[i] += in[i];
-  }
+  active().accumulate(out, in, n);
+}
+
+void mac2(Complex* out, const Complex* x, Complex a, const Complex* y,
+          Complex b, std::size_t n) noexcept {
+  active().mac2(out, x, a, y, b, n);
+}
+
+void butterfly(Complex* a, Complex* b, const Complex* u,
+               std::size_t n) noexcept {
+  active().butterfly(a, b, u, n);
+}
+
+void butterflyAdjacent(Complex* s, const Complex* u,
+                       std::size_t nPairs) noexcept {
+  active().butterflyAdjacent(s, u, nPairs);
+}
+
+void scaleStrided(Complex* out, const Complex* in, Complex s,
+                  std::size_t count, std::size_t len,
+                  std::size_t stride) noexcept {
+  active().scaleStrided(out, in, s, count, len, stride);
+}
+
+void macStrided(Complex* out, const Complex* in, Complex s, std::size_t count,
+                std::size_t len, std::size_t stride) noexcept {
+  active().macStrided(out, in, s, count, len, stride);
+}
+
+void mac2Strided(Complex* out, const Complex* x, Complex a, const Complex* y,
+                 Complex b, std::size_t count, std::size_t len,
+                 std::size_t stride) noexcept {
+  active().mac2Strided(out, x, a, y, b, count, len, stride);
 }
 
 fp normSquared(const Complex* v, std::size_t n) noexcept {
-  const auto* p = reinterpret_cast<const double*>(v);
-  __m256d acc = _mm256_setzero_pd();
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const __m256d x = _mm256_loadu_pd(p + 2 * i);
-    acc = _mm256_fmadd_pd(x, x, acc);
-  }
-  alignas(32) double lane[4];
-  _mm256_store_pd(lane, acc);
-  fp sum = lane[0] + lane[1] + lane[2] + lane[3];
-  for (; i < n; ++i) {
-    sum += norm2(v[i]);
-  }
-  return sum;
+  return active().normSquared(v, n);
 }
-
-#else  // scalar fallback
-
-unsigned lanes() noexcept { return 1; }
-bool avx2Enabled() noexcept { return false; }
-
-void scale(Complex* out, const Complex* in, Complex s, std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = s * in[i];
-  }
-}
-
-void scaleAccumulate(Complex* out, const Complex* in, Complex s,
-                     std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] += s * in[i];
-  }
-}
-
-void accumulate(Complex* out, const Complex* in, std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] += in[i];
-  }
-}
-
-fp normSquared(const Complex* v, std::size_t n) noexcept {
-  fp sum = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    sum += norm2(v[i]);
-  }
-  return sum;
-}
-
-#endif
 
 void zeroFill(Complex* out, std::size_t n) noexcept {
   std::memset(static_cast<void*>(out), 0, n * sizeof(Complex));

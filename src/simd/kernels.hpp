@@ -1,9 +1,15 @@
 #pragma once
-// SIMD kernels over contiguous complex arrays. These implement the paper's
-// "SIMD-enabled scalar multiplication" (used by both the parallel DD-to-array
-// conversion, Fig. 4b, and the DMAV cache, Alg. 2 line 7) and the buffer
-// summation of Alg. 2 lines 11-13. Compiled with AVX2+FMA when available;
-// a scalar fallback keeps the library portable.
+// SIMD kernels over contiguous and bit-strided complex arrays. These
+// implement the paper's "SIMD-enabled scalar multiplication" (used by both
+// the parallel DD-to-array conversion, Fig. 4b, and the DMAV cache, Alg. 2
+// line 7), the buffer summation of Alg. 2 lines 11-13, and the fused/strided
+// shapes the DmavPlan replay and ArraySimulator hot loops emit.
+//
+// Dispatch is resolved at runtime: when the library was built with AVX2+FMA
+// support AND the executing CPU reports avx2+fma, the vector table is
+// selected; otherwise (or when FLATDD_FORCE_SCALAR is set in the
+// environment) every call runs the portable scalar table. Benchmarks and
+// tests may switch tiers mid-process with setDispatchTier().
 
 #include <cstddef>
 
@@ -11,11 +17,30 @@
 
 namespace fdd::simd {
 
+enum class DispatchTier { Scalar, Avx2 };
+
+/// Human-readable tier name: "scalar" or "avx2".
+[[nodiscard]] const char* toString(DispatchTier tier) noexcept;
+
+/// The tier every kernel below currently dispatches to.
+[[nodiscard]] DispatchTier activeTier() noexcept;
+
+/// True when `tier` can be selected on this build + CPU.
+[[nodiscard]] bool tierAvailable(DispatchTier tier) noexcept;
+
+/// Force the active tier (for benchmarking / testing both paths in one
+/// process). Returns false and leaves the tier unchanged when `tier` is not
+/// available. Not thread-safe against concurrently running kernels; switch
+/// only from the main thread between simulations.
+bool setDispatchTier(DispatchTier tier) noexcept;
+
 /// Number of double-precision MACs one vector instruction retires; this is
-/// the `d` of the paper's cost model (Eq. 6). 4 with AVX2, 1 in fallback.
+/// the `d` of the paper's cost model (Eq. 6). 4 on the AVX2 tier, 1 on the
+/// scalar tier. Runtime-resolved, so cost-model callers always see the
+/// width that will actually execute.
 [[nodiscard]] unsigned lanes() noexcept;
 
-/// True when the AVX2 path is compiled in.
+/// True when the active tier is the AVX2 path.
 [[nodiscard]] bool avx2Enabled() noexcept;
 
 /// out[i] = s * in[i] for i in [0, n). out and in may not overlap, except
@@ -28,6 +53,40 @@ void scaleAccumulate(Complex* out, const Complex* in, Complex s,
 
 /// out[i] += in[i] for i in [0, n). No overlap.
 void accumulate(Complex* out, const Complex* in, std::size_t n) noexcept;
+
+/// Two-term fused MAC: out[i] += a * x[i] + b * y[i] for i in [0, n).
+/// out may not overlap x or y; x and y may alias each other.
+void mac2(Complex* out, const Complex* x, Complex a, const Complex* y,
+          Complex b, std::size_t n) noexcept;
+
+/// In-place 2x2 butterfly over two parallel spans: for i in [0, n),
+///   (a[i], b[i]) = (u[0]*a[i] + u[1]*b[i], u[2]*a[i] + u[3]*b[i]).
+/// u is the row-major 2x2 gate matrix. a and b may not overlap.
+void butterfly(Complex* a, Complex* b, const Complex* u,
+               std::size_t n) noexcept;
+
+/// In-place 2x2 butterfly over adjacent pairs (target qubit 0): for i in
+/// [0, nPairs), (s[2i], s[2i+1]) = U * (s[2i], s[2i+1]).
+void butterflyAdjacent(Complex* s, const Complex* u,
+                       std::size_t nPairs) noexcept;
+
+/// Strided comb scale: out[k*stride + j] = s * in[k*stride + j] for
+/// k in [0, count), j in [0, len). Requires len <= stride. Stores stay
+/// strictly within the comb (no neighbouring element is touched), so combs
+/// may butt against spans owned by other threads.
+void scaleStrided(Complex* out, const Complex* in, Complex s,
+                  std::size_t count, std::size_t len,
+                  std::size_t stride) noexcept;
+
+/// Strided comb MAC: out[k*stride + j] += s * in[k*stride + j].
+void macStrided(Complex* out, const Complex* in, Complex s, std::size_t count,
+                std::size_t len, std::size_t stride) noexcept;
+
+/// Strided comb two-term MAC:
+/// out[k*stride+j] += a * x[k*stride+j] + b * y[k*stride+j].
+void mac2Strided(Complex* out, const Complex* x, Complex a, const Complex* y,
+                 Complex b, std::size_t count, std::size_t len,
+                 std::size_t stride) noexcept;
 
 /// Sum of |v[i]|^2 — used for normalization checks.
 [[nodiscard]] fp normSquared(const Complex* v, std::size_t n) noexcept;

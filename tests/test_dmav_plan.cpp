@@ -94,13 +94,103 @@ TEST(DmavPlan, HadamardKeepsAccumulatingOps) {
   const DmavPlan plan = compileDmavPlan(m, n, 2, PlanMode::Row, &p);
   EXPECT_FALSE(plan.fullyExclusive());
   EXPECT_GT(plan.opCount(SpanOpKind::MacSpan) +
-                plan.opCount(SpanOpKind::IdentScale),
+                plan.opCount(SpanOpKind::IdentScale) +
+                plan.opCount(SpanOpKind::Mac2Span),
             0u);
   for (const PlanBlock& block : plan.blocks) {
     ASSERT_FALSE(block.zeroSpans.empty());
     EXPECT_EQ(block.zeroSpans.front().begin, block.rowBegin);
     EXPECT_EQ(block.zeroSpans.front().len, block.rows);
   }
+}
+
+TEST(DmavPlan, LowQubitDiagonalCollapsesToStridedCombs) {
+  // RZ(q0) alternates two coefficients per amplitude. Without the strided
+  // collapse the plan would hold one len-1 DiagScale per row (O(2^n) ops);
+  // with it every block is two comb ops of stride 2.
+  const Qubit n = 10;
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::RZ, 0, {}, {0.41}});
+  const DmavPlan plan = compileDmavPlan(m, n, 2, PlanMode::Row, &p);
+  EXPECT_TRUE(plan.fullyExclusive());
+  EXPECT_EQ(plan.opCount(), 2 * plan.blocks.size());
+  for (const PlanBlock& block : plan.blocks) {
+    for (const SpanOp& sop : block.ops) {
+      EXPECT_EQ(sop.kind, SpanOpKind::DiagScale);
+      EXPECT_GT(sop.count, 1u);
+      EXPECT_EQ(sop.len, 1u);
+      EXPECT_EQ(sop.stride, 2u);
+    }
+  }
+  const auto v = test::randomState(n, 95);
+  EXPECT_STATE_NEAR(
+      replayRow(plan, v),
+      test::denseApply(
+          test::denseOperator({qc::GateKind::RZ, 0, {}, {0.41}}, n), v),
+      1e-12);
+}
+
+TEST(DmavPlan, LowQubitHadamardFusesAndCollapsesToMac2Combs) {
+  // H(q0): each output amplitude is a two-term MAC of the adjacent input
+  // pair. The fuse pass pairs the per-output accumulates into Mac2Span and
+  // the collapse pass turns the alternating combs into two strided ops per
+  // block.
+  const Qubit n = 10;
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::H, 0, {}, {}});
+  const DmavPlan plan = compileDmavPlan(m, n, 2, PlanMode::Row, &p);
+  EXPECT_GT(plan.opCount(SpanOpKind::Mac2Span), 0u);
+  EXPECT_EQ(plan.opCount(), plan.opCount(SpanOpKind::Mac2Span));
+  EXPECT_EQ(plan.opCount(), 2 * plan.blocks.size());
+  const auto v = test::randomState(n, 96);
+  EXPECT_STATE_NEAR(
+      replayRow(plan, v),
+      test::denseApply(test::denseOperator({qc::GateKind::H, 0, {}, {}}, n),
+                       v),
+      1e-12);
+}
+
+TEST(DmavPlan, HighQubitHadamardFusesToTwoMac2SpansPerBlock) {
+  // H on the top qubit: e0/e1 (and e2/e3) subtrees write the same output
+  // half, so after fusion each half is one giant Mac2Span reading both input
+  // halves.
+  const Qubit n = 8;
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::H, n - 1, {}, {}});
+  const DmavPlan plan = compileDmavPlan(m, n, 1, PlanMode::Row, &p);
+  EXPECT_GT(plan.opCount(SpanOpKind::Mac2Span), 0u);
+  EXPECT_EQ(plan.opCount(SpanOpKind::MacSpan), 0u);
+  EXPECT_EQ(plan.opCount(SpanOpKind::IdentScale), 0u);
+  const auto v = test::randomState(n, 97);
+  EXPECT_STATE_NEAR(
+      replayRow(plan, v),
+      test::denseApply(
+          test::denseOperator({qc::GateKind::H, n - 1, {}, {}}, n), v),
+      1e-12);
+}
+
+TEST(DmavPlan, LowQubitPermutationCollapsesToStridedCombs) {
+  // X(q0) swaps adjacent amplitudes: two interleaved PermuteCopy combs per
+  // block, input offset one off the output offset.
+  const Qubit n = 10;
+  dd::Package p{n};
+  const dd::mEdge m = p.makeGateDD({qc::GateKind::X, 0, {}, {}});
+  const DmavPlan plan = compileDmavPlan(m, n, 2, PlanMode::Row, &p);
+  EXPECT_TRUE(plan.fullyExclusive());
+  EXPECT_EQ(plan.opCount(), 2 * plan.blocks.size());
+  for (const PlanBlock& block : plan.blocks) {
+    for (const SpanOp& sop : block.ops) {
+      EXPECT_EQ(sop.kind, SpanOpKind::PermuteCopy);
+      EXPECT_GT(sop.count, 1u);
+      EXPECT_EQ(sop.stride, 2u);
+    }
+  }
+  const auto v = test::randomState(n, 98);
+  EXPECT_STATE_NEAR(
+      replayRow(plan, v),
+      test::denseApply(test::denseOperator({qc::GateKind::X, 0, {}, {}}, n),
+                       v),
+      1e-12);
 }
 
 TEST(DmavPlan, IdentFastPathFlagIsBakedIn) {
@@ -143,11 +233,12 @@ TEST(DmavPlan, BlocksAreSplitFinerThanThreadsAndPackedOnce) {
   }
   EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
                           [](int c) { return c == 1; }));
-  // Blocks tile the row space and ops stay inside their block.
+  // Blocks tile the row space and ops (including comb repetitions) stay
+  // inside their block.
   for (const PlanBlock& block : plan.blocks) {
     for (const SpanOp& sop : block.ops) {
       EXPECT_GE(sop.iw, block.rowBegin);
-      EXPECT_LE(sop.iw + sop.len, block.rowBegin + block.rows);
+      EXPECT_LE(sop.extent(), block.rowBegin + block.rows);
     }
   }
 }

@@ -24,6 +24,7 @@
 #include "common/rss.hpp"
 #include "engine/simulation_engine.hpp"
 #include "qasm/parser.hpp"
+#include "simd/kernels.hpp"
 
 namespace {
 
@@ -306,6 +307,9 @@ int main(int argc, char** argv) {
         std::printf("%-10s %s\n", name.c_str(),
                     factory.describe(name).c_str());
       }
+      std::printf("kernel dispatch: %s (d=%u lanes)\n",
+                  fdd::simd::toString(fdd::simd::activeTier()),
+                  fdd::simd::lanes());
       return 0;
     } else if (arg == "--circuit") {
       opt.circuit = need(i);
