@@ -1,0 +1,210 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fdd::json {
+
+void escapeTo(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string numberToString(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  Value parse() {
+    const Value value = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument("json::parse: " + std::string(what) +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail("unexpected character");
+    }
+    ++pos_;
+  }
+
+  bool consumeIf(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return Value{parseString()};
+      case 't': literal("true"); return Value{true};
+      case 'f': literal("false"); return Value{false};
+      case 'n': literal("null"); return Value{nullptr};
+      default: return parseNumber();
+    }
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+    }
+    pos_ += word.size();
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("bad \\u escape");
+          }
+          unsigned code = 0;
+          const auto res = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // Our writers only escape control characters; anything else is
+          // kept as a replacement since reports never contain non-ASCII.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    skipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    double value = 0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (pos_ == start || res.ec != std::errc{} ||
+        res.ptr != text_.data() + pos_) {
+      fail("bad number");
+    }
+    return Value{value};
+  }
+
+  Value parseObject() {
+    expect('{');
+    auto obj = std::make_shared<Object>();
+    if (!consumeIf('}')) {
+      do {
+        std::string key = parseString();
+        expect(':');
+        obj->emplace(std::move(key), parseValue());
+      } while (consumeIf(','));
+      expect('}');
+    }
+    return Value{std::move(obj)};
+  }
+
+  Value parseArray() {
+    expect('[');
+    auto arr = std::make_shared<Array>();
+    if (!consumeIf(']')) {
+      do {
+        arr->push_back(parseValue());
+      } while (consumeIf(','));
+      expect(']');
+    }
+    return Value{std::move(arr)};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser{text}.parse(); }
+
+}  // namespace fdd::json

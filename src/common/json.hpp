@@ -1,0 +1,155 @@
+#pragma once
+// Minimal JSON reader/writer shared by RunReport serialization, the Chrome
+// trace exporter and the trace summarizer. The parser accepts the subset our
+// writers emit (objects, arrays, strings, numbers, booleans, null) plus
+// hand-edited variants of it; the writer is append-only with keys emitted in
+// call order. Neither allocates beyond the value tree / output string.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace fdd::json {
+
+struct Value;
+using Object = std::map<std::string, Value, std::less<>>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      v = nullptr;
+
+  [[nodiscard]] const Object* object() const {
+    const auto* p = std::get_if<std::shared_ptr<Object>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const Array* array() const {
+    const auto* p = std::get_if<std::shared_ptr<Array>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const std::string* string() const {
+    return std::get_if<std::string>(&v);
+  }
+  [[nodiscard]] const double* number() const {
+    return std::get_if<double>(&v);
+  }
+  [[nodiscard]] const bool* boolean() const { return std::get_if<bool>(&v); }
+};
+
+/// Parses one JSON document. Throws std::invalid_argument (message includes
+/// the byte offset) on malformed input or trailing characters.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Appends `s` as a quoted JSON string (control characters escaped).
+void escapeTo(std::string& out, std::string_view s);
+
+/// Shortest decimal representation that round-trips the double exactly.
+[[nodiscard]] std::string numberToString(double v);
+
+/// Tiny append-only JSON object/array writer (keys are emitted in call
+/// order; no pretty-printing).
+class Writer {
+ public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray(std::string_view key) {
+    keyTo(key);
+    open('[');
+  }
+  void beginArrayEntry() { open('['); }
+  void endArray() { close(']'); }
+  void beginObjectIn(std::string_view key) {
+    keyTo(key);
+    open('{');
+  }
+  void beginObjectEntry() { open('{'); }
+
+  void field(std::string_view key, std::string_view v) {
+    keyTo(key);
+    escapeTo(out_, v);
+    valueDone();
+  }
+  // Without this overload a string-literal value resolves to field(..., bool)
+  // — pointer-to-bool is a standard conversion, string_view's converting
+  // constructor is not.
+  void field(std::string_view key, const char* v) {
+    field(key, std::string_view{v});
+  }
+  void field(std::string_view key, double v) {
+    keyTo(key);
+    out_ += numberToString(v);
+    valueDone();
+  }
+  void field(std::string_view key, std::size_t v) {
+    keyTo(key);
+    out_ += std::to_string(v);
+    valueDone();
+  }
+  void field(std::string_view key, unsigned v) {
+    keyTo(key);
+    out_ += std::to_string(v);
+    valueDone();
+  }
+  void field(std::string_view key, int v) {
+    keyTo(key);
+    out_ += std::to_string(v);
+    valueDone();
+  }
+  void field(std::string_view key, bool v) {
+    keyTo(key);
+    out_ += v ? "true" : "false";
+    valueDone();
+  }
+
+  /// A bare array element (inside beginArray/beginArrayEntry).
+  void element(double v) {
+    separate();
+    out_ += numberToString(v);
+    valueDone();
+  }
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ += c;
+    first_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    valueDone();  // the closed container is a completed value
+  }
+  /// Emit the "," before a new key or array element — unless this value
+  /// directly follows its own key, or is the first in its container.
+  void separate() {
+    if (afterKey_) {
+      afterKey_ = false;
+      return;
+    }
+    if (!first_) {
+      out_ += ',';
+    }
+    first_ = false;
+  }
+  void valueDone() {
+    afterKey_ = false;
+    first_ = false;
+  }
+  void keyTo(std::string_view key) {
+    separate();
+    escapeTo(out_, key);
+    out_ += ':';
+    afterKey_ = true;
+  }
+
+  std::string out_;
+  bool first_ = true;
+  bool afterKey_ = false;
+};
+
+}  // namespace fdd::json

@@ -220,6 +220,13 @@ class FlatDDBackend final : public Backend {
           rec.gateIndex, rec.inDDPhase ? "dd" : "dmav", rec.seconds,
           rec.ddSize});
     }
+    report.ewmaLog.clear();
+    report.ewmaLog.reserve(st.ewmaLog.size());
+    for (const auto& tick : st.ewmaLog) {
+      report.ewmaLog.push_back(EwmaTickReport{tick.gate, tick.ddSize,
+                                              tick.ewma, tick.threshold,
+                                              tick.triggered});
+    }
   }
 
  private:

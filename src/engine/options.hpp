@@ -51,6 +51,12 @@ struct EngineOptions {
   /// RunReport. Supported by every backend (normalized trace).
   bool recordPerGate = false;
 
+  /// Enable the observability runtime for this run: the engine turns
+  /// obs::setEnabled on, resets the metric registry and trace rings, and
+  /// folds the resulting registry snapshot into RunReport.metrics. Requires
+  /// the FLATDD_OBS build (silently inert otherwise).
+  bool enableObs = false;
+
   /// Ordered circuit-preparation passes, applied before simulation.
   std::vector<std::string> passes;
 

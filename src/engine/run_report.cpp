@@ -1,342 +1,37 @@
 #include "engine/run_report.hpp"
 
-#include <cctype>
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-#include <map>
-#include <memory>
 #include <stdexcept>
-#include <variant>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace fdd::engine {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Writer
-// ---------------------------------------------------------------------------
-
-void escapeTo(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-std::string numberToString(double v) {
-  // Shortest representation that round-trips a double exactly.
-  char buf[32];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, res.ptr);
-}
-
-/// Tiny append-only JSON object/array writer (keys are emitted in call
-/// order; no pretty-printing beyond one level of newlines).
-class JsonWriter {
- public:
-  void beginObject() { open('{'); }
-  void endObject() { close('}'); }
-  void beginArray(std::string_view key) { keyTo(key); open('['); }
-  void endArray() { close(']'); }
-  void beginObjectIn(std::string_view key) { keyTo(key); open('{'); }
-  void beginObjectEntry() { open('{'); }
-
-  void field(std::string_view key, std::string_view v) {
-    keyTo(key);
-    escapeTo(out_, v);
-    valueDone();
-  }
-  void field(std::string_view key, double v) {
-    keyTo(key);
-    out_ += numberToString(v);
-    valueDone();
-  }
-  void field(std::string_view key, std::size_t v) {
-    keyTo(key);
-    out_ += std::to_string(v);
-    valueDone();
-  }
-  void field(std::string_view key, unsigned v) {
-    keyTo(key);
-    out_ += std::to_string(v);
-    valueDone();
-  }
-  void field(std::string_view key, int v) {
-    keyTo(key);
-    out_ += std::to_string(v);
-    valueDone();
-  }
-  void field(std::string_view key, bool v) {
-    keyTo(key);
-    out_ += v ? "true" : "false";
-    valueDone();
-  }
-
-  [[nodiscard]] std::string take() { return std::move(out_); }
-
- private:
-  void open(char c) {
-    separate();
-    out_ += c;
-    first_ = true;
-  }
-  void close(char c) {
-    out_ += c;
-    valueDone();  // the closed container is a completed value
-  }
-  /// Emit the "," before a new key or array element — unless this value
-  /// directly follows its own key, or is the first in its container.
-  void separate() {
-    if (afterKey_) {
-      afterKey_ = false;
-      return;
-    }
-    if (!first_) {
-      out_ += ',';
-    }
-    first_ = false;
-  }
-  void valueDone() {
-    afterKey_ = false;
-    first_ = false;
-  }
-  void keyTo(std::string_view key) {
-    separate();
-    escapeTo(out_, key);
-    out_ += ':';
-    afterKey_ = true;
-  }
-
-  std::string out_;
-  bool first_ = true;
-  bool afterKey_ = false;
-};
-
-// ---------------------------------------------------------------------------
-// Parser — the subset toJson() emits (objects, arrays, strings, numbers,
-// booleans, null), enough for the round trip and for external tools that
-// hand-edit reports.
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue, std::less<>>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonObject>, std::shared_ptr<JsonArray>>
-      v = nullptr;
-
-  [[nodiscard]] const JsonObject* object() const {
-    const auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
-    return p ? p->get() : nullptr;
-  }
-  [[nodiscard]] const JsonArray* array() const {
-    const auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
-    return p ? p->get() : nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_{text} {}
-
-  JsonValue parse() {
-    const JsonValue value = parseValue();
-    skipWs();
-    if (pos_ != text_.size()) {
-      fail("trailing characters after JSON value");
-    }
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) const {
-    throw std::invalid_argument("RunReport::fromJson: " + std::string(what) +
-                                " at offset " + std::to_string(pos_));
-  }
-
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skipWs();
-    if (pos_ >= text_.size()) {
-      fail("unexpected end of input");
-    }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail("unexpected character");
-    }
-    ++pos_;
-  }
-
-  bool consumeIf(char c) {
-    if (pos_ < text_.size() && peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parseValue() {
-    switch (peek()) {
-      case '{': return parseObject();
-      case '[': return parseArray();
-      case '"': return JsonValue{parseString()};
-      case 't': literal("true"); return JsonValue{true};
-      case 'f': literal("false"); return JsonValue{false};
-      case 'n': literal("null"); return JsonValue{nullptr};
-      default: return parseNumber();
-    }
-  }
-
-  void literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) {
-      fail("bad literal");
-    }
-    pos_ += word.size();
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) {
-        fail("unterminated string");
-      }
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return out;
-      }
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        fail("unterminated escape");
-      }
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            fail("bad \\u escape");
-          }
-          unsigned code = 0;
-          const auto res = std::from_chars(text_.data() + pos_,
-                                           text_.data() + pos_ + 4, code, 16);
-          if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ + 4) {
-            fail("bad \\u escape");
-          }
-          pos_ += 4;
-          // toJson only escapes control characters; anything else is kept
-          // as a replacement since reports never contain non-ASCII.
-          out += code < 0x80 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parseNumber() {
-    skipWs();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    double value = 0;
-    const auto res =
-        std::from_chars(text_.data() + start, text_.data() + pos_, value);
-    if (pos_ == start || res.ec != std::errc{} ||
-        res.ptr != text_.data() + pos_) {
-      fail("bad number");
-    }
-    return JsonValue{value};
-  }
-
-  JsonValue parseObject() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    if (!consumeIf('}')) {
-      do {
-        std::string key = parseString();
-        expect(':');
-        obj->emplace(std::move(key), parseValue());
-      } while (consumeIf(','));
-      expect('}');
-    }
-    return JsonValue{std::move(obj)};
-  }
-
-  JsonValue parseArray() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    if (!consumeIf(']')) {
-      do {
-        arr->push_back(parseValue());
-      } while (consumeIf(','));
-      expect(']');
-    }
-    return JsonValue{std::move(arr)};
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+using json::numberToString;
+using JsonObject = json::Object;
+using JsonArray = json::Array;
+using JsonValue = json::Value;
 
 // Typed field extraction (missing/mistyped keys keep the default).
 void get(const JsonObject& o, std::string_view key, std::string& out) {
   if (const auto it = o.find(key); it != o.end()) {
-    if (const auto* s = std::get_if<std::string>(&it->second.v)) {
+    if (const auto* s = it->second.string()) {
       out = *s;
     }
   }
 }
 void get(const JsonObject& o, std::string_view key, double& out) {
   if (const auto it = o.find(key); it != o.end()) {
-    if (const auto* d = std::get_if<double>(&it->second.v)) {
+    if (const auto* d = it->second.number()) {
       out = *d;
     }
   }
 }
 void get(const JsonObject& o, std::string_view key, bool& out) {
   if (const auto it = o.find(key); it != o.end()) {
-    if (const auto* b = std::get_if<bool>(&it->second.v)) {
+    if (const auto* b = it->second.boolean()) {
       out = *b;
     }
   }
@@ -356,11 +51,165 @@ void get(const JsonObject& o, std::string_view key, Qubit& out) {
   get(o, key, d);
   out = static_cast<Qubit>(d);
 }
+void get(const JsonObject& o, std::string_view key, std::vector<double>& out) {
+  if (const auto it = o.find(key); it != o.end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      out.clear();
+      out.reserve(arr->size());
+      for (const auto& entry : *arr) {
+        out.push_back(entry.number() != nullptr ? *entry.number() : 0.0);
+      }
+    }
+  }
+}
+
+void writeMetrics(json::Writer& w, const MetricsReport& m) {
+  w.beginObjectIn("metrics");
+  w.beginArray("counters");
+  for (const auto& c : m.counters) {
+    w.beginObjectEntry();
+    w.field("name", c.name);
+    w.field("value", c.value);
+    w.endObject();
+  }
+  w.endArray();
+  w.beginArray("histograms");
+  for (const auto& h : m.histograms) {
+    w.beginObjectEntry();
+    w.field("name", h.name);
+    w.field("count", h.count);
+    w.field("sumSeconds", h.sumSeconds);
+    w.field("minSeconds", h.minSeconds);
+    w.field("maxSeconds", h.maxSeconds);
+    w.field("p50Seconds", h.p50Seconds);
+    w.field("p99Seconds", h.p99Seconds);
+    w.beginArray("buckets");
+    for (const double b : h.buckets) {
+      w.element(b);
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.beginArray("poolPhases");
+  for (const auto& p : m.poolPhases) {
+    w.beginObjectEntry();
+    w.field("phase", p.phase);
+    w.field("regions", p.regions);
+    w.field("wallSeconds", p.wallSeconds);
+    w.beginArray("busySeconds");
+    for (const double b : p.busySeconds) {
+      w.element(b);
+    }
+    w.endArray();
+    w.field("imbalance", p.imbalance);
+    w.endObject();
+  }
+  w.endArray();
+  w.field("loadImbalance", m.loadImbalance);
+  w.field("droppedTraceEvents", m.droppedTraceEvents);
+  w.endObject();
+}
+
+MetricsReport readMetrics(const JsonObject& o) {
+  MetricsReport m;
+  if (const auto it = o.find("counters"); it != o.end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      for (const auto& entry : *arr) {
+        if (const JsonObject* c = entry.object()) {
+          MetricCounter counter;
+          get(*c, "name", counter.name);
+          get(*c, "value", counter.value);
+          m.counters.push_back(std::move(counter));
+        }
+      }
+    }
+  }
+  if (const auto it = o.find("histograms"); it != o.end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      for (const auto& entry : *arr) {
+        if (const JsonObject* h = entry.object()) {
+          MetricHistogram hist;
+          get(*h, "name", hist.name);
+          get(*h, "count", hist.count);
+          get(*h, "sumSeconds", hist.sumSeconds);
+          get(*h, "minSeconds", hist.minSeconds);
+          get(*h, "maxSeconds", hist.maxSeconds);
+          get(*h, "p50Seconds", hist.p50Seconds);
+          get(*h, "p99Seconds", hist.p99Seconds);
+          get(*h, "buckets", hist.buckets);
+          m.histograms.push_back(std::move(hist));
+        }
+      }
+    }
+  }
+  if (const auto it = o.find("poolPhases"); it != o.end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      for (const auto& entry : *arr) {
+        if (const JsonObject* p = entry.object()) {
+          PoolPhaseMetrics phase;
+          get(*p, "phase", phase.phase);
+          get(*p, "regions", phase.regions);
+          get(*p, "wallSeconds", phase.wallSeconds);
+          get(*p, "busySeconds", phase.busySeconds);
+          get(*p, "imbalance", phase.imbalance);
+          m.poolPhases.push_back(std::move(phase));
+        }
+      }
+    }
+  }
+  get(o, "loadImbalance", m.loadImbalance);
+  get(o, "droppedTraceEvents", m.droppedTraceEvents);
+  return m;
+}
 
 }  // namespace
 
+MetricsReport metricsFromSnapshot(const obs::ObsSnapshot& snap) {
+  MetricsReport m;
+  m.counters.reserve(snap.counters.size() + snap.gauges.size());
+  for (const auto& c : snap.counters) {
+    m.counters.push_back(
+        MetricCounter{c.name, static_cast<double>(c.value)});
+  }
+  // Gauges fold into the same flat list: their last value is a point-in-time
+  // reading, which is all the report needs (the trace has the full track).
+  for (const auto& g : snap.gauges) {
+    m.counters.push_back(MetricCounter{g.name, g.value});
+  }
+  m.histograms.reserve(snap.histograms.size());
+  for (const auto& h : snap.histograms) {
+    MetricHistogram hist;
+    hist.name = h.name;
+    hist.count = h.count;
+    hist.sumSeconds = static_cast<double>(h.sumNs) / 1e9;
+    hist.minSeconds = static_cast<double>(h.minNs) / 1e9;
+    hist.maxSeconds = static_cast<double>(h.maxNs) / 1e9;
+    hist.p50Seconds = static_cast<double>(h.p50Ns) / 1e9;
+    hist.p99Seconds = static_cast<double>(h.p99Ns) / 1e9;
+    hist.buckets.reserve(h.buckets.size());
+    for (const auto b : h.buckets) {
+      hist.buckets.push_back(static_cast<double>(b));
+    }
+    m.histograms.push_back(std::move(hist));
+  }
+  m.poolPhases.reserve(snap.poolPhases.size());
+  for (const auto& p : snap.poolPhases) {
+    PoolPhaseMetrics phase;
+    phase.phase = p.phase;
+    phase.regions = p.regions;
+    phase.wallSeconds = p.wallSeconds;
+    phase.busySeconds = p.busySeconds;
+    phase.imbalance = p.imbalance;
+    m.poolPhases.push_back(std::move(phase));
+  }
+  m.loadImbalance = snap.worstImbalance();
+  m.droppedTraceEvents = snap.droppedTraceEvents;
+  return m;
+}
+
 std::string RunReport::toJson() const {
-  JsonWriter w;
+  json::Writer w;
   w.beginObject();
   w.field("backend", backend);
   w.field("circuit", circuit);
@@ -426,12 +275,32 @@ std::string RunReport::toJson() const {
   }
   w.endArray();
 
+  writeMetrics(w, metrics);
+
+  w.beginArray("ewmaLog");
+  for (const auto& t : ewmaLog) {
+    w.beginObjectEntry();
+    w.field("gate", t.gate);
+    w.field("ddSize", t.ddSize);
+    w.field("ewma", t.ewma);
+    w.field("threshold", t.threshold);
+    w.field("triggered", t.triggered);
+    w.endObject();
+  }
+  w.endArray();
+
   w.endObject();
   return w.take();
 }
 
-RunReport RunReport::fromJson(std::string_view json) {
-  const JsonValue root = JsonParser{json}.parse();
+RunReport RunReport::fromJson(std::string_view text) {
+  JsonValue root;
+  try {
+    root = json::parse(text);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string{"RunReport::fromJson: "} +
+                                e.what());
+  }
   const JsonObject* top = root.object();
   if (top == nullptr) {
     throw std::invalid_argument("RunReport::fromJson: top level not an object");
@@ -511,6 +380,26 @@ RunReport RunReport::fromJson(std::string_view json) {
       }
     }
   }
+  if (const auto it = top->find("metrics"); it != top->end()) {
+    if (const JsonObject* m = it->second.object()) {
+      r.metrics = readMetrics(*m);
+    }
+  }
+  if (const auto it = top->find("ewmaLog"); it != top->end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      for (const auto& entry : *arr) {
+        if (const JsonObject* t = entry.object()) {
+          EwmaTickReport tick;
+          get(*t, "gate", tick.gate);
+          get(*t, "ddSize", tick.ddSize);
+          get(*t, "ewma", tick.ewma);
+          get(*t, "threshold", tick.threshold);
+          get(*t, "triggered", tick.triggered);
+          r.ewmaLog.push_back(tick);
+        }
+      }
+    }
+  }
   return r;
 }
 
@@ -551,6 +440,10 @@ std::string RunReport::toCsv() const {
   row("dmav_model_cost", numberToString(dmavModelCost));
   row("memory_bytes", std::to_string(memoryBytes));
   row("peak_rss_bytes", std::to_string(peakRssBytes));
+  if (!metrics.empty()) {
+    row("load_imbalance", numberToString(metrics.loadImbalance));
+    row("dropped_trace_events", std::to_string(metrics.droppedTraceEvents));
+  }
   return csv;
 }
 

@@ -13,6 +13,10 @@
 
 #include "common/types.hpp"
 
+namespace fdd::obs {
+struct ObsSnapshot;
+}
+
 namespace fdd::engine {
 
 /// One entry per configured circuit-preparation pass, in execution order.
@@ -37,6 +41,71 @@ struct GateReport {
   std::size_t ddSize = 0;  // state-DD node count, 0 outside a DD phase
 
   [[nodiscard]] bool operator==(const GateReport&) const = default;
+};
+
+/// One named monotonic counter from the observability registry.
+struct MetricCounter {
+  std::string name;
+  double value = 0;
+
+  [[nodiscard]] bool operator==(const MetricCounter&) const = default;
+};
+
+/// One log2-bucketed latency histogram (times converted ns -> seconds).
+struct MetricHistogram {
+  std::string name;
+  std::size_t count = 0;
+  double sumSeconds = 0;
+  double minSeconds = 0;
+  double maxSeconds = 0;
+  double p50Seconds = 0;  // log-bucket upper bound
+  double p99Seconds = 0;
+  std::vector<double> buckets;  // counts per log2-ns bucket, zeros trimmed
+
+  [[nodiscard]] bool operator==(const MetricHistogram&) const = default;
+};
+
+/// Thread-pool load accounting for one phase label ("dmav.replay", ...).
+struct PoolPhaseMetrics {
+  std::string phase;
+  std::size_t regions = 0;           // fork/join regions under this label
+  double wallSeconds = 0;            // summed region wall time
+  std::vector<double> busySeconds;   // per worker (index = worker id)
+  double imbalance = 0;              // max busy / mean busy, 1.0 = perfect
+
+  [[nodiscard]] bool operator==(const PoolPhaseMetrics&) const = default;
+};
+
+/// The observability registry snapshot folded into a report ("metrics" in
+/// the JSON). Empty (and omitted from CSV) when obs was disabled.
+struct MetricsReport {
+  std::vector<MetricCounter> counters;
+  std::vector<MetricHistogram> histograms;
+  std::vector<PoolPhaseMetrics> poolPhases;
+  double loadImbalance = 0;  // worst per-phase imbalance across poolPhases
+  std::size_t droppedTraceEvents = 0;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && histograms.empty() && poolPhases.empty() &&
+           droppedTraceEvents == 0;
+  }
+
+  [[nodiscard]] bool operator==(const MetricsReport&) const = default;
+};
+
+/// Converts an obs::Registry snapshot into report form (ns -> seconds).
+[[nodiscard]] MetricsReport metricsFromSnapshot(const obs::ObsSnapshot& snap);
+
+/// One EWMA monitor observation (Eq. 4): the decision instant record that
+/// makes the DD->array switch auditable after the run.
+struct EwmaTickReport {
+  std::size_t gate = 0;     // gate index at the observation
+  std::size_t ddSize = 0;   // state-DD node count observed
+  double ewma = 0;          // bias-corrected EWMA of the DD size
+  double threshold = 0;     // epsilon * ewma; triggered when ddSize exceeds
+  bool triggered = false;   // this tick fired the conversion
+
+  [[nodiscard]] bool operator==(const EwmaTickReport&) const = default;
 };
 
 struct RunReport {
@@ -80,6 +149,10 @@ struct RunReport {
 
   std::vector<PassReport> passes;
   std::vector<GateReport> perGate;
+
+  // ---- observability ----------------------------------------------------
+  MetricsReport metrics;               // counter/histogram/pool snapshot
+  std::vector<EwmaTickReport> ewmaLog; // EWMA monitor decision log (flatdd)
 
   [[nodiscard]] bool operator==(const RunReport&) const = default;
 

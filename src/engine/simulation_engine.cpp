@@ -4,6 +4,8 @@
 
 #include "common/rss.hpp"
 #include "common/timing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/kernels.hpp"
 
 namespace fdd::engine {
@@ -20,6 +22,16 @@ RunReport SimulationEngine::run(const std::string& backendName,
   report.threads = options_.threads;
   report.simdTier = simd::toString(simd::activeTier());
   report.simdLanes = simd::lanes();
+
+  // Each run starts its observability window from zero so the snapshot
+  // reflects this run only; the caller owns trace export (and may keep
+  // obs enabled across runs by setting it before — enableObs only turns
+  // the runtime on, never off, so a tracing CLI wrapping several runs
+  // composes with it).
+  if (options_.enableObs) {
+    obs::setEnabled(true);
+    obs::Registry::instance().reset();
+  }
 
   Stopwatch total;
 
@@ -40,6 +52,9 @@ RunReport SimulationEngine::run(const std::string& backendName,
   backend_->fillReport(report);
   report.memoryBytes = backend_->memoryBytes();
   report.peakRssBytes = peakRSS();
+  if (obs::enabled()) {
+    report.metrics = metricsFromSnapshot(obs::Registry::instance().snapshot());
+  }
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/kernels.hpp"
 
@@ -128,6 +129,9 @@ ConversionStats ddToArrayParallel(const dd::vEdge& state, Qubit nQubits,
   unsigned t = std::min<unsigned>(std::max(threads, 1u), pool.size());
   t = static_cast<unsigned>(floorPowerOfTwo(t));
 
+  // Attribute all pool regions below (zero-fill, fills, scales) to the
+  // conversion phase in the per-worker load accounting.
+  obs::PoolPhaseScope poolPhase{"conversion"};
   ConversionStats stats;
 
   // Pre-zero the output in parallel; fills then skip zero subtrees.

@@ -8,6 +8,7 @@
 #include "common/bits.hpp"
 #include "common/timing.hpp"
 #include "dd/package.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/kernels.hpp"
 
@@ -473,6 +474,7 @@ bool DmavPlan::validFor(const dd::Package& pkg) const noexcept {
 
 DmavPlan compileDmavPlan(const dd::mEdge& m, Qubit nQubits, unsigned threads,
                          PlanMode mode, const dd::Package* pkg) {
+  FDD_TIMED_SCOPE("plan.compile");
   Stopwatch clock;
   DmavPlan plan;
   plan.root = m.n;
@@ -545,6 +547,8 @@ void replayPlan(const DmavPlan& plan, std::span<const Complex> v,
   if (v.data() == w.data()) {
     throw std::invalid_argument("replayPlan: V and W must not alias");
   }
+  FDD_TIMED_SCOPE("dmav.replay");
+  obs::PoolPhaseScope poolPhase{"dmav.replay"};
   auto& pool = par::globalPool();
   pool.run(plan.threads, [&](unsigned i) {
     const Complex* vp = v.data();
@@ -571,6 +575,8 @@ DmavCacheStats replayPlanCached(const DmavPlan& plan,
   if (v.data() == w.data()) {
     throw std::invalid_argument("replayPlanCached: V and W must not alias");
   }
+  FDD_TIMED_SCOPE("dmav.replayCached");
+  obs::PoolPhaseScope poolPhase{"dmav.replayCached"};
   DmavCacheStats stats;
   stats.tasks = plan.tasks;
   stats.cacheHits = plan.cacheHits;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace fdd::flat {
 
 EwmaMonitor::EwmaMonitor(fp beta, fp epsilon, std::size_t warmupGates,
@@ -21,10 +23,13 @@ bool EwmaMonitor::observe(std::size_t ddSize) {
   betaPow_ *= beta_;
   ++count_;
   corrected_ = value_ / (1 - betaPow_);
-  if (count_ <= warmup_ || ddSize < minSize_) {
-    return false;
+  const bool eligible = count_ > warmup_ && ddSize >= minSize_;
+  const bool triggered = eligible && epsilon_ * corrected_ < s;
+  if (log_ != nullptr && obs::enabled()) {
+    log_->push_back(EwmaDecision{count_ - 1, ddSize, corrected_,
+                                 epsilon_ * corrected_, triggered});
   }
-  return epsilon_ * corrected_ < s;
+  return triggered;
 }
 
 void EwmaMonitor::reset() noexcept {

@@ -5,10 +5,21 @@
 // has collapsed and the simulation should convert from DD to DMAV.
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace fdd::flat {
+
+/// One monitor tick: everything needed to audit the conversion decision
+/// after the run (surfaced as RunReport.ewmaLog and as trace instants).
+struct EwmaDecision {
+  std::size_t gate = 0;     // observation index (0-based)
+  std::size_t ddSize = 0;   // observed state-DD node count s_i
+  fp ewma = 0;              // bias-corrected EWMA v_i after this observation
+  fp threshold = 0;         // epsilon * v_i; triggers when s_i exceeds it
+  bool triggered = false;   // Eq. 4 fired (warmup and minSize permitting)
+};
 
 class EwmaMonitor {
  public:
@@ -31,6 +42,12 @@ class EwmaMonitor {
   [[nodiscard]] fp beta() const noexcept { return beta_; }
   [[nodiscard]] fp epsilon() const noexcept { return epsilon_; }
 
+  /// Appends one EwmaDecision per observe() to `log` (nullptr detaches).
+  /// Recording is further gated on obs::enabled(), so an attached log is
+  /// free while observability is off. The pointee must outlive the monitor
+  /// or the next attachLog call.
+  void attachLog(std::vector<EwmaDecision>* log) noexcept { log_ = log; }
+
   void reset() noexcept;
 
  private:
@@ -43,6 +60,7 @@ class EwmaMonitor {
   fp corrected_ = 0;     // bias-corrected v_i / (1 - beta^i)
   fp betaPow_ = 1;       // beta^i
   std::size_t count_ = 0;
+  std::vector<EwmaDecision>* log_ = nullptr;
 };
 
 }  // namespace fdd::flat

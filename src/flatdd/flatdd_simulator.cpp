@@ -7,6 +7,7 @@
 #include "flatdd/cost_model.hpp"
 #include "flatdd/dmav.hpp"
 #include "flatdd/fusion.hpp"
+#include "obs/metrics.hpp"
 #include "simd/kernels.hpp"
 
 namespace fdd::flat {
@@ -17,7 +18,11 @@ FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
       ddSim_{nQubits, options.tolerance},
       ewma_{options.beta, options.epsilon, options.warmupGates,
             options.minDDSize},
-      planCache_{options.usePlanCache ? options.planCacheCapacity : 0} {}
+      planCache_{options.usePlanCache ? options.planCacheCapacity : 0} {
+  // stats_ is a member, so the log vector's address is stable across reset()
+  // (which assigns a fresh FlatDDStats into the same object).
+  ewma_.attachLog(&stats_.ewmaLog);
+}
 
 void FlatDDSimulator::reset() {
   ddSim_.reset();
@@ -43,6 +48,10 @@ void FlatDDSimulator::applyOperation(const qc::Operation& op) {
     stats_.peakDDSize = std::max(stats_.peakDDSize, size);
     ++stats_.ddGates;
     bool trigger = ewma_.observe(size);
+    if (obs::enabled()) {
+      obs::counterEvent("dd.size", static_cast<double>(size));
+      obs::counterEvent("ewma.value", ewma_.value());
+    }
     if (options_.forceConversionAtGate) {
       trigger = stats_.ddGates >= *options_.forceConversionAtGate;
     }
@@ -90,6 +99,10 @@ void FlatDDSimulator::simulate(const qc::Circuit& circuit) {
     stats_.peakDDSize = std::max(stats_.peakDDSize, size);
     ++stats_.ddGates;
     bool trigger = ewma_.observe(size);
+    if (obs::enabled()) {
+      obs::counterEvent("dd.size", static_cast<double>(size));
+      obs::counterEvent("ewma.value", ewma_.value());
+    }
     if (options_.forceConversionAtGate) {
       trigger = (i + 1 >= *options_.forceConversionAtGate);
     }
@@ -142,6 +155,11 @@ void FlatDDSimulator::simulate(const qc::Circuit& circuit) {
 }
 
 void FlatDDSimulator::convertToFlat(std::size_t gateIndex) {
+  FDD_TIMED_SCOPE("conversion");
+  // The decision instant: an "i" event in the trace marks exactly when the
+  // representation switched (value = EWMA, value2 = threshold, aux = gate).
+  obs::instantEvent("ewma.convert", ewma_.value(),
+                    ewma_.epsilon() * ewma_.value(), gateIndex);
   Stopwatch clock;
   v_.resize(Index{1} << nQubits_);
   w_.resize(Index{1} << nQubits_);

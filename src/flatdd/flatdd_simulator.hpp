@@ -78,6 +78,8 @@ struct FlatDDStats {
   fp dmavModelCost = 0;  // sum of Section 3.2.3 costs over applied matrices
                          // (the "Cost" column of Table 2)
   std::vector<PerGateRecord> perGate;
+  /// One entry per EWMA monitor tick, recorded only while obs::enabled().
+  std::vector<EwmaDecision> ewmaLog;
 
   /// The per-gate trace as CSV ("gate,phase,seconds,dd_size") for external
   /// plotting of Fig. 3 / Fig. 11 style charts.

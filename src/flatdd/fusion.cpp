@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "flatdd/cost_model.hpp"
+#include "obs/metrics.hpp"
 #include "simd/kernels.hpp"
 
 namespace fdd::flat {
@@ -30,6 +31,7 @@ fp sumCost(const std::vector<dd::mEdge>& gates, Qubit nQubits,
 std::vector<dd::mEdge> dmavAwareFusion(dd::Package& pkg,
                                        const std::vector<dd::mEdge>& gates,
                                        unsigned threads, FusionStats* stats) {
+  FDD_TIMED_SCOPE("fusion");
   const unsigned t = std::max(threads, 1u);
   std::vector<dd::mEdge> out;
   out.reserve(gates.size());
@@ -81,6 +83,7 @@ std::vector<dd::mEdge> kOperationsFusion(dd::Package& pkg,
   if (k == 0) {
     throw std::invalid_argument("kOperationsFusion: k must be positive");
   }
+  FDD_TIMED_SCOPE("fusion");
   std::vector<dd::mEdge> out;
   out.reserve(gates.size() / k + 1);
   FusionStats local;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "dd/package.hpp"
+#include "obs/metrics.hpp"
 
 namespace fdd::flat {
 
@@ -44,6 +45,8 @@ const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
   if (capacity_ == 0) {
     ++stats_.misses;
     ++stats_.compiles;
+    FDD_OBS_COUNT("planCache.misses");
+    FDD_OBS_COUNT("planCache.compiles");
     scratch_ = compileDmavPlan(m, nQubits, threads, mode, &pkg);
     stats_.compileSeconds += scratch_.compileSeconds;
     return scratch_;
@@ -55,12 +58,15 @@ const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
     // requirement (see the header comment).
     assert(it->second->plan.root == m.n);
     ++stats_.hits;
+    FDD_OBS_COUNT("planCache.hits");
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->plan;
   }
 
   ++stats_.misses;
   ++stats_.compiles;
+  FDD_OBS_COUNT("planCache.misses");
+  FDD_OBS_COUNT("planCache.compiles");
   while (index_.size() >= capacity_) {
     evictOldest();
   }
@@ -88,6 +94,7 @@ void PlanCache::evictOldest() {
   index_.erase(victim.key);
   lru_.pop_back();
   ++stats_.evictions;
+  FDD_OBS_COUNT("planCache.evictions");
 }
 
 void PlanCache::clear() {

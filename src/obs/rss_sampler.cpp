@@ -1,0 +1,59 @@
+#include "obs/rss_sampler.hpp"
+
+#if FDD_OBS_ENABLED
+
+#include <chrono>
+
+#include "common/rss.hpp"
+#include "obs/metrics.hpp"
+
+namespace fdd::obs {
+
+namespace {
+
+void sampleOnce() {
+  const double bytes = static_cast<double>(currentRSS());
+  counterEvent("rss.bytes", bytes);
+  static Gauge& gauge = Registry::instance().gauge("rss.bytes");
+  gauge.set(bytes);
+}
+
+}  // namespace
+
+void RssSampler::start(std::uint64_t intervalMs) {
+  if (thread_.joinable() || intervalMs == 0) {
+    return;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this, intervalMs] { loop(intervalMs); });
+}
+
+void RssSampler::loop(std::uint64_t intervalMs) {
+  setThreadName("obs.rss-sampler");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    sampleOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
+  }
+  sampleOnce();  // final end-of-run data point
+}
+
+void RssSampler::stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+}
+
+}  // namespace fdd::obs
+
+#else
+
+namespace fdd::obs {
+
+void RssSampler::start(std::uint64_t) {}
+void RssSampler::stop() {}
+
+}  // namespace fdd::obs
+
+#endif  // FDD_OBS_ENABLED

@@ -1,0 +1,45 @@
+#pragma once
+// Periodic resident-set-size sampler: a lightweight thread that reads
+// /proc/self/status every `intervalMs` and publishes the value as (a) an
+// "rss.bytes" counter track in the trace and (b) the "rss.bytes" gauge in
+// the metrics registry. Replaces the single end-of-run peakRssBytes as the
+// only memory signal — the trace shows *when* memory moved (DD blow-up,
+// conversion's 2^n allocation, workspace growth), not just how high.
+//
+// stop() joins the thread; call it before exportChromeTrace() so the export
+// sees a quiescent ring (the sampler records on its own ring).
+
+#include <cstdint>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace fdd::obs {
+
+class RssSampler {
+ public:
+  RssSampler() = default;
+  ~RssSampler() { stop(); }
+
+  RssSampler(const RssSampler&) = delete;
+  RssSampler& operator=(const RssSampler&) = delete;
+
+  /// Starts sampling every `intervalMs` (no-op if already running, if the
+  /// interval is 0, or when FDD_OBS_ENABLED is off).
+  void start(std::uint64_t intervalMs = 10);
+
+  /// Stops and joins the sampler thread (idempotent). Takes one final
+  /// sample first so short runs still get an end-of-run data point.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+
+ private:
+#if FDD_OBS_ENABLED
+  void loop(std::uint64_t intervalMs);
+  std::atomic<bool> stop_{false};
+#endif
+  std::thread thread_;
+};
+
+}  // namespace fdd::obs

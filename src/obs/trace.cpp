@@ -1,0 +1,244 @@
+#include "obs/trace.hpp"
+
+#if FDD_OBS_ENABLED
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace fdd::obs {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+}
+
+namespace {
+
+std::atomic<std::size_t> gRingCapacity{16384};
+
+/// Single-writer event ring. The owning thread is the only writer; readers
+/// (export/clear) run at quiescent points, so `head` alone orders access.
+struct TraceRing {
+  TraceRing(std::uint32_t tid, std::size_t capacity)
+      : tid{tid}, events(capacity > 0 ? capacity : 1) {}
+
+  void push(const TraceEvent& e) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    events[h % events.size()] = e;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    return h > events.size() ? h - events.size() : 0;
+  }
+
+  const std::uint32_t tid;
+  const char* label = nullptr;
+  std::vector<TraceEvent> events;
+  std::atomic<std::uint64_t> head{0};  // total events ever written
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceRing>> rings;  // never removed
+  std::uint32_t nextTid = 0;
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry reg;
+  return reg;
+}
+
+thread_local std::shared_ptr<TraceRing> tlsRing;
+thread_local const char* tlsPendingName = nullptr;
+
+TraceRing& ring() {
+  if (!tlsRing) {
+    auto& reg = registry();
+    std::lock_guard lock{reg.mutex};
+    auto r = std::make_shared<TraceRing>(
+        ++reg.nextTid, gRingCapacity.load(std::memory_order_relaxed));
+    r->label = tlsPendingName;
+    reg.rings.push_back(r);
+    tlsRing = std::move(r);
+  }
+  return *tlsRing;
+}
+
+}  // namespace
+
+void setEnabled(bool on) noexcept {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t nowNs() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+std::uint32_t currentThreadId() { return ring().tid; }
+
+void setThreadName(const char* name) noexcept {
+  if (tlsRing) {
+    tlsRing->label = name;
+  } else {
+    // Defer — creating the ring here would allocate its event buffer for
+    // threads that may never record anything (e.g. idle pool workers).
+    tlsPendingName = name;
+  }
+}
+
+const char* internName(const std::string& name) {
+  static std::mutex mutex;
+  static std::unordered_set<std::string> storage;  // lives until exit
+  std::lock_guard lock{mutex};
+  return storage.insert(name).first->c_str();
+}
+
+void recordSpan(const char* name, std::uint64_t startNs,
+                std::uint64_t durNs) noexcept {
+  if (!enabled()) {
+    return;
+  }
+  TraceRing& r = ring();
+  r.push(TraceEvent{name, startNs, durNs, 0, 0, 0, r.tid, EventType::Span});
+}
+
+void counterEvent(const char* name, double value) noexcept {
+  if (!enabled()) {
+    return;
+  }
+  TraceRing& r = ring();
+  r.push(TraceEvent{name, nowNs(), 0, value, 0, 0, r.tid, EventType::Counter});
+}
+
+void instantEvent(const char* name, double value, double value2,
+                  std::uint64_t aux) noexcept {
+  if (!enabled()) {
+    return;
+  }
+  TraceRing& r = ring();
+  r.push(TraceEvent{name, nowNs(), 0, value, value2, aux, r.tid,
+                    EventType::Instant});
+}
+
+void setRingCapacity(std::size_t events) noexcept {
+  gRingCapacity.store(events > 0 ? events : 1, std::memory_order_relaxed);
+}
+
+std::size_t droppedEvents() noexcept {
+  auto& reg = registry();
+  std::lock_guard lock{reg.mutex};
+  std::size_t total = 0;
+  for (const auto& r : reg.rings) {
+    total += r->dropped();
+  }
+  return total;
+}
+
+void clearTrace() noexcept {
+  auto& reg = registry();
+  std::lock_guard lock{reg.mutex};
+  for (const auto& r : reg.rings) {
+    r->head.store(0, std::memory_order_release);
+  }
+}
+
+void TraceScope::finish() noexcept {
+  const std::uint64_t dur = nowNs() - start_;
+  recordSpan(name_, start_, dur);
+  if (hist_ != nullptr) {
+    hist_->record(dur);
+  }
+}
+
+std::string exportChromeTrace() {
+  // Snapshot the ring list under the lock; the events themselves are read
+  // lock-free (quiescence is the caller's contract).
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    auto& reg = registry();
+    std::lock_guard lock{reg.mutex};
+    rings = reg.rings;
+  }
+
+  json::Writer w;
+  w.beginObject();
+  w.beginArray("traceEvents");
+
+  std::size_t dropped = 0;
+  for (const auto& r : rings) {
+    // Thread-name metadata event so Perfetto labels the track.
+    w.beginObjectEntry();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", r->tid);
+    w.beginObjectIn("args");
+    w.field("name", r->label != nullptr
+                        ? std::string_view{r->label}
+                        : std::string_view{"thread-" +
+                                           std::to_string(r->tid)});
+    w.endObject();
+    w.endObject();
+
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = r->events.size();
+    const std::uint64_t first = head > cap ? head - cap : 0;
+    dropped += first;
+    for (std::uint64_t i = first; i < head; ++i) {
+      const TraceEvent& e = r->events[i % cap];
+      w.beginObjectEntry();
+      w.field("name", e.name != nullptr ? e.name : "?");
+      switch (e.type) {
+        case EventType::Span:
+          w.field("ph", "X");
+          w.field("ts", static_cast<double>(e.startNs) / 1e3);
+          w.field("dur", static_cast<double>(e.durNs) / 1e3);
+          break;
+        case EventType::Counter:
+          w.field("ph", "C");
+          w.field("ts", static_cast<double>(e.startNs) / 1e3);
+          break;
+        case EventType::Instant:
+          w.field("ph", "i");
+          w.field("ts", static_cast<double>(e.startNs) / 1e3);
+          w.field("s", "t");  // thread-scoped instant
+          break;
+      }
+      w.field("pid", 1);
+      w.field("tid", e.tid);
+      if (e.type != EventType::Span) {
+        w.beginObjectIn("args");
+        w.field("value", e.value);
+        if (e.type == EventType::Instant) {
+          w.field("value2", e.value2);
+          w.field("aux", e.aux);
+        }
+        w.endObject();
+      }
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.field("displayTimeUnit", "ms");
+  w.beginObjectIn("otherData");
+  w.field("droppedEvents", dropped);
+  w.endObject();
+  w.endObject();
+  return w.take();
+}
+
+}  // namespace fdd::obs
+
+#endif  // FDD_OBS_ENABLED

@@ -1,8 +1,12 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -71,6 +75,57 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run(unsigned t, const std::function<void(unsigned)>& f) {
   assert(t >= 1);
   if (t == 1) {
+    f(0);  // single-worker regions run inline, never instrumented
+    return;
+  }
+#if FDD_OBS_ENABLED
+  if (obs::enabled()) {
+    runInstrumented(t, f);
+    return;
+  }
+#endif
+  runImpl(t, f);
+}
+
+#if FDD_OBS_ENABLED
+namespace {
+// Cumulative per-worker busy time across all phases; feeds the per-worker
+// "pool.busy_us.w<i>" counter tracks in the trace.
+std::array<std::atomic<std::uint64_t>, 256> gWorkerBusyNs{};
+}  // namespace
+
+void ThreadPool::runInstrumented(unsigned t,
+                                 const std::function<void(unsigned)>& f) {
+  auto& phase =
+      obs::Registry::instance().poolPhase(obs::currentPoolPhase());
+  const std::uint64_t regionStart = obs::nowNs();
+  const std::function<void(unsigned)> wrapped = [&](unsigned i) {
+    const std::uint64_t start = obs::nowNs();
+    f(i);
+    const std::uint64_t busy = obs::nowNs() - start;
+    phase.addBusy(i, busy);
+    // The span lands on the executing thread's own ring, so the trace shows
+    // which physical worker ran which logical index.
+    obs::recordSpan(phase.name(), start, busy);
+    if (i < gWorkerBusyNs.size()) {
+      const std::uint64_t total =
+          gWorkerBusyNs[i].fetch_add(busy, std::memory_order_relaxed) + busy;
+      obs::counterEvent(obs::workerBusyCounterName(i),
+                        static_cast<double>(total) / 1e3);
+    }
+  };
+  runImpl(t, wrapped);
+  phase.addRegion(obs::nowNs() - regionStart, t);
+}
+#else
+void ThreadPool::runInstrumented(unsigned t,
+                                 const std::function<void(unsigned)>& f) {
+  runImpl(t, f);
+}
+#endif  // FDD_OBS_ENABLED
+
+void ThreadPool::runImpl(unsigned t, const std::function<void(unsigned)>& f) {
+  if (t == 1) {
     f(0);
     return;
   }
@@ -85,7 +140,7 @@ void ThreadPool::run(unsigned t, const std::function<void(unsigned)>& f) {
         f(i);
       }
     };
-    run(threads_, distribute);
+    runImpl(threads_, distribute);
     return;
   }
   job_ = &f;
@@ -138,6 +193,10 @@ void ThreadPool::parallelFor(
 }
 
 void ThreadPool::workerLoop(unsigned index) {
+  // Deferred label: the trace ring (if one is ever created on this thread)
+  // shows up in Perfetto as "pool.worker-<i>".
+  obs::setThreadName(
+      obs::internName("pool.worker-" + std::to_string(index)));
   Slot& slot = *slots_[index - 1];
   std::uint64_t seen = 0;
   for (;;) {

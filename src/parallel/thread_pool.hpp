@@ -36,6 +36,11 @@ class ThreadPool {
   /// f must be callable concurrently. When t exceeds size(), all t indices
   /// still execute: they are distributed over the available workers (so f
   /// must not rely on all indices running simultaneously, e.g. barriers).
+  ///
+  /// While obs::enabled(), every multi-worker region is instrumented: each
+  /// worker's busy interval becomes a trace span and accumulates into the
+  /// PoolPhaseStats of the phase label active on the launching thread
+  /// (obs::PoolPhaseScope), from which per-phase load imbalance is derived.
   void run(unsigned t, const std::function<void(unsigned)>& f);
 
   /// Splits [begin, end) into contiguous chunks over `t` workers and calls
@@ -54,6 +59,11 @@ class ThreadPool {
   };
 
   void workerLoop(unsigned index);
+  /// The uninstrumented fork/join core (also the oversubscription recursion
+  /// target, so distributed indices are not double-counted).
+  void runImpl(unsigned t, const std::function<void(unsigned)>& f);
+  /// run() with per-worker busy accounting; only called while obs::enabled().
+  void runInstrumented(unsigned t, const std::function<void(unsigned)>& f);
 
   unsigned threads_;
   std::vector<std::unique_ptr<Slot>> slots_;  // [1, threads_)

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace fdd::sim {
 
 DDSimulator::DDSimulator(Qubit nQubits, fp tolerance)
@@ -29,6 +31,7 @@ void DDSimulator::setState(std::span<const Complex> amplitudes) {
 }
 
 void DDSimulator::applyOperation(const qc::Operation& op) {
+  FDD_TIMED_SCOPE("dd.apply");
   const dd::mEdge gate = pkg_->makeGateDD(op);
   const dd::vEdge next = pkg_->multiply(gate, root_);
   pkg_->incRef(next);

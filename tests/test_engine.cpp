@@ -11,6 +11,7 @@
 #include "circuits/supremacy.hpp"
 #include "engine/simulation_engine.hpp"
 #include "helpers.hpp"
+#include "obs/trace.hpp"
 
 namespace fdd {
 namespace {
@@ -185,6 +186,95 @@ TEST(RunReportJson, RoundTripsForEveryBackend) {
         << "round trip broke for backend " << name;
   }
 }
+
+engine::RunReport reportWithMetrics() {
+  engine::RunReport report;
+  report.backend = "flatdd";
+  report.circuit = "synthetic";
+  report.metrics.counters = {{"planCache.hits", 3}, {"rss.bytes", 1.5e9}};
+  engine::MetricHistogram hist;
+  hist.name = "dmav.replay";
+  hist.count = 12;
+  hist.sumSeconds = 0.125;
+  hist.minSeconds = 1e-6;
+  hist.maxSeconds = 0.25;
+  hist.p50Seconds = 0.001;
+  hist.p99Seconds = 0.2;
+  hist.buckets = {0, 2, 5, 5};
+  report.metrics.histograms.push_back(hist);
+  report.metrics.poolPhases.push_back(
+      engine::PoolPhaseMetrics{"dmav.replay", 4, 0.25, {0.1, 0.2}, 1.25});
+  report.metrics.loadImbalance = 1.25;
+  report.metrics.droppedTraceEvents = 7;
+  report.ewmaLog = {engine::EwmaTickReport{0, 10, 10.0, 20.0, false},
+                    engine::EwmaTickReport{211, 5000, 1200.5, 2401.0, true}};
+  return report;
+}
+
+TEST(RunReportJson, RoundTripsMetricsAndEwmaLog) {
+  const engine::RunReport report = reportWithMetrics();
+  EXPECT_FALSE(report.metrics.empty());
+  const engine::RunReport parsed =
+      engine::RunReport::fromJson(report.toJson());
+  EXPECT_EQ(parsed.metrics, report.metrics);
+  EXPECT_EQ(parsed.ewmaLog, report.ewmaLog);
+  EXPECT_EQ(parsed, report);
+}
+
+TEST(RunReportJson, UnknownKeysInsideMetricsAreIgnored) {
+  // A report written by a future version may grow fields anywhere inside the
+  // metrics object; today's reader must skip them without throwing.
+  const std::string json = R"({
+    "backend": "flatdd",
+    "metrics": {
+      "counters": [{"name": "a", "value": 2, "futureField": [1, 2]}],
+      "histograms": [{"name": "h", "count": 1, "sumSeconds": 0.5,
+                      "shape": "bimodal"}],
+      "poolPhases": [{"phase": "p", "regions": 1, "wallSeconds": 0.5,
+                      "busySeconds": [0.1], "imbalance": 1.0,
+                      "numaNode": 0}],
+      "loadImbalance": 1.0,
+      "droppedTraceEvents": 4,
+      "futureSection": {"x": 1}
+    },
+    "ewmaLog": [{"gate": 3, "ddSize": 10, "ewma": 5.0, "threshold": 10.0,
+                 "triggered": true, "confidence": null}]
+  })";
+  const engine::RunReport parsed = engine::RunReport::fromJson(json);
+  ASSERT_EQ(parsed.metrics.counters.size(), 1u);
+  EXPECT_EQ(parsed.metrics.counters[0].name, "a");
+  EXPECT_DOUBLE_EQ(parsed.metrics.counters[0].value, 2.0);
+  ASSERT_EQ(parsed.metrics.histograms.size(), 1u);
+  EXPECT_EQ(parsed.metrics.histograms[0].count, 1u);
+  ASSERT_EQ(parsed.metrics.poolPhases.size(), 1u);
+  EXPECT_EQ(parsed.metrics.poolPhases[0].phase, "p");
+  EXPECT_EQ(parsed.metrics.droppedTraceEvents, 4u);
+  ASSERT_EQ(parsed.ewmaLog.size(), 1u);
+  EXPECT_EQ(parsed.ewmaLog[0].gate, 3u);
+  EXPECT_TRUE(parsed.ewmaLog[0].triggered);
+}
+
+#if FDD_OBS_ENABLED
+TEST(RunReportJson, ObsRunProducesRoundTrippingMetrics) {
+  engine::EngineOptions options;
+  options.threads = 2;
+  options.forceConversionAtGate = 10;
+  options.enableObs = true;
+  const engine::RunReport report =
+      engine::simulate("flatdd", circuits::supremacy(8, 8, 5), options);
+  fdd::obs::setEnabled(false);  // keep obs out of the remaining tests
+
+  EXPECT_FALSE(report.metrics.empty());
+  const engine::RunReport parsed =
+      engine::RunReport::fromJson(report.toJson());
+  EXPECT_EQ(parsed, report);
+
+  // The scalar CSV gains the observability summary rows.
+  const std::string csv = report.toCsv();
+  EXPECT_NE(csv.find("load_imbalance,"), std::string::npos);
+  EXPECT_NE(csv.find("dropped_trace_events,"), std::string::npos);
+}
+#endif  // FDD_OBS_ENABLED
 
 TEST(RunReportJson, EscapesSpecialCharacters) {
   engine::RunReport report;

@@ -1,0 +1,383 @@
+// Observability runtime (src/obs): trace-ring wraparound, concurrent
+// writers through the thread pool, Chrome-trace JSON well-formedness,
+// counter-registry atomicity, the EWMA decision log against an independent
+// Eq. 4 recompute, and the disabled-mode no-op guarantees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "flatdd/ewma.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fdd {
+namespace {
+
+#if FDD_OBS_ENABLED
+
+/// Every test starts recording from a clean slate and leaves obs off so the
+/// runtime switch never leaks across tests.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    obs::clearTrace();
+    obs::Registry::instance().reset();
+  }
+  void TearDown() override {
+    obs::setEnabled(false);
+    obs::clearTrace();
+    obs::Registry::instance().reset();
+  }
+};
+
+/// Parses an exported trace and returns the events (objects) named `name`.
+std::vector<const json::Object*> eventsNamed(const json::Value& root,
+                                             std::string_view name) {
+  std::vector<const json::Object*> out;
+  const json::Object* top = root.object();
+  if (top == nullptr) {
+    return out;
+  }
+  const auto it = top->find("traceEvents");
+  const json::Array* events =
+      it != top->end() ? it->second.array() : nullptr;
+  if (events == nullptr) {
+    return out;
+  }
+  for (const json::Value& entry : *events) {
+    if (const json::Object* ev = entry.object()) {
+      if (const auto nameIt = ev->find("name"); nameIt != ev->end()) {
+        if (const std::string* s = nameIt->second.string(); s && *s == name) {
+          out.push_back(ev);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double num(const json::Object& o, const char* key) {
+  const auto it = o.find(key);
+  if (it == o.end()) {
+    return -1;
+  }
+  const double* d = it->second.number();
+  return d != nullptr ? *d : -1;
+}
+
+std::string str(const json::Object& o, const char* key) {
+  const auto it = o.find(key);
+  if (it == o.end()) {
+    return {};
+  }
+  const std::string* s = it->second.string();
+  return s != nullptr ? *s : std::string{};
+}
+
+// ---------------------------------------------------------------------------
+// Trace rings
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RingWraparoundKeepsNewestEvents) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::size_t kWritten = 200;
+  obs::setRingCapacity(kCapacity);
+  // A fresh thread gets a fresh ring at the reduced capacity (existing rings
+  // keep their size, so the main thread's ring is unaffected).
+  std::thread writer([] {
+    obs::setThreadName("obs.wrap-test");
+    for (std::size_t i = 0; i < kWritten; ++i) {
+      obs::recordSpan("wrap.span", i * 10, 5);
+    }
+  });
+  writer.join();
+  obs::setRingCapacity(16384);  // restore the default for later tests
+
+  EXPECT_GE(obs::droppedEvents(), kWritten - kCapacity);
+
+  const json::Value root = json::parse(obs::exportChromeTrace());
+  const auto spans = eventsNamed(root, "wrap.span");
+  ASSERT_EQ(spans.size(), kCapacity);
+  // Flight-recorder semantics: the survivors are exactly the newest 64, so
+  // the earliest exported start is event (kWritten - kCapacity). ts is µs.
+  double minTs = 1e300;
+  for (const json::Object* ev : spans) {
+    minTs = std::min(minTs, num(*ev, "ts"));
+  }
+  EXPECT_DOUBLE_EQ(minTs,
+                   static_cast<double>((kWritten - kCapacity) * 10) / 1e3);
+}
+
+TEST_F(ObsTest, ConcurrentPoolWritersProduceOneRingEach) {
+  constexpr unsigned kWorkers = 8;
+  constexpr int kPerWorker = 50;
+  par::globalPool().run(kWorkers, [](unsigned) {
+    for (int k = 0; k < kPerWorker; ++k) {
+      obs::recordSpan("pool.span", obs::nowNs(), 1);
+    }
+  });
+
+  const json::Value root = json::parse(obs::exportChromeTrace());
+  const auto spans = eventsNamed(root, "pool.span");
+  ASSERT_EQ(spans.size(), kWorkers * kPerWorker);  // nothing lost or torn
+  std::set<double> tids;
+  for (const json::Object* ev : spans) {
+    tids.insert(num(*ev, "tid"));
+  }
+  EXPECT_GE(tids.size(), 2u);  // events really came from multiple threads
+}
+
+TEST_F(ObsTest, ExportIsValidChromeTraceJson) {
+  obs::recordSpan("json.span", 1000, 500);
+  obs::counterEvent("json.counter", 42.5);
+  obs::instantEvent("json.instant", 1.5, 3.0, 7);
+
+  const std::string text = obs::exportChromeTrace();
+  const json::Value root = json::parse(text);  // throws on malformed output
+  const json::Object* top = root.object();
+  ASSERT_NE(top, nullptr);
+  EXPECT_NE(top->find("traceEvents"), top->end());
+  EXPECT_NE(top->find("displayTimeUnit"), top->end());
+
+  const auto spans = eventsNamed(root, "json.span");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(str(*spans[0], "ph"), "X");
+  EXPECT_DOUBLE_EQ(num(*spans[0], "ts"), 1.0);   // 1000 ns -> 1 µs
+  EXPECT_DOUBLE_EQ(num(*spans[0], "dur"), 0.5);  // 500 ns -> 0.5 µs
+  EXPECT_DOUBLE_EQ(num(*spans[0], "pid"), 1.0);
+
+  const auto counters = eventsNamed(root, "json.counter");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(str(*counters[0], "ph"), "C");
+  const json::Object* args = counters[0]->find("args")->second.object();
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(num(*args, "value"), 42.5);
+
+  const auto instants = eventsNamed(root, "json.instant");
+  ASSERT_EQ(instants.size(), 1u);
+  EXPECT_EQ(str(*instants[0], "ph"), "i");
+  EXPECT_EQ(str(*instants[0], "s"), "t");
+  args = instants[0]->find("args")->second.object();
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(num(*args, "value"), 1.5);
+  EXPECT_DOUBLE_EQ(num(*args, "value2"), 3.0);
+  EXPECT_DOUBLE_EQ(num(*args, "aux"), 7.0);
+
+  // Thread-name metadata is present for the recording (main) thread.
+  bool foundThreadName = false;
+  for (const json::Object* ev : eventsNamed(root, "thread_name")) {
+    foundThreadName |= str(*ev, "ph") == "M";
+  }
+  EXPECT_TRUE(foundThreadName);
+}
+
+TEST_F(ObsTest, ClearTraceDropsAllEvents) {
+  obs::recordSpan("clear.span", 0, 1);
+  obs::clearTrace();
+  const json::Value root = json::parse(obs::exportChromeTrace());
+  EXPECT_TRUE(eventsNamed(root, "clear.span").empty());
+  EXPECT_EQ(obs::droppedEvents(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / histogram registry
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterIsAtomicUnderParallelFor) {
+  constexpr std::size_t kTotal = 100000;
+  obs::Counter& c = obs::Registry::instance().counter("test.atomic");
+  par::globalPool().parallelFor(8, 0, kTotal,
+                                [&](std::size_t lo, std::size_t hi) {
+                                  for (std::size_t i = lo; i < hi; ++i) {
+                                    c.add(1);
+                                  }
+                                });
+  EXPECT_EQ(c.value(), kTotal);  // no lost updates across 8 writers
+}
+
+TEST_F(ObsTest, HistogramCountsEveryConcurrentRecord) {
+  constexpr int kPerWorker = 1000;
+  constexpr unsigned kWorkers = 8;
+  obs::Histogram& h = obs::Registry::instance().histogram("test.hist");
+  par::globalPool().run(kWorkers, [&](unsigned w) {
+    for (int i = 0; i < kPerWorker; ++i) {
+      h.record(static_cast<std::uint64_t>(w) * 1000 + 1);
+    }
+  });
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kWorkers) * kPerWorker);
+  EXPECT_EQ(h.minNs(), 1u);
+  EXPECT_EQ(h.maxNs(), 7001u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferences) {
+  obs::Counter& a = obs::Registry::instance().counter("test.stable");
+  a.add(3);
+  obs::Counter& b = obs::Registry::instance().counter("test.stable");
+  EXPECT_EQ(&a, &b);  // find-or-create, never a second object
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(ObsTest, SnapshotContainsRecordedMetrics) {
+  FDD_OBS_COUNT_N("test.snap.counter", 5);
+  {
+    FDD_TIMED_SCOPE("test.snap.scope");
+  }
+  const obs::ObsSnapshot snap = obs::Registry::instance().snapshot();
+  bool counterFound = false;
+  for (const auto& c : snap.counters) {
+    counterFound |= c.name == "test.snap.counter" && c.value == 5;
+  }
+  EXPECT_TRUE(counterFound);
+  bool histFound = false;
+  for (const auto& h : snap.histograms) {
+    histFound |= h.name == "test.snap.scope" && h.count == 1;
+  }
+  EXPECT_TRUE(histFound);
+}
+
+TEST_F(ObsTest, PoolRegionsAccountBusyTimePerPhase) {
+  {
+    obs::PoolPhaseScope phase{"test.phase"};
+    par::globalPool().run(4, [](unsigned) {
+      volatile double sink = 0;
+      for (int i = 0; i < 50000; ++i) {
+        sink = sink + static_cast<double>(i);
+      }
+    });
+  }
+  const obs::ObsSnapshot snap = obs::Registry::instance().snapshot();
+  bool found = false;
+  for (const auto& p : snap.poolPhases) {
+    if (p.phase == "test.phase") {
+      found = true;
+      EXPECT_EQ(p.regions, 1u);
+      EXPECT_GE(p.busySeconds.size(), 4u);
+      EXPECT_GE(p.imbalance, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// EWMA decision log
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, EwmaDecisionLogMatchesIndependentRecompute) {
+  // Same drive as test_ewma's SuddenSpikeTriggers: 50 flat observations,
+  // then a 10x spike that must fire — and every logged tick must agree with
+  // a from-scratch Eq. 4 recompute.
+  flat::EwmaMonitor m{0.9, 2.0, 4, 16};
+  std::vector<flat::EwmaDecision> log;
+  m.attachLog(&log);
+  std::vector<std::size_t> sizes(50, 100);
+  sizes.push_back(1000);
+  bool fired = false;
+  for (const std::size_t s : sizes) {
+    fired = m.observe(s);
+  }
+  EXPECT_TRUE(fired);
+  ASSERT_EQ(log.size(), sizes.size());
+
+  double v = 0;
+  double betaPow = 1;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    v = 0.9 * v + 0.1 * static_cast<double>(sizes[i]);
+    betaPow *= 0.9;
+    const double corrected = v / (1 - betaPow);
+    EXPECT_EQ(log[i].gate, i);
+    EXPECT_EQ(log[i].ddSize, sizes[i]);
+    EXPECT_NEAR(log[i].ewma, corrected, 1e-9);
+    EXPECT_NEAR(log[i].threshold, 2.0 * corrected, 1e-9);
+    EXPECT_EQ(log[i].triggered, i == sizes.size() - 1);
+  }
+  // Bias correction: the very first tick's EWMA equals the observed size.
+  EXPECT_NEAR(log[0].ewma, 100.0, 1e-9);
+}
+
+TEST_F(ObsTest, EwmaLogRespectsWarmupAndMinSize) {
+  flat::EwmaMonitor m{0.9, 2.0, 10, 1};
+  std::vector<flat::EwmaDecision> log;
+  m.attachLog(&log);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(m.observe(1 << 20));  // warmup suppresses the trigger...
+  }
+  ASSERT_EQ(log.size(), 10u);
+  for (const auto& tick : log) {
+    EXPECT_FALSE(tick.triggered);  // ...and the log records that suppression
+  }
+}
+
+TEST_F(ObsTest, EwmaLogIsEmptyWhileObsDisabled) {
+  obs::setEnabled(false);
+  flat::EwmaMonitor m{0.9, 2.0, 4, 16};
+  std::vector<flat::EwmaDecision> log;
+  m.attachLog(&log);
+  for (int i = 0; i < 50; ++i) {
+    (void)m.observe(100);
+  }
+  EXPECT_TRUE(m.observe(1000));  // the decision itself is unaffected
+  EXPECT_TRUE(log.empty());      // but nothing was recorded
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-disabled no-op guarantees
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RuntimeDisabledRecordsNothing) {
+  obs::setEnabled(false);
+  obs::Counter& c = obs::Registry::instance().counter("test.off");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::Histogram& h = obs::Registry::instance().histogram("test.off.hist");
+  h.record(123);
+  EXPECT_EQ(h.count(), 0u);
+
+  obs::recordSpan("off.span", 0, 1);
+  obs::counterEvent("off.counter", 1);
+  obs::instantEvent("off.instant", 1);
+  {
+    FDD_TIMED_SCOPE("off.scope");
+    FDD_OBS_COUNT("off.count");
+  }
+  const json::Value root = json::parse(obs::exportChromeTrace());
+  EXPECT_TRUE(eventsNamed(root, "off.span").empty());
+  EXPECT_TRUE(eventsNamed(root, "off.counter").empty());
+  EXPECT_TRUE(eventsNamed(root, "off.instant").empty());
+  EXPECT_TRUE(eventsNamed(root, "off.scope").empty());
+}
+
+#else  // !FDD_OBS_ENABLED — the compiled-out stubs must stay inert.
+
+TEST(ObsCompiledOut, StubsAreInertAndExportIsEmpty) {
+  EXPECT_FALSE(obs::enabled());
+  obs::setEnabled(true);
+  EXPECT_FALSE(obs::enabled());  // the runtime switch has nothing to enable
+
+  obs::Counter& c = obs::Registry::instance().counter("test.off");
+  c.add(7);
+  EXPECT_EQ(c.value(), 0u);
+
+  FDD_OBS_COUNT("noop");
+  FDD_TRACE_SCOPE("noop");
+
+  const json::Value root = json::parse(obs::exportChromeTrace());
+  const json::Object* top = root.object();
+  ASSERT_NE(top, nullptr);
+  const json::Array* events = top->find("traceEvents")->second.array();
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->empty());
+}
+
+#endif  // FDD_OBS_ENABLED
+
+}  // namespace
+}  // namespace fdd

@@ -23,6 +23,9 @@
 #include "common/prng.hpp"
 #include "common/rss.hpp"
 #include "engine/simulation_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rss_sampler.hpp"
+#include "parallel/thread_pool.hpp"
 #include "qasm/parser.hpp"
 #include "simd/kernels.hpp"
 
@@ -43,9 +46,11 @@ struct CliOptions {
   std::size_t top = 8;
   bool stats = false;
   bool planCache = true;
+  bool obs = false;  // metrics without trace export
   std::string reportJson;
   std::string reportCsv;
-  std::string traceCsv;
+  std::string traceJson;  // Chrome trace-event JSON (Perfetto-loadable)
+  std::string traceCsv;   // per-gate trace as CSV
   std::string dotFile;
   std::string exportQasm;
 };
@@ -81,7 +86,14 @@ output:
   --no-plan-cache    disable the DMAV plan compiler (pre-plan recursive path)
   --report FILE      write the machine-readable run report as JSON
   --report-csv FILE  write the run report as key,value CSV
-  --trace FILE       write the per-gate trace as CSV (enables recording)
+  --trace FILE       write a Chrome trace-event JSON (open in Perfetto or
+                     chrome://tracing): spans for DD apply / conversion /
+                     plan compile / DMAV replay, per-worker busy counters,
+                     DD-size and RSS tracks, EWMA decision instants.
+                     Enables the observability runtime for the run.
+  --trace-csv FILE   write the per-gate trace as CSV (enables recording)
+  --obs              enable the observability runtime without a trace file
+                     (folds counters/histograms into --report / --stats)
   --dot FILE         write the final state DD as graphviz (dd backend)
   --export-qasm FILE write the (lowered) circuit as OpenQASM 2.0
   --list-backends    list registered backends and exit
@@ -197,6 +209,24 @@ void printStats(const engine::RunReport& report) {
   }
   std::printf("memory: ~%.1f MB accounted, %.1f MB RSS\n",
               report.memoryBytes / 1048576.0, currentRSS() / 1048576.0);
+  if (!report.metrics.empty()) {
+    std::printf("obs: %zu counters, %zu histograms", report.metrics.counters.size(),
+                report.metrics.histograms.size());
+    if (report.metrics.loadImbalance > 0) {
+      std::printf(", worst pool imbalance %.2fx", report.metrics.loadImbalance);
+    }
+    if (report.metrics.droppedTraceEvents > 0) {
+      std::printf(", %zu trace events dropped",
+                  report.metrics.droppedTraceEvents);
+    }
+    std::printf("\n");
+    for (const auto& phase : report.metrics.poolPhases) {
+      std::printf("  pool phase %-18s %zu regions, %.3f ms wall, "
+                  "imbalance %.2fx\n",
+                  phase.phase.c_str(), phase.regions, phase.wallSeconds * 1e3,
+                  phase.imbalance);
+    }
+  }
 }
 
 bool writeFile(const std::string& path, const std::string& content) {
@@ -224,13 +254,34 @@ int runCli(const CliOptions& opt) {
   eo.threads = opt.threads != 0
                    ? opt.threads
                    : std::max(1u, std::thread::hardware_concurrency());
+  if (par::globalPool().size() < eo.threads) {
+    // An explicit --threads N should actually provide N workers, even when
+    // hardware_concurrency (or FLATDD_THREADS) reports fewer; safe here —
+    // no parallel region has launched yet.
+    par::resizePool(eo.threads);
+  }
   eo.passes = opt.passes;
   eo.recordPerGate = !opt.traceCsv.empty();
   eo.usePlanCache = opt.planCache;
+  const bool tracing = !opt.traceJson.empty();
+  eo.enableObs = tracing || opt.obs;
+
+  // The RSS sampler runs for the whole simulation and is joined before the
+  // trace export (the rings require a quiescent reader).
+  obs::setThreadName("main");
+  obs::RssSampler rssSampler;
+  if (tracing) {
+    rssSampler.start();
+  }
 
   engine::SimulationEngine sim{eo};
   const engine::RunReport report = sim.run(opt.backend, circuit);
+  rssSampler.stop();
   engine::Backend& backend = sim.backend();
+
+  if (tracing && !writeFile(opt.traceJson, obs::exportChromeTrace())) {
+    return 1;
+  }
 
   printTopOutcomes(backend.stateVector(), n, opt.top);
   if (opt.shots > 0) {
@@ -354,7 +405,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--report-csv") {
       opt.reportCsv = need(i);
     } else if (arg == "--trace") {
+      opt.traceJson = need(i);
+    } else if (arg == "--trace-csv") {
       opt.traceCsv = need(i);
+    } else if (arg == "--obs") {
+      opt.obs = true;
     } else if (arg == "--dot") {
       opt.dotFile = need(i);
     } else if (arg == "--export-qasm") {

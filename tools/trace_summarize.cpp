@@ -1,0 +1,246 @@
+// trace_summarize — offline reader for the Chrome trace-event JSON written
+// by `flatdd --trace out.json` (src/obs/trace.hpp). Prints per-span
+// aggregates (count, total, mean, p99), counter-track ranges, instants and
+// per-thread event counts, so a trace is inspectable without a browser.
+// Exits nonzero on malformed traces, which makes it double as the CI
+// validator for the --trace artifact.
+//
+//   trace_summarize trace.json
+//   trace_summarize --sort count --top 10 trace.json
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace {
+
+using fdd::json::Array;
+using fdd::json::Object;
+using fdd::json::Value;
+
+struct SpanAgg {
+  std::size_t count = 0;
+  double totalUs = 0;
+  std::vector<double> durationsUs;  // for exact quantiles
+  std::map<double, std::size_t> perTid;
+};
+
+struct CounterAgg {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double last = 0;
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+double numberField(const Object& o, const char* key) {
+  if (const auto it = o.find(key); it != o.end()) {
+    if (const double* d = it->second.number()) {
+      return *d;
+    }
+  }
+  return 0;
+}
+
+std::string stringField(const Object& o, const char* key) {
+  if (const auto it = o.find(key); it != o.end()) {
+    if (const std::string* s = it->second.string()) {
+      return *s;
+    }
+  }
+  return {};
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_summarize [--sort total|count|mean|p99] "
+               "[--top N] trace.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string sortKey = "total";
+  std::size_t top = 0;  // 0 = all
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sort" && i + 1 < argc) {
+      sortKey = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    return usage();
+  }
+
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Value root;
+  try {
+    root = fdd::json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const Object* topObj = root.object();
+  if (topObj == nullptr) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return 1;
+  }
+  const auto eventsIt = topObj->find("traceEvents");
+  const Array* events =
+      eventsIt != topObj->end() ? eventsIt->second.array() : nullptr;
+  if (events == nullptr) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, SpanAgg> spans;
+  std::map<std::string, CounterAgg> counters;
+  std::map<std::string, std::size_t> instants;
+  std::map<double, std::string> threadNames;
+  std::map<double, std::size_t> perThreadEvents;
+
+  for (const Value& entry : *events) {
+    const Object* ev = entry.object();
+    if (ev == nullptr) {
+      std::fprintf(stderr, "%s: non-object trace event\n", path.c_str());
+      return 1;
+    }
+    const std::string ph = stringField(*ev, "ph");
+    const std::string name = stringField(*ev, "name");
+    const double tid = numberField(*ev, "tid");
+    if (ph == "M") {
+      if (name == "thread_name") {
+        if (const auto it = ev->find("args"); it != ev->end()) {
+          if (const Object* args = it->second.object()) {
+            threadNames[tid] = stringField(*args, "name");
+          }
+        }
+      }
+      continue;
+    }
+    ++perThreadEvents[tid];
+    if (ph == "X") {
+      SpanAgg& agg = spans[name];
+      const double dur = numberField(*ev, "dur");
+      ++agg.count;
+      agg.totalUs += dur;
+      agg.durationsUs.push_back(dur);
+      ++agg.perTid[tid];
+    } else if (ph == "C") {
+      CounterAgg& agg = counters[name];
+      double value = 0;
+      if (const auto it = ev->find("args"); it != ev->end()) {
+        if (const Object* args = it->second.object()) {
+          value = numberField(*args, "value");
+        }
+      }
+      if (agg.count == 0) {
+        agg.min = agg.max = value;
+      }
+      agg.min = std::min(agg.min, value);
+      agg.max = std::max(agg.max, value);
+      agg.last = value;
+      ++agg.count;
+    } else if (ph == "i") {
+      ++instants[name];
+    }
+  }
+
+  struct Row {
+    std::string name;
+    std::size_t count;
+    double totalUs;
+    double meanUs;
+    double p99Us;
+    std::size_t tids;
+  };
+  std::vector<Row> rows;
+  rows.reserve(spans.size());
+  for (auto& [name, agg] : spans) {
+    std::sort(agg.durationsUs.begin(), agg.durationsUs.end());
+    rows.push_back(Row{name, agg.count, agg.totalUs,
+                       agg.totalUs / static_cast<double>(agg.count),
+                       quantile(agg.durationsUs, 0.99), agg.perTid.size()});
+  }
+  std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    if (sortKey == "count") return a.count > b.count;
+    if (sortKey == "mean") return a.meanUs > b.meanUs;
+    if (sortKey == "p99") return a.p99Us > b.p99Us;
+    return a.totalUs > b.totalUs;
+  });
+
+  std::printf("%s: %zu events, %zu span kinds, %zu counter tracks, "
+              "%zu threads\n",
+              path.c_str(), events->size(), spans.size(), counters.size(),
+              perThreadEvents.size());
+
+  if (!rows.empty()) {
+    std::printf("\n%-24s %10s %12s %12s %12s %5s\n", "span", "count",
+                "total_ms", "mean_us", "p99_us", "tids");
+    std::size_t printed = 0;
+    for (const Row& r : rows) {
+      if (top != 0 && printed++ >= top) {
+        break;
+      }
+      std::printf("%-24s %10zu %12.3f %12.3f %12.3f %5zu\n", r.name.c_str(),
+                  r.count, r.totalUs / 1e3, r.meanUs, r.p99Us, r.tids);
+    }
+  }
+  if (!counters.empty()) {
+    std::printf("\n%-24s %10s %14s %14s %14s\n", "counter", "points", "min",
+                "max", "last");
+    for (const auto& [name, agg] : counters) {
+      std::printf("%-24s %10zu %14.3f %14.3f %14.3f\n", name.c_str(),
+                  agg.count, agg.min, agg.max, agg.last);
+    }
+  }
+  if (!instants.empty()) {
+    std::printf("\n%-24s %10s\n", "instant", "count");
+    for (const auto& [name, count] : instants) {
+      std::printf("%-24s %10zu\n", name.c_str(), count);
+    }
+  }
+  std::printf("\n%-24s %10s\n", "thread", "events");
+  for (const auto& [tid, count] : perThreadEvents) {
+    const auto nameIt = threadNames.find(tid);
+    std::printf("%-24s %10zu\n",
+                nameIt != threadNames.end()
+                    ? nameIt->second.c_str()
+                    : ("tid " + std::to_string(static_cast<long>(tid))).c_str(),
+                count);
+  }
+  return 0;
+}
