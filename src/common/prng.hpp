@@ -2,6 +2,7 @@
 // Deterministic, seedable PRNGs. Benchmark workloads must be reproducible
 // across runs, so we do not use std::random_device anywhere.
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -65,6 +66,18 @@ class Xoshiro256 {
 
   /// Uniform integer in [0, n).
   std::uint64_t below(std::uint64_t n) noexcept { return (*this)() % n; }
+
+  /// Raw generator state, for checkpoint/restore of a live stream. A
+  /// restored state resumes the exact sequence — required for session
+  /// checkpointing (restoring state + RNG must replay identically).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void setState(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) {
+      s_[i] = s[i];
+    }
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

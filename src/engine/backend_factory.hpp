@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +17,10 @@
 
 namespace fdd::engine {
 
+/// All members are thread-safe: the registry map is guarded by a mutex so
+/// concurrent session creation (service jobs calling create() while another
+/// translation unit registers an out-of-tree backend) cannot race. Creators
+/// run outside the lock — a slow constructor never blocks other lookups.
 class BackendFactory {
  public:
   using Creator =
@@ -48,6 +53,7 @@ class BackendFactory {
     std::string description;
     Creator creator;
   };
+  mutable std::mutex mutex_;  // guards entries_
   std::map<std::string, Entry, std::less<>> entries_;
 };
 

@@ -270,32 +270,42 @@ BackendFactory::BackendFactory() {
 
 void BackendFactory::registerBackend(std::string name, std::string description,
                                      Creator creator) {
+  const std::lock_guard lock{mutex_};
   entries_[std::move(name)] =
       Entry{std::move(description), std::move(creator)};
 }
 
 std::unique_ptr<Backend> BackendFactory::create(
     std::string_view name, Qubit nQubits, const EngineOptions& options) const {
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    std::string msg = "unknown backend: ";
-    msg += name;
-    msg += " (registered:";
-    for (const auto& [key, entry] : entries_) {
-      msg += ' ';
-      msg += key;
+  // Copy the creator out so backend construction (which may allocate a full
+  // state vector) runs without the registry lock.
+  Creator creator;
+  {
+    const std::lock_guard lock{mutex_};
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string msg = "unknown backend: ";
+      msg += name;
+      msg += " (registered:";
+      for (const auto& [key, entry] : entries_) {
+        msg += ' ';
+        msg += key;
+      }
+      msg += ')';
+      throw std::invalid_argument(msg);
     }
-    msg += ')';
-    throw std::invalid_argument(msg);
+    creator = it->second.creator;
   }
-  return it->second.creator(nQubits, options);
+  return creator(nQubits, options);
 }
 
 bool BackendFactory::contains(std::string_view name) const {
+  const std::lock_guard lock{mutex_};
   return entries_.find(name) != entries_.end();
 }
 
 std::vector<std::string> BackendFactory::registeredNames() const {
+  const std::lock_guard lock{mutex_};
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
@@ -305,6 +315,7 @@ std::vector<std::string> BackendFactory::registeredNames() const {
 }
 
 std::string BackendFactory::describe(std::string_view name) const {
+  const std::lock_guard lock{mutex_};
   const auto it = entries_.find(name);
   return it == entries_.end() ? std::string{} : it->second.description;
 }

@@ -27,6 +27,10 @@ struct EngineOptions {
   Index parallelThresholdDim = kParallelThresholdDim;
   /// DD package complex-table tolerance (node-merging epsilon).
   fp tolerance = 1e-10;
+  /// Seed stamped into the RunReport and used to derive every PRNG tied to
+  /// this run (service sessions derive their sampling stream from it), so
+  /// sampled shots are reproducible per run/session.
+  std::uint64_t seed = 0;
 
   // ---- EWMA conversion trigger (flatdd backend) -------------------------
   fp ewmaBeta = 0.9;
@@ -45,6 +49,11 @@ struct EngineOptions {
   /// selects the pre-plan recursive path (for ablation benchmarks).
   bool usePlanCache = true;
   std::size_t planCacheCapacity = 64;
+  /// When set, the flatdd backend compiles/replays through this externally
+  /// owned PlanCache instead of a private one — the service shares one cache
+  /// (and one capacity budget) across all sessions. Must outlive the
+  /// backend; see plan_cache.hpp for the sharing contract.
+  flat::PlanCache* sharedPlanCache = nullptr;
 
   // ---- reporting --------------------------------------------------------
   /// Record a per-gate (index, phase, seconds, DD size) trace in the
@@ -84,6 +93,7 @@ struct EngineOptions {
     o.forceConversionAtGate = forceConversionAtGate;
     o.usePlanCache = usePlanCache;
     o.planCacheCapacity = planCacheCapacity;
+    o.sharedPlanCache = sharedPlanCache;
     // The fusion stage is declared as a pipeline pass; the last fusion-*
     // entry wins (they configure the same conversion-point stage).
     o.fusion = flat::FusionMode::None;

@@ -1,5 +1,6 @@
 #include "engine/run_report.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/json.hpp"
@@ -40,6 +41,24 @@ void get(const JsonObject& o, std::string_view key, std::size_t& out) {
   double d = static_cast<double>(out);
   get(o, key, d);
   out = static_cast<std::size_t>(d);
+}
+// 64-bit values that must round-trip exactly travel as decimal strings (a
+// JSON double only holds 53 mantissa bits); a plain number is accepted too
+// for hand-edited reports.
+void getU64(const JsonObject& o, std::string_view key, std::uint64_t& out) {
+  const auto it = o.find(key);
+  if (it == o.end()) {
+    return;
+  }
+  if (const auto* s = it->second.string()) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(s->c_str(), &end, 10);
+    if (end != s->c_str() && *end == '\0') {
+      out = parsed;
+    }
+  } else if (const auto* d = it->second.number()) {
+    out = static_cast<std::uint64_t>(*d);
+  }
 }
 void get(const JsonObject& o, std::string_view key, unsigned& out) {
   double d = out;
@@ -217,6 +236,7 @@ std::string RunReport::toJson() const {
   w.field("gates", gates);
   w.field("depth", depth);
   w.field("threads", threads);
+  w.field("seed", std::to_string(seed));
   w.field("simdTier", simdTier);
   w.field("simdLanes", simdLanes);
 
@@ -313,6 +333,7 @@ RunReport RunReport::fromJson(std::string_view text) {
   get(*top, "gates", r.gates);
   get(*top, "depth", r.depth);
   get(*top, "threads", r.threads);
+  getU64(*top, "seed", r.seed);
   get(*top, "simdTier", r.simdTier);
   get(*top, "simdLanes", r.simdLanes);
 
@@ -417,6 +438,7 @@ std::string RunReport::toCsv() const {
   row("gates", std::to_string(gates));
   row("depth", std::to_string(depth));
   row("threads", std::to_string(threads));
+  row("seed", std::to_string(seed));
   row("simd_tier", simdTier);
   row("simd_lanes", std::to_string(simdLanes));
   row("total_seconds", numberToString(totalSeconds));

@@ -116,6 +116,11 @@ struct RunReport {
   std::size_t gates = 0;  // gates simulated (after the pass pipeline)
   std::size_t depth = 0;
   unsigned threads = 1;
+  /// PRNG seed of the run/session (EngineOptions::seed): every sampling
+  /// stream derives from it, so the report pins down reproducibility.
+  /// Serialized as a decimal string in JSON — 64-bit seeds don't fit a
+  /// double exactly.
+  std::uint64_t seed = 0;
   std::string simdTier;      // kernel dispatch tier: "avx2" or "scalar"
   unsigned simdLanes = 1;    // Eq. 6's d — doubles per vector instruction
 

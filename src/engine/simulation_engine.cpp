@@ -15,14 +15,6 @@ SimulationEngine::SimulationEngine(EngineOptions options)
 
 RunReport SimulationEngine::run(const std::string& backendName,
                                 const qc::Circuit& circuit) {
-  RunReport report;
-  report.backend = backendName;
-  report.circuit = circuit.name();
-  report.qubits = circuit.numQubits();
-  report.threads = options_.threads;
-  report.simdTier = simd::toString(simd::activeTier());
-  report.simdLanes = simd::lanes();
-
   // Each run starts its observability window from zero so the snapshot
   // reflects this run only; the caller owns trace export (and may keep
   // obs enabled across runs by setting it before — enableObs only turns
@@ -34,28 +26,57 @@ RunReport SimulationEngine::run(const std::string& backendName,
   }
 
   Stopwatch total;
+  begin(backendName, circuit.numQubits());
+  cumulative_.circuit = circuit.name();
+  apply(circuit);
+  cumulative_.totalSeconds = total.seconds();
+  return report();
+}
+
+void SimulationEngine::begin(const std::string& backendName, Qubit nQubits) {
+  if (options_.enableObs) {
+    obs::setEnabled(true);
+  }
+  cumulative_ = RunReport{};
+  cumulative_.backend = backendName;
+  cumulative_.qubits = nQubits;
+  cumulative_.threads = options_.threads;
+  cumulative_.seed = options_.seed;
+  cumulative_.simdTier = simd::toString(simd::activeTier());
+  cumulative_.simdLanes = simd::lanes();
+  backend_ = BackendFactory::instance().create(backendName, nQubits, options_);
+}
+
+std::size_t SimulationEngine::apply(const qc::Circuit& chunk) {
+  if (backend_ == nullptr) {
+    throw std::logic_error("SimulationEngine::apply: no begin()/run() yet");
+  }
+  Stopwatch total;
 
   Stopwatch pipeline;
-  const qc::Circuit prepared = PassPipeline::run(circuit, options_, report);
-  report.pipelineSeconds = pipeline.seconds();
-  report.gates = prepared.numGates();
-  report.depth = prepared.depth();
-
-  backend_ = BackendFactory::instance().create(backendName,
-                                               prepared.numQubits(), options_);
+  const qc::Circuit prepared = PassPipeline::run(chunk, options_, cumulative_);
+  cumulative_.pipelineSeconds += pipeline.seconds();
+  cumulative_.gates += prepared.numGates();
+  cumulative_.depth += prepared.depth();
 
   Stopwatch simulate;
   backend_->simulate(prepared);
-  report.simulateSeconds = simulate.seconds();
-  report.totalSeconds = total.seconds();
+  cumulative_.simulateSeconds += simulate.seconds();
+  cumulative_.totalSeconds += total.seconds();
+  return prepared.numGates();
+}
 
-  backend_->fillReport(report);
-  report.memoryBytes = backend_->memoryBytes();
-  report.peakRssBytes = peakRSS();
-  if (obs::enabled()) {
-    report.metrics = metricsFromSnapshot(obs::Registry::instance().snapshot());
+RunReport SimulationEngine::report() const {
+  RunReport out = cumulative_;
+  if (backend_ != nullptr) {
+    backend_->fillReport(out);
+    out.memoryBytes = backend_->memoryBytes();
   }
-  return report;
+  out.peakRssBytes = peakRSS();
+  if (obs::enabled()) {
+    out.metrics = metricsFromSnapshot(obs::Registry::instance().snapshot());
+  }
+  return out;
 }
 
 Backend& SimulationEngine::backend() {

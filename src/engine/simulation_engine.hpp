@@ -1,9 +1,20 @@
 #pragma once
-// The unified simulation engine: one call runs the circuit-preparation pass
-// pipeline, instantiates the requested backend through the factory,
-// simulates, and returns a normalized machine-readable RunReport. The
-// backend stays alive after run() for amplitude queries, sampling and state
-// readout, so front ends never touch a concrete simulator class.
+// The unified simulation engine. Two modes share one backend instance:
+//
+//   * One-shot: run() prepares a circuit through the pass pipeline,
+//     instantiates the backend, simulates, and returns a RunReport — the
+//     original CLI/bench entry point.
+//   * Incremental (service sessions): begin() creates the backend on |0..0>
+//     with no circuit; apply() streams a gate batch through the pass
+//     pipeline into the backend, any number of times, accumulating phase
+//     timings; report() snapshots the cumulative RunReport at any point.
+//     This is what lets a session apply more gates across requests instead
+//     of rebuilding state per call.
+//
+// In both modes the backend stays alive afterwards for amplitude queries,
+// sampling and state readout, so front ends never touch a concrete
+// simulator class. Circuit-rewriting passes ("optimize") see one batch at a
+// time in incremental mode — cross-batch peephole windows are not fused.
 
 #include <memory>
 #include <string>
@@ -28,10 +39,36 @@ class SimulationEngine {
   /// Prepares `circuit` through the pass pipeline, creates backend
   /// `backendName` via the BackendFactory, simulates, and returns the
   /// report. Throws std::invalid_argument on unknown backend/pass names.
+  /// Equivalent to begin() + apply() + report() with an obs-registry reset
+  /// first (one-shot runs own the whole observability window).
   RunReport run(const std::string& backendName, const qc::Circuit& circuit);
 
-  /// The backend of the most recent run(); throws std::logic_error before
-  /// the first run.
+  /// Starts an incremental session: creates backend `backendName` on
+  /// |0...0> with `nQubits` qubits and resets the cumulative report.
+  /// Unlike run(), the shared obs registry is left untouched — concurrent
+  /// sessions share one observability window owned by the service.
+  void begin(const std::string& backendName, Qubit nQubits);
+
+  /// Applies one gate batch from the current state: runs the pass pipeline
+  /// on `chunk`, streams it into the backend via Backend::simulate (so
+  /// batch-only stages like conversion-point fusion still apply within the
+  /// batch), and folds timings/pass records into the cumulative report.
+  /// Returns the number of gates applied after the pipeline. Requires
+  /// begin() (or a prior run()) — throws std::logic_error otherwise.
+  std::size_t apply(const qc::Circuit& chunk);
+
+  /// Snapshot of the cumulative report: identity + accumulated timings plus
+  /// the backend's current counters and memory accounting. Cheap enough to
+  /// call per request; does not touch the obs registry unless enableObs.
+  [[nodiscard]] RunReport report() const;
+
+  /// Total gates applied since begin() (post-pipeline count).
+  [[nodiscard]] std::size_t gatesApplied() const noexcept {
+    return cumulative_.gates;
+  }
+
+  /// The backend of the most recent run()/begin(); throws std::logic_error
+  /// before the first one.
   [[nodiscard]] Backend& backend();
   [[nodiscard]] const Backend& backend() const;
   [[nodiscard]] bool hasBackend() const noexcept {
@@ -41,6 +78,7 @@ class SimulationEngine {
  private:
   EngineOptions options_;
   std::unique_ptr<Backend> backend_;
+  RunReport cumulative_;  // identity + accumulated timings across apply()s
 };
 
 /// Convenience wrapper: one-shot run, discarding the backend afterwards.

@@ -18,13 +18,31 @@ FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
       ddSim_{nQubits, options.tolerance},
       ewma_{options.beta, options.epsilon, options.warmupGates,
             options.minDDSize},
-      planCache_{options.usePlanCache ? options.planCacheCapacity : 0} {
+      planCache_{options.sharedPlanCache != nullptr
+                     ? 0
+                     : (options.usePlanCache ? options.planCacheCapacity : 0)},
+      cache_{options.sharedPlanCache != nullptr ? options.sharedPlanCache
+                                                : &planCache_} {
   // stats_ is a member, so the log vector's address is stable across reset()
   // (which assigns a fresh FlatDDStats into the same object).
   ewma_.attachLog(&stats_.ewmaLog);
 }
 
+FlatDDSimulator::~FlatDDSimulator() {
+  if (options_.sharedPlanCache != nullptr) {
+    // Unpin this package's cached roots from the shared cache before the
+    // package dies; other sessions' entries stay.
+    options_.sharedPlanCache->clearPackage(ddSim_.package());
+  }
+}
+
 void FlatDDSimulator::reset() {
+  if (options_.sharedPlanCache != nullptr) {
+    // reset() recycles mNodes wholesale, so every plan keyed on this package
+    // is about to go stale — drop them (other sessions' plans are untouched,
+    // as are the shared stats).
+    options_.sharedPlanCache->clearPackage(ddSim_.package());
+  }
   ddSim_.reset();
   ewma_.reset();
   flatPhase_ = false;
@@ -182,22 +200,29 @@ void FlatDDSimulator::applyDmav(const dd::mEdge& gate) {
   stats_.dmavModelCost += dmavCost(gate, nQubits_, threads, simd::lanes());
   if (options_.usePlanCache) {
     const PlanMode mode = useCache ? PlanMode::Cached : PlanMode::Row;
-    const DmavPlan& plan =
-        planCache_.get(ddSim_.package(), gate, nQubits_, threads, mode);
+    // getShared keeps the plan alive even if a concurrent session's miss
+    // evicts this entry from a shared cache mid-replay. Stats are tracked
+    // per simulator via wasHit — shared-cache totals aggregate all sessions
+    // and would misattribute.
+    bool wasHit = false;
+    const std::shared_ptr<const DmavPlan> plan = cache_->getShared(
+        ddSim_.package(), gate, nQubits_, threads, mode, &wasHit);
+    if (wasHit) {
+      ++stats_.planCacheHits;
+    } else {
+      ++stats_.planCacheMisses;
+      ++stats_.planCompiles;
+      stats_.planCompileSeconds += plan->compileSeconds;
+    }
     Stopwatch replayClock;
     if (useCache) {
-      const DmavCacheStats s = replayPlanCached(plan, v_, w_, workspace_);
+      const DmavCacheStats s = replayPlanCached(*plan, v_, w_, workspace_);
       ++stats_.cachedGates;
       stats_.cacheHits += s.cacheHits;
     } else {
-      replayPlan(plan, v_, w_);
+      replayPlan(*plan, v_, w_);
     }
     stats_.dmavReplaySeconds += replayClock.seconds();
-    const PlanCacheStats& pc = planCache_.stats();
-    stats_.planCacheHits = pc.hits;
-    stats_.planCacheMisses = pc.misses;
-    stats_.planCompiles = pc.compiles;
-    stats_.planCompileSeconds = pc.compileSeconds;
   } else if (useCache) {
     const DmavCacheStats s =
         dmavCachedRecursive(gate, nQubits_, v_, w_, threads, workspace_);

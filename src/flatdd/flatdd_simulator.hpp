@@ -49,6 +49,13 @@ struct FlatDDOptions {
   /// (Alg. 1/2 verbatim), kept for ablation benchmarks.
   bool usePlanCache = true;
   std::size_t planCacheCapacity = 64;
+  /// When non-null, compiled plans go through this externally owned cache
+  /// instead of the simulator's private one (the service shares one LRU
+  /// budget across all sessions; see plan_cache.hpp for the sharing
+  /// contract). planCacheCapacity is ignored; the owner sizes the cache.
+  /// Outlives the simulator — the destructor only clears its own package's
+  /// entries out of it.
+  PlanCache* sharedPlanCache = nullptr;
 };
 
 struct PerGateRecord {
@@ -89,6 +96,10 @@ struct FlatDDStats {
 class FlatDDSimulator {
  public:
   explicit FlatDDSimulator(Qubit nQubits, FlatDDOptions options = {});
+  ~FlatDDSimulator();
+
+  FlatDDSimulator(const FlatDDSimulator&) = delete;
+  FlatDDSimulator& operator=(const FlatDDSimulator&) = delete;
 
   [[nodiscard]] Qubit numQubits() const noexcept { return nQubits_; }
   [[nodiscard]] const FlatDDOptions& options() const noexcept {
@@ -144,6 +155,7 @@ class FlatDDSimulator {
   // Declared after ddSim_ so it is destroyed (unpinning cached gate roots)
   // before the DD package it references.
   PlanCache planCache_;
+  PlanCache* cache_;  // &planCache_ or options_.sharedPlanCache
 
   FlatDDStats stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <utility>
 
 #include "dd/package.hpp"
 #include "obs/metrics.hpp"
@@ -29,9 +30,9 @@ std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
   return seed;
 }
 
-const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
-                               Qubit nQubits, unsigned threads,
-                               PlanMode mode) {
+std::shared_ptr<const DmavPlan> PlanCache::getShared(
+    dd::Package& pkg, const dd::mEdge& m, Qubit nQubits, unsigned threads,
+    PlanMode mode, bool* wasHit) {
   Key key;
   key.pkg = &pkg;
   key.root = m.n;
@@ -42,25 +43,48 @@ const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
   key.mode = mode;
   key.identFast = identFastPathEnabled();
 
+  const std::lock_guard lock{mutex_};
+  // The caller is the thread serialized on `pkg`, so deferred unpins of
+  // this package's roots (parked by other sessions' evictions) are safe to
+  // release here.
+  drainParkedLocked(&pkg);
+
   if (capacity_ == 0) {
     ++stats_.misses;
     ++stats_.compiles;
     FDD_OBS_COUNT("planCache.misses");
     FDD_OBS_COUNT("planCache.compiles");
-    scratch_ = compileDmavPlan(m, nQubits, threads, mode, &pkg);
-    stats_.compileSeconds += scratch_.compileSeconds;
-    return scratch_;
+    auto plan = std::make_shared<DmavPlan>(
+        compileDmavPlan(m, nQubits, threads, mode, &pkg));
+    stats_.compileSeconds += plan->compileSeconds;
+    if (wasHit != nullptr) {
+      *wasHit = false;
+    }
+    return plan;
   }
 
   if (const auto it = index_.find(key); it != index_.end()) {
-    // Pinned roots cannot be recycled, so a pointer match is a true match;
-    // the generation check below is a defensive assert, not a correctness
-    // requirement (see the header comment).
-    assert(it->second->plan.root == m.n);
-    ++stats_.hits;
-    FDD_OBS_COUNT("planCache.hits");
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->plan;
+    // Pinned roots cannot be *recycled*, so a pointer match is normally a
+    // true match — but a package reset drops nodes wholesale regardless of
+    // pins. The generation re-check catches that: stale entries are evicted
+    // and recompiled instead of replayed.
+    if (!it->second->plan->validFor(pkg)) {
+      ++stats_.staleHits;
+      FDD_OBS_COUNT("planCache.staleHits");
+      Entry victim = std::move(*it->second);
+      lru_.erase(it->second);
+      index_.erase(it);
+      unpinOrPark(victim, &pkg);
+    } else {
+      assert(it->second->plan->root == m.n);
+      ++stats_.hits;
+      FDD_OBS_COUNT("planCache.hits");
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (wasHit != nullptr) {
+        *wasHit = true;
+      }
+      return it->second->plan;
+    }
   }
 
   ++stats_.misses;
@@ -68,48 +92,128 @@ const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
   FDD_OBS_COUNT("planCache.misses");
   FDD_OBS_COUNT("planCache.compiles");
   while (index_.size() >= capacity_) {
-    evictOldest();
+    evictOldestLocked(&pkg);
   }
   Entry entry;
   entry.key = key;
-  entry.plan = compileDmavPlan(m, nQubits, threads, mode, &pkg);
+  entry.plan = std::make_shared<DmavPlan>(
+      compileDmavPlan(m, nQubits, threads, mode, &pkg));
   entry.pkg = &pkg;
-  stats_.compileSeconds += entry.plan.compileSeconds;
+  stats_.compileSeconds += entry.plan->compileSeconds;
   // Pin the root so the package cannot recycle any node of this gate DD
   // while the plan is cached (children are kept alive transitively by their
   // parents' reference counts).
   pkg.incRef(m);
   lru_.push_front(std::move(entry));
   index_.emplace(key, lru_.begin());
+  if (wasHit != nullptr) {
+    *wasHit = false;
+  }
   return lru_.front().plan;
 }
 
-void PlanCache::evictOldest() {
+const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
+                               Qubit nQubits, unsigned threads,
+                               PlanMode mode) {
+  std::shared_ptr<const DmavPlan> plan =
+      getShared(pkg, m, nQubits, threads, mode);
+  const std::lock_guard lock{mutex_};
+  holder_ = std::move(plan);
+  return *holder_;
+}
+
+void PlanCache::unpinOrPark(Entry& victim, const dd::Package* caller) {
+  const dd::mEdge root{const_cast<dd::mNode*>(victim.plan->root),
+                       victim.plan->rootWeight};
+  if (victim.pkg == caller) {
+    // Unpinning our own package is safe: the caller is the thread
+    // serialized on it.
+    victim.pkg->decRef(root);
+  } else {
+    // Another session owns this package; mutating its reference counts here
+    // would race that session's DD phase. Park the pin until the owner's
+    // next getShared()/clearPackage().
+    parked_[victim.pkg].push_back(ParkedPin{victim.pkg, root.n, root.w});
+  }
+}
+
+void PlanCache::drainParkedLocked(const dd::Package* pkg) {
+  const auto it = parked_.find(pkg);
+  if (it == parked_.end()) {
+    return;
+  }
+  for (const ParkedPin& pin : it->second) {
+    pin.pkg->decRef(dd::mEdge{const_cast<dd::mNode*>(pin.root), pin.weight});
+  }
+  parked_.erase(it);
+}
+
+void PlanCache::evictOldestLocked(const dd::Package* caller) {
   if (lru_.empty()) {
     return;
   }
-  Entry& victim = lru_.back();
-  victim.pkg->decRef(dd::mEdge{const_cast<dd::mNode*>(victim.plan.root),
-                               victim.plan.rootWeight});
+  Entry victim = std::move(lru_.back());
   index_.erase(victim.key);
   lru_.pop_back();
   ++stats_.evictions;
   FDD_OBS_COUNT("planCache.evictions");
+  unpinOrPark(victim, caller);
+}
+
+void PlanCache::clearPackage(dd::Package& pkg) {
+  const std::lock_guard lock{mutex_};
+  drainParkedLocked(&pkg);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->pkg == &pkg) {
+      pkg.decRef(dd::mEdge{const_cast<dd::mNode*>(it->plan->root),
+                           it->plan->rootWeight});
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  holder_.reset();
 }
 
 void PlanCache::clear() {
+  const std::lock_guard lock{mutex_};
   for (Entry& entry : lru_) {
-    entry.pkg->decRef(dd::mEdge{const_cast<dd::mNode*>(entry.plan.root),
-                                entry.plan.rootWeight});
+    entry.pkg->decRef(dd::mEdge{const_cast<dd::mNode*>(entry.plan->root),
+                                entry.plan->rootWeight});
   }
   lru_.clear();
   index_.clear();
+  for (auto& [pkg, pins] : parked_) {
+    for (const ParkedPin& pin : pins) {
+      pin.pkg->decRef(
+          dd::mEdge{const_cast<dd::mNode*>(pin.root), pin.weight});
+    }
+  }
+  parked_.clear();
+  holder_.reset();
 }
 
-std::size_t PlanCache::memoryBytes() const noexcept {
+std::size_t PlanCache::size() const {
+  const std::lock_guard lock{mutex_};
+  return index_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard lock{mutex_};
+  return stats_;
+}
+
+void PlanCache::resetStats() {
+  const std::lock_guard lock{mutex_};
+  stats_ = PlanCacheStats{};
+}
+
+std::size_t PlanCache::memoryBytes() const {
+  const std::lock_guard lock{mutex_};
   std::size_t bytes = 0;
   for (const Entry& entry : lru_) {
-    bytes += entry.plan.memoryBytes() + sizeof(Entry);
+    bytes += entry.plan->memoryBytes() + sizeof(Entry);
   }
   return bytes;
 }

@@ -14,12 +14,33 @@
 // Package::incRef on insertion (and decRef on eviction). Pinned nodes are
 // ineligible for collection, which keeps pointer keys unambiguous without
 // consulting Package::mNodeGeneration() on every lookup. The generation
-// counter still matters for plans held *outside* the cache (see
-// DmavPlan::validFor) and is re-checked defensively on hits.
+// counter is still re-checked defensively on hits: a stale entry (package
+// reset under the cache, which recycles nodes wholesale despite pins) is
+// dropped and recompiled instead of replayed.
+//
+// Sharing across sessions: one PlanCache may be shared by many simulator
+// instances (the service's SessionManager shares one capacity budget across
+// all sessions). All members are mutex-guarded, plans are handed out as
+// shared_ptr so an eviction racing a replay cannot free a live plan, and
+// unpinning a root of a *different* package is deferred: the evicting
+// session must not mutate another session's reference counts concurrently
+// with that session's own DD operations, so the (root, weight) pin is
+// parked per package and released by the next getShared()/clearPackage()
+// call made for that package — which the owning session's (serialized) jobs
+// issue. Call clearPackage() before a package dies or resets; a session that
+// stops calling get keeps at most its own evicted pins parked until then.
+//
+// Cross-package plan reuse is structural future work: keys embed the owning
+// package, so two sessions applying the same gate still compile twice —
+// what sharing buys today is one LRU budget, one stats stream, and safe
+// concurrent access.
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "flatdd/dmav_plan.hpp"
 
@@ -30,6 +51,7 @@ struct PlanCacheStats {
   std::size_t misses = 0;
   std::size_t compiles = 0;    // misses that led to an insert
   std::size_t evictions = 0;
+  std::size_t staleHits = 0;   // generation-guard rejections (recompiled)
   double compileSeconds = 0;   // total time spent compiling plans
 };
 
@@ -44,22 +66,39 @@ class PlanCache {
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// Returns the plan for gate `m` at (nQubits, threads, mode), compiling
-  /// and caching it on a miss. The returned reference stays valid until the
-  /// next get()/clear() (eviction). `pkg` must own `m`'s nodes.
+  /// and caching it on a miss. The shared_ptr keeps the plan alive across
+  /// concurrent evictions. `pkg` must own `m`'s nodes, and all calls for
+  /// one package must come from the thread currently serialized on that
+  /// package (the owning session's job). `wasHit`, when non-null, receives
+  /// whether this call was served from cache — callers that keep their own
+  /// per-session stats use it instead of the shared stats() totals.
+  [[nodiscard]] std::shared_ptr<const DmavPlan> getShared(
+      dd::Package& pkg, const dd::mEdge& m, Qubit nQubits, unsigned threads,
+      PlanMode mode, bool* wasHit = nullptr);
+
+  /// Single-owner convenience: getShared() with the reference kept alive
+  /// until the next get()/clear() on this thread-unsafe-to-alias handle.
+  /// Prefer getShared() whenever the cache is shared.
   const DmavPlan& get(dd::Package& pkg, const dd::mEdge& m, Qubit nQubits,
                       unsigned threads, PlanMode mode);
 
-  /// Drops all plans and unpins their roots. Call before the owning package
-  /// is destroyed or reset.
+  /// Drops (and unpins) every entry belonging to `pkg`, including parked
+  /// deferred unpins. Must be called from the thread serialized on `pkg`
+  /// (its session's job or teardown) before the package resets or dies.
+  void clearPackage(dd::Package& pkg);
+
+  /// Drops all plans and unpins their roots across every package. Requires
+  /// external quiescence (no concurrent session touching any referenced
+  /// package) — single-owner simulators and tests only.
   void clear();
 
-  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] const PlanCacheStats& stats() const noexcept { return stats_; }
-  void resetStats() noexcept { stats_ = PlanCacheStats{}; }
+  [[nodiscard]] PlanCacheStats stats() const;
+  void resetStats();
 
   /// Total heap footprint of the cached plans.
-  [[nodiscard]] std::size_t memoryBytes() const noexcept;
+  [[nodiscard]] std::size_t memoryBytes() const;
 
  private:
   struct Key {
@@ -78,17 +117,27 @@ class PlanCache {
   };
   struct Entry {
     Key key;
-    DmavPlan plan;
+    std::shared_ptr<const DmavPlan> plan;
     dd::Package* pkg = nullptr;  // for decRef on eviction
+  };
+  /// A root whose decRef is parked until its package's owner shows up.
+  struct ParkedPin {
+    dd::Package* pkg = nullptr;
+    const dd::mNode* root = nullptr;
+    Complex weight{};
   };
   using LruList = std::list<Entry>;
 
-  void evictOldest();
+  void evictOldestLocked(const dd::Package* caller);
+  void unpinOrPark(Entry& victim, const dd::Package* caller);
+  void drainParkedLocked(const dd::Package* pkg);
 
+  mutable std::mutex mutex_;
   std::size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> index_;
-  DmavPlan scratch_;  // returned by get() when capacity_ == 0
+  std::unordered_map<const dd::Package*, std::vector<ParkedPin>> parked_;
+  std::shared_ptr<const DmavPlan> holder_;  // keeps get()'s reference alive
   PlanCacheStats stats_;
 };
 

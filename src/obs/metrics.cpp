@@ -97,8 +97,10 @@ Registry& Registry::instance() {
 }
 
 Registry::Impl& Registry::impl() const {
-  static Impl impl;
-  return impl;
+  // Deliberately leaked: worker threads may bump a cached Counter& while
+  // main's static destructors run, so the instruments must never die.
+  static auto* impl = new Impl;
+  return *impl;
 }
 
 namespace {

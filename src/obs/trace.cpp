@@ -99,10 +99,13 @@ void setThreadName(const char* name) noexcept {
 }
 
 const char* internName(const std::string& name) {
-  static std::mutex mutex;
-  static std::unordered_set<std::string> storage;  // lives until exit
-  std::lock_guard lock{mutex};
-  return storage.insert(name).first->c_str();
+  // Deliberately leaked: pool/service worker threads can intern names while
+  // main's static destructors run, so the table must outlive every thread,
+  // not just main.
+  static auto* mutex = new std::mutex;
+  static auto* storage = new std::unordered_set<std::string>;
+  std::lock_guard lock{*mutex};
+  return storage->insert(name).first->c_str();
 }
 
 void recordSpan(const char* name, std::uint64_t startNs,

@@ -1,0 +1,79 @@
+#pragma once
+// Cooperative cancellation for asynchronously submitted work. A CancelSource
+// owns the request flag; the CancelTokens it hands out are cheap copyable
+// views that job bodies poll at safe points (between gates, between sample
+// batches). A token can also carry a deadline, so "cancelled" uniformly
+// means "stop as soon as convenient" whether the client asked for it or the
+// job ran out of budget. Nothing here preempts running code — cancellation
+// is only as prompt as the polling granularity of the job body.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+namespace fdd::par {
+
+namespace detail {
+struct CancelFlag {
+  std::atomic<bool> requested{false};
+};
+}  // namespace detail
+
+/// View over a CancelSource's flag, optionally bounded by a deadline.
+/// Default-constructed tokens are never cancelled (for synchronous paths).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(std::shared_ptr<const detail::CancelFlag> flag,
+              std::optional<Clock::time_point> deadline)
+      : flag_{std::move(flag)}, deadline_{deadline} {}
+
+  /// True once cancellation was requested or the deadline has passed.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (flag_ != nullptr && flag_->requested.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_.has_value() && Clock::now() >= *deadline_;
+  }
+
+  /// True when cancellation was explicitly requested (deadline not counted).
+  [[nodiscard]] bool cancelRequested() const noexcept {
+    return flag_ != nullptr &&
+           flag_->requested.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::optional<Clock::time_point> deadline() const noexcept {
+    return deadline_;
+  }
+
+ private:
+  std::shared_ptr<const detail::CancelFlag> flag_;
+  std::optional<Clock::time_point> deadline_;
+};
+
+/// The requesting side. Copies share the same flag.
+class CancelSource {
+ public:
+  CancelSource() : flag_{std::make_shared<detail::CancelFlag>()} {}
+
+  void requestCancel() noexcept {
+    flag_->requested.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelRequested() const noexcept {
+    return flag_->requested.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancelToken token(
+      std::optional<CancelToken::Clock::time_point> deadline =
+          std::nullopt) const {
+    return CancelToken{flag_, deadline};
+  }
+
+ private:
+  std::shared_ptr<detail::CancelFlag> flag_;
+};
+
+}  // namespace fdd::par

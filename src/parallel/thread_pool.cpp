@@ -78,6 +78,9 @@ void ThreadPool::run(unsigned t, const std::function<void(unsigned)>& f) {
     f(0);  // single-worker regions run inline, never instrumented
     return;
   }
+  // Concurrent callers (independent service jobs) take turns: the pool has
+  // one job slot, so a second multi-worker region must wait for the first.
+  std::lock_guard regionLock{regionMutex_};
 #if FDD_OBS_ENABLED
   if (obs::enabled()) {
     runInstrumented(t, f);

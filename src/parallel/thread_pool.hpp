@@ -37,6 +37,13 @@ class ThreadPool {
   /// still execute: they are distributed over the available workers (so f
   /// must not rely on all indices running simultaneously, e.g. barriers).
   ///
+  /// run() may be called concurrently from multiple threads (e.g. service
+  /// jobs executing independent sessions): multi-worker regions serialize on
+  /// an internal mutex, so at most one fork/join region is in flight at a
+  /// time. Single-worker regions (t == 1) bypass the mutex and stay
+  /// wait-free. Nested regions (calling run() from inside f) deadlock — as
+  /// they always have (the single job slot) — and remain unsupported.
+  ///
   /// While obs::enabled(), every multi-worker region is instrumented: each
   /// worker's busy interval becomes a trace span and accumulates into the
   /// PoolPhaseStats of the phase label active on the launching thread
@@ -68,6 +75,7 @@ class ThreadPool {
   unsigned threads_;
   std::vector<std::unique_ptr<Slot>> slots_;  // [1, threads_)
   std::vector<std::thread> workers_;
+  std::mutex regionMutex_;  // serializes concurrent multi-worker regions
 
   const std::function<void(unsigned)>* job_ = nullptr;  // valid during a run
   std::atomic<unsigned> pending_{0};

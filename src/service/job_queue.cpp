@@ -1,0 +1,261 @@
+#include "service/job_queue.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fdd::svc {
+
+namespace {
+
+std::uint64_t monotonicNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::Gauge& depthGauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("service.queue_depth");
+  return g;
+}
+
+obs::Histogram& latencyHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("service.job_latency");
+  return h;
+}
+
+}  // namespace
+
+const char* toString(JobState s) noexcept {
+  switch (s) {
+    case JobState::Queued:
+      return "queued";
+    case JobState::Running:
+      return "running";
+    case JobState::Done:
+      return "done";
+    case JobState::Failed:
+      return "failed";
+    case JobState::Cancelled:
+      return "cancelled";
+    case JobState::Expired:
+      return "expired";
+  }
+  return "?";
+}
+
+JobState Job::state() const {
+  const std::lock_guard lock{mutex_};
+  return state_;
+}
+
+std::string Job::error() const {
+  const std::lock_guard lock{mutex_};
+  return error_;
+}
+
+bool Job::cancel() {
+  cancel_.requestCancel();
+  const std::lock_guard lock{mutex_};
+  return !isTerminal(state_);
+}
+
+void Job::wait() const {
+  std::unique_lock lock{mutex_};
+  done_.wait(lock, [&] { return isTerminal(state_); });
+}
+
+bool Job::waitFor(std::chrono::nanoseconds timeout) const {
+  std::unique_lock lock{mutex_};
+  return done_.wait_for(lock, timeout, [&] { return isTerminal(state_); });
+}
+
+double Job::latencySeconds() const {
+  const std::lock_guard lock{mutex_};
+  return latencySeconds_;
+}
+
+JobQueue::JobQueue(unsigned workers) {
+  if (workers == 0) {
+    workers = 1;
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+JobQueue::~JobQueue() { shutdown(); }
+
+JobHandle JobQueue::submit(std::function<void(const par::CancelToken&)> fn,
+                           JobOptions opts, std::uint64_t orderKey) {
+  auto job = std::make_shared<Job>();
+  job->fn_ = std::move(fn);
+  job->deadline_ = opts.deadline;
+  job->token_ = job->cancel_.token(opts.deadline);
+  job->orderKey_ = orderKey;
+  job->submitNs_ = monotonicNs();
+
+  {
+    const std::lock_guard lock{mutex_};
+    if (shutdown_) {
+      throw std::runtime_error("JobQueue::submit: queue is shut down");
+    }
+    Item item{opts.priority, nextSeq_++, job};
+    if (orderKey == 0) {
+      runnable_.push(std::move(item));
+    } else {
+      KeyLane& lane = lanes_[orderKey];
+      job->orderSeq_ = lane.nextTicket++;
+      if (job->orderSeq_ == lane.servingTicket) {
+        runnable_.push(std::move(item));
+      } else {
+        // A predecessor with this key is still pending; park the job so no
+        // worker blocks on it. advanceKeyLocked() promotes it later.
+        lane.stash.emplace(job->orderSeq_, std::move(item));
+        ++stashed_;
+      }
+    }
+    updateDepthGaugeLocked();
+  }
+  ready_.notify_one();
+  return job;
+}
+
+std::size_t JobQueue::depth() const {
+  const std::lock_guard lock{mutex_};
+  return runnable_.size() + stashed_;
+}
+
+void JobQueue::shutdown() {
+  std::vector<JobHandle> orphans;
+  {
+    const std::lock_guard lock{mutex_};
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    while (!runnable_.empty()) {
+      orphans.push_back(runnable_.top().job);
+      runnable_.pop();
+    }
+    for (auto& [key, lane] : lanes_) {
+      for (auto& [ticket, item] : lane.stash) {
+        orphans.push_back(item.job);
+      }
+      lane.stash.clear();
+    }
+    stashed_ = 0;
+    updateDepthGaugeLocked();
+  }
+  ready_.notify_all();
+  for (const JobHandle& job : orphans) {
+    finish(job, JobState::Cancelled, {});
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void JobQueue::workerLoop() {
+  obs::setThreadName("svc-worker");
+  for (;;) {
+    JobHandle job;
+    {
+      std::unique_lock lock{mutex_};
+      ready_.wait(lock, [&] { return shutdown_ || !runnable_.empty(); });
+      if (shutdown_) {
+        return;
+      }
+      job = runnable_.top().job;
+      runnable_.pop();
+      updateDepthGaugeLocked();
+    }
+
+    // Lazy cancellation/expiry: queued jobs are not removed eagerly, they
+    // are skipped here when popped.
+    if (job->token_.cancelRequested()) {
+      finish(job, JobState::Cancelled, {});
+      continue;
+    }
+    if (job->deadline_.has_value() &&
+        par::CancelToken::Clock::now() >= *job->deadline_) {
+      finish(job, JobState::Expired, {});
+      continue;
+    }
+
+    {
+      const std::lock_guard lock{job->mutex_};
+      job->state_ = JobState::Running;
+    }
+    try {
+      FDD_TIMED_SCOPE("service.job");
+      job->fn_(job->token_);
+      finish(job, JobState::Done, {});
+    } catch (const CancelledError&) {
+      const bool expired =
+          !job->token_.cancelRequested() && job->deadline_.has_value() &&
+          par::CancelToken::Clock::now() >= *job->deadline_;
+      finish(job, expired ? JobState::Expired : JobState::Cancelled, {});
+    } catch (const std::exception& e) {
+      finish(job, JobState::Failed, e.what());
+    } catch (...) {
+      finish(job, JobState::Failed, "unknown exception");
+    }
+  }
+}
+
+void JobQueue::finish(const JobHandle& job, JobState state,
+                      const std::string& error) {
+  const std::uint64_t latencyNs = monotonicNs() - job->submitNs_;
+  {
+    const std::lock_guard lock{job->mutex_};
+    job->state_ = state;
+    job->error_ = error;
+    job->latencySeconds_ = static_cast<double>(latencyNs) * 1e-9;
+  }
+  latencyHistogram().record(latencyNs);
+  job->done_.notify_all();
+  if (job->orderKey_ != 0) {
+    bool promoted = false;
+    {
+      const std::lock_guard lock{mutex_};
+      if (!shutdown_) {
+        advanceKeyLocked(job);
+        promoted = true;
+      }
+    }
+    if (promoted) {
+      ready_.notify_one();
+    }
+  }
+}
+
+void JobQueue::advanceKeyLocked(const JobHandle& job) {
+  const auto laneIt = lanes_.find(job->orderKey_);
+  if (laneIt == lanes_.end()) {
+    return;
+  }
+  KeyLane& lane = laneIt->second;
+  lane.servingTicket = job->orderSeq_ + 1;
+  if (const auto it = lane.stash.find(lane.servingTicket);
+      it != lane.stash.end()) {
+    runnable_.push(std::move(it->second));
+    lane.stash.erase(it);
+    --stashed_;
+    updateDepthGaugeLocked();
+  } else if (lane.nextTicket == lane.servingTicket && lane.stash.empty()) {
+    // Lane fully drained; drop it so idle sessions don't accumulate state.
+    lanes_.erase(laneIt);
+  }
+}
+
+void JobQueue::updateDepthGaugeLocked() const {
+  depthGauge().set(static_cast<double>(runnable_.size() + stashed_));
+}
+
+}  // namespace fdd::svc

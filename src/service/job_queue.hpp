@@ -1,0 +1,183 @@
+#pragma once
+// Asynchronous job queue for the simulation service. Protocol handlers (and
+// in-process clients) submit closures; a small set of dedicated worker
+// threads drains them. The workers themselves do no data-parallel compute —
+// job bodies fan out through the global par::ThreadPool, whose region mutex
+// serializes the actual multi-worker kernels — so the queue's job is
+// scheduling policy, not parallelism:
+//
+//   * Priority across sessions: the runnable set is a max-priority queue
+//     (ties broken by submission order), so an interactive session's small
+//     jobs overtake a bulk session's backlog.
+//   * FIFO within a session: a job submitted with a nonzero `orderKey` only
+//     becomes runnable once every earlier job with the same key reached a
+//     terminal state. Out-of-order arrivals are stashed (never block a
+//     worker) and promoted when their predecessor finishes. Sessions use
+//     their id as the key, which is what makes per-session state mutation
+//     safe without per-session locks.
+//   * Cooperative cancellation and deadlines: each job carries a CancelToken
+//     (flag + optional deadline). Cancellation/expiry is observed lazily —
+//     at pop time for queued jobs, at the body's polling points once
+//     running. A body that observes its token and throws CancelledError
+//     lands in Cancelled/Expired, not Failed.
+//
+// Terminal states and what they mean:
+//   Done       body returned normally
+//   Failed     body threw (error() has the message)
+//   Cancelled  cancel() was requested before/while it ran
+//   Expired    the deadline passed before/while it ran
+//
+// Observability: `service.queue_depth` gauge (queued, not yet running),
+// `service.job` timed scope around each body (span + histogram), and
+// `service.job_latency` histogram over submit→terminal time.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "parallel/cancellation.hpp"
+
+namespace fdd::svc {
+
+enum class JobState : std::uint8_t {
+  Queued,
+  Running,
+  Done,
+  Failed,
+  Cancelled,
+  Expired,
+};
+
+[[nodiscard]] const char* toString(JobState s) noexcept;
+[[nodiscard]] constexpr bool isTerminal(JobState s) noexcept {
+  return s != JobState::Queued && s != JobState::Running;
+}
+
+/// Thrown by job bodies at a polling point to acknowledge cancellation; the
+/// queue maps it to Cancelled/Expired instead of Failed.
+struct CancelledError : std::runtime_error {
+  CancelledError() : std::runtime_error("job cancelled") {}
+};
+
+struct JobOptions {
+  int priority = 0;  // higher runs first across sessions
+  std::optional<par::CancelToken::Clock::time_point> deadline;
+};
+
+/// Shared completion state of one submitted job. Handles are shared_ptr, so
+/// a handle outlives both the queue slot and the session it targets.
+class Job {
+ public:
+  [[nodiscard]] JobState state() const;
+  /// Error message after Failed ("" otherwise).
+  [[nodiscard]] std::string error() const;
+
+  /// Requests cooperative cancellation. Returns false if the job had
+  /// already reached a terminal state (too late to matter).
+  bool cancel();
+
+  void wait() const;
+  /// False on timeout (job still pending).
+  bool waitFor(std::chrono::nanoseconds timeout) const;
+
+  /// submit→terminal wall time; 0 until terminal.
+  [[nodiscard]] double latencySeconds() const;
+
+  [[nodiscard]] const par::CancelToken& token() const noexcept {
+    return token_;
+  }
+
+ private:
+  friend class JobQueue;
+
+  std::function<void(const par::CancelToken&)> fn_;
+  par::CancelSource cancel_;
+  par::CancelToken token_;
+  std::optional<par::CancelToken::Clock::time_point> deadline_;
+  std::uint64_t orderKey_ = 0;
+  std::uint64_t orderSeq_ = 0;  // FIFO ticket within orderKey_
+  std::uint64_t submitNs_ = 0;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable done_;
+  JobState state_ = JobState::Queued;
+  std::string error_;
+  double latencySeconds_ = 0;
+};
+
+using JobHandle = std::shared_ptr<Job>;
+
+class JobQueue {
+ public:
+  /// Spawns `workers` dedicated job threads (>= 1).
+  explicit JobQueue(unsigned workers = 2);
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `fn`. `orderKey` == 0 means unordered; a nonzero key serializes
+  /// this job after every previously submitted job with the same key.
+  /// Throws std::runtime_error after shutdown().
+  JobHandle submit(std::function<void(const par::CancelToken&)> fn,
+                   JobOptions opts = {}, std::uint64_t orderKey = 0);
+
+  /// Jobs submitted but not yet started (stashed out-of-order jobs count).
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Marks every queued job Cancelled, waits for running jobs to finish,
+  /// and joins the workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Item {
+    int priority = 0;
+    std::uint64_t seq = 0;  // global submission order, breaks priority ties
+    JobHandle job;
+  };
+  struct ItemOrder {
+    // std::priority_queue is a max-heap on this "less than": prefer higher
+    // priority, then earlier submission.
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.priority != b.priority) {
+        return a.priority < b.priority;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  struct KeyLane {
+    std::uint64_t nextTicket = 0;     // assigned at submit
+    std::uint64_t servingTicket = 0;  // advanced at terminal
+    std::map<std::uint64_t, Item> stash;  // ticket -> not-yet-runnable job
+  };
+
+  void workerLoop();
+  void finish(const JobHandle& job, JobState state, const std::string& error);
+  /// Advances the job's key lane and promotes its successor, if stashed.
+  void advanceKeyLocked(const JobHandle& job);
+  void updateDepthGaugeLocked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::priority_queue<Item, std::vector<Item>, ItemOrder> runnable_;
+  std::unordered_map<std::uint64_t, KeyLane> lanes_;
+  std::size_t stashed_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fdd::svc

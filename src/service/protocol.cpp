@@ -1,0 +1,468 @@
+#include "service/protocol.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/json.hpp"
+#include "qasm/parser.hpp"
+#include "qc/gate.hpp"
+
+namespace fdd::svc {
+
+namespace {
+
+// ---- request field extraction ---------------------------------------------
+
+const json::Object& asObject(const json::Value& v) {
+  const json::Object* obj = v.object();
+  if (obj == nullptr) {
+    throw std::invalid_argument("request must be a JSON object");
+  }
+  return *obj;
+}
+
+const json::Value* findField(const json::Object& obj, std::string_view key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string getString(const json::Object& obj, std::string_view key,
+                      std::string fallback = {}) {
+  if (const json::Value* v = findField(obj, key)) {
+    if (const std::string* s = v->string()) {
+      return *s;
+    }
+    throw std::invalid_argument("field '" + std::string{key} +
+                                "' must be a string");
+  }
+  return fallback;
+}
+
+double requireNumber(const json::Object& obj, std::string_view key) {
+  const json::Value* v = findField(obj, key);
+  if (v == nullptr || v->number() == nullptr) {
+    throw std::invalid_argument("field '" + std::string{key} +
+                                "' must be a number");
+  }
+  return *v->number();
+}
+
+double getNumber(const json::Object& obj, std::string_view key,
+                 double fallback) {
+  const json::Value* v = findField(obj, key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (v->number() == nullptr) {
+    throw std::invalid_argument("field '" + std::string{key} +
+                                "' must be a number");
+  }
+  return *v->number();
+}
+
+/// 64-bit integers (seeds) arrive as decimal strings — a JSON number is a
+/// double and only carries 53 mantissa bits — but plain numbers are accepted
+/// for convenience.
+std::uint64_t getU64(const json::Object& obj, std::string_view key,
+                     std::uint64_t fallback) {
+  const json::Value* v = findField(obj, key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (const std::string* s = v->string()) {
+    return std::strtoull(s->c_str(), nullptr, 10);
+  }
+  if (const double* d = v->number()) {
+    return static_cast<std::uint64_t>(*d);
+  }
+  throw std::invalid_argument("field '" + std::string{key} +
+                              "' must be a decimal string or number");
+}
+
+JobOptions jobOptions(const json::Object& obj) {
+  JobOptions opts;
+  opts.priority = static_cast<int>(getNumber(obj, "priority", 0));
+  const double deadlineMs = getNumber(obj, "deadline_ms", 0);
+  if (deadlineMs > 0) {
+    opts.deadline = par::CancelToken::Clock::now() +
+                    std::chrono::microseconds(
+                        static_cast<std::int64_t>(deadlineMs * 1000.0));
+  }
+  return opts;
+}
+
+// ---- circuit construction -------------------------------------------------
+
+qc::GateKind gateKindFromName(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(qc::GateKind::U3); ++k) {
+    const auto kind = static_cast<qc::GateKind>(k);
+    if (qc::gateName(kind) == name) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("unknown gate '" + name + "'");
+}
+
+qc::Circuit circuitFromRequest(const json::Object& obj, Qubit nQubits) {
+  qc::Circuit circuit{nQubits, "request"};
+  if (const json::Value* qasmField = findField(obj, "qasm")) {
+    const std::string* src = qasmField->string();
+    if (src == nullptr) {
+      throw std::invalid_argument("field 'qasm' must be a string");
+    }
+    const qc::Circuit parsed = qasm::parse(*src, "request");
+    if (parsed.numQubits() > nQubits) {
+      throw std::invalid_argument("qasm circuit uses more qubits (" +
+                                  std::to_string(parsed.numQubits()) +
+                                  ") than the session has");
+    }
+    for (const qc::Operation& op : parsed) {
+      circuit.append(op);
+    }
+  }
+  if (const json::Value* gatesField = findField(obj, "gates")) {
+    const json::Array* gates = gatesField->array();
+    if (gates == nullptr) {
+      throw std::invalid_argument("field 'gates' must be an array");
+    }
+    for (const json::Value& g : *gates) {
+      const json::Object* gate = g.object();
+      if (gate == nullptr) {
+        throw std::invalid_argument("gate entries must be objects");
+      }
+      qc::Operation op;
+      op.kind = gateKindFromName(getString(*gate, "gate"));
+      op.target = static_cast<Qubit>(requireNumber(*gate, "target"));
+      if (const json::Value* controls = findField(*gate, "controls")) {
+        const json::Array* arr = controls->array();
+        if (arr == nullptr) {
+          throw std::invalid_argument("'controls' must be an array");
+        }
+        for (const json::Value& c : *arr) {
+          if (c.number() == nullptr) {
+            throw std::invalid_argument("control qubits must be numbers");
+          }
+          op.controls.push_back(static_cast<Qubit>(*c.number()));
+        }
+      }
+      if (const json::Value* params = findField(*gate, "params")) {
+        const json::Array* arr = params->array();
+        if (arr == nullptr) {
+          throw std::invalid_argument("'params' must be an array");
+        }
+        for (const json::Value& p : *arr) {
+          if (p.number() == nullptr) {
+            throw std::invalid_argument("gate params must be numbers");
+          }
+          op.params.push_back(static_cast<fp>(*p.number()));
+        }
+      }
+      if (op.params.size() != qc::gateParamCount(op.kind)) {
+        throw std::invalid_argument(
+            "gate '" + qc::gateName(op.kind) + "' expects " +
+            std::to_string(qc::gateParamCount(op.kind)) + " params");
+      }
+      circuit.append(std::move(op));
+    }
+  }
+  return circuit;
+}
+
+// ---- responses ------------------------------------------------------------
+
+std::string errorResponse(const std::string& message) {
+  json::Writer w;
+  w.beginObject();
+  w.field("ok", false);
+  w.field("error", message);
+  w.endObject();
+  return w.take();
+}
+
+std::string jobFailureResponse(const Job& job) {
+  json::Writer w;
+  w.beginObject();
+  w.field("ok", false);
+  w.field("state", toString(job.state()));
+  const std::string error = job.error();
+  w.field("error", error.empty() ? std::string{toString(job.state())}
+                                 : error);
+  w.endObject();
+  return w.take();
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config) : manager_{std::move(config)} {}
+
+std::string Service::handleLine(std::string_view line) {
+  try {
+    return dispatch(line);
+  } catch (const std::exception& e) {
+    return errorResponse(e.what());
+  } catch (...) {
+    return errorResponse("unknown error");
+  }
+}
+
+std::string Service::dispatch(std::string_view line) {
+  const json::Value request = json::parse(line);
+  const json::Object& obj = asObject(request);
+  const std::string op = getString(obj, "op");
+
+  if (op == "ping") {
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("op", "ping");
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("op", "shutdown");
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "open") {
+    SessionConfig cfg;
+    cfg.backend = getString(obj, "backend", "flatdd");
+    cfg.qubits = static_cast<Qubit>(requireNumber(obj, "qubits"));
+    cfg.seed = getU64(obj, "seed", 0);
+    cfg.engine = manager_.config().engineDefaults;
+    const double threads = getNumber(obj, "threads", 0);
+    if (threads > 0) {
+      cfg.engine.threads = static_cast<unsigned>(threads);
+    }
+    const std::shared_ptr<Session> session = manager_.open(std::move(cfg));
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("session", static_cast<std::size_t>(session->id()));
+    w.field("backend", session->config().backend);
+    w.field("qubits", static_cast<int>(session->numQubits()));
+    w.field("seed", std::to_string(session->config().seed));
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "job" || op == "cancel") {
+    const std::uint64_t jobId = getU64(obj, "job", 0);
+    AsyncJob async;
+    {
+      const std::lock_guard lock{jobsMutex_};
+      const auto it = jobs_.find(jobId);
+      if (it == jobs_.end()) {
+        throw std::invalid_argument("unknown job " + std::to_string(jobId));
+      }
+      async = it->second;
+    }
+    if (op == "cancel") {
+      async.handle->cancel();
+    } else {
+      const double waitMs = getNumber(obj, "wait_ms", 0);
+      if (waitMs > 0) {
+        async.handle->waitFor(std::chrono::microseconds(
+            static_cast<std::int64_t>(waitMs * 1000.0)));
+      }
+    }
+    const JobState state = async.handle->state();
+    if (isTerminal(state)) {
+      const std::lock_guard lock{jobsMutex_};
+      jobs_.erase(jobId);
+    }
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("state", toString(state));
+    if (state == JobState::Done) {
+      w.field("applied", *async.applied);
+      w.field("total_gates", async.session->gatesApplied());
+    }
+    if (state == JobState::Failed) {
+      w.field("error", async.handle->error());
+    }
+    w.endObject();
+    return w.take();
+  }
+
+  // Everything below addresses a session.
+  if (op != "close" && op != "apply" && op != "sample" &&
+      op != "amplitude" && op != "report" && op != "checkpoint" &&
+      op != "restore") {
+    throw std::invalid_argument("unknown op '" + op + "'");
+  }
+  const std::uint64_t sessionId = getU64(obj, "session", 0);
+  const std::shared_ptr<Session> session = manager_.find(sessionId);
+  if (session == nullptr) {
+    throw std::invalid_argument("unknown session " +
+                                std::to_string(sessionId));
+  }
+
+  if (op == "close") {
+    manager_.close(sessionId);
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "apply") {
+    qc::Circuit chunk = circuitFromRequest(obj, session->numQubits());
+    auto applied = std::make_shared<std::size_t>(0);
+    const JobHandle handle = manager_.submit(
+        session,
+        [chunk = std::move(chunk), applied](Session& s,
+                                            const par::CancelToken& token) {
+          *applied = s.apply(chunk, token);
+        },
+        jobOptions(obj));
+    const json::Value* async = findField(obj, "async");
+    if (async != nullptr && async->boolean() != nullptr &&
+        *async->boolean()) {
+      std::uint64_t jobId = 0;
+      {
+        const std::lock_guard lock{jobsMutex_};
+        jobId = nextJobId_++;
+        jobs_.emplace(jobId, AsyncJob{handle, session, applied});
+      }
+      json::Writer w;
+      w.beginObject();
+      w.field("ok", true);
+      w.field("job", static_cast<std::size_t>(jobId));
+      w.endObject();
+      return w.take();
+    }
+    handle->wait();
+    if (handle->state() != JobState::Done) {
+      return jobFailureResponse(*handle);
+    }
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("applied", *applied);
+    w.field("total_gates", session->gatesApplied());
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "sample") {
+    const auto shots = static_cast<std::size_t>(
+        requireNumber(obj, "shots"));
+    auto outcomes = std::make_shared<std::vector<Index>>();
+    const JobHandle handle = manager_.submit(
+        session,
+        [shots, outcomes](Session& s, const par::CancelToken&) {
+          *outcomes = s.sample(shots);
+        },
+        jobOptions(obj));
+    handle->wait();
+    if (handle->state() != JobState::Done) {
+      return jobFailureResponse(*handle);
+    }
+    std::map<Index, std::size_t> counts;
+    for (const Index i : *outcomes) {
+      ++counts[i];
+    }
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("shots", shots);
+    w.beginObjectIn("counts");
+    for (const auto& [index, count] : counts) {
+      w.field(std::to_string(index), count);
+    }
+    w.endObject();
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "amplitude") {
+    const auto index = static_cast<Index>(requireNumber(obj, "index"));
+    auto value = std::make_shared<Complex>();
+    const JobHandle handle = manager_.submit(
+        session,
+        [index, value](Session& s, const par::CancelToken&) {
+          *value = s.amplitude(index);
+        },
+        jobOptions(obj));
+    handle->wait();
+    if (handle->state() != JobState::Done) {
+      return jobFailureResponse(*handle);
+    }
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("re", value->real());
+    w.field("im", value->imag());
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "report") {
+    auto report = std::make_shared<engine::RunReport>();
+    const JobHandle handle = manager_.submit(
+        session,
+        [report](Session& s, const par::CancelToken&) {
+          *report = s.report();
+        },
+        jobOptions(obj));
+    handle->wait();
+    if (handle->state() != JobState::Done) {
+      return jobFailureResponse(*handle);
+    }
+    // RunReport::toJson() is already a JSON object — splice it verbatim.
+    return std::string{"{\"ok\":true,\"report\":"} + report->toJson() + "}";
+  }
+
+  if (op == "checkpoint") {
+    auto id = std::make_shared<std::uint64_t>(0);
+    const JobHandle handle = manager_.submit(
+        session,
+        [id](Session& s, const par::CancelToken&) { *id = s.checkpoint(); },
+        jobOptions(obj));
+    handle->wait();
+    if (handle->state() != JobState::Done) {
+      return jobFailureResponse(*handle);
+    }
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("checkpoint", static_cast<std::size_t>(*id));
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "restore") {
+    const std::uint64_t checkpointId = getU64(obj, "checkpoint", 0);
+    const JobHandle handle = manager_.submit(
+        session,
+        [checkpointId](Session& s, const par::CancelToken&) {
+          s.restore(checkpointId);
+        },
+        jobOptions(obj));
+    handle->wait();
+    if (handle->state() != JobState::Done) {
+      return jobFailureResponse(*handle);
+    }
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("total_gates", session->gatesApplied());
+    w.endObject();
+    return w.take();
+  }
+
+  throw std::invalid_argument("unknown op '" + op + "'");
+}
+
+}  // namespace fdd::svc

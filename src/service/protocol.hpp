@@ -1,0 +1,76 @@
+#pragma once
+// Line-delimited JSON protocol over the session manager. One request object
+// per line in, one response object per line out; transport (stdio pipe, TCP
+// socket, in-process call) is the caller's concern — flatdd_serve wires
+// both stdin/stdout and a TCP listener to handleLine(), and bench/serve
+// calls it in-process.
+//
+// Requests: {"op": "...", ...}. Operations:
+//   ping       -> {"ok":true,"op":"ping"}
+//   open       backend?, qubits, seed? (decimal string or number), threads?
+//              -> {"ok":true,"session":ID}
+//   apply      session, gates:[{"gate":"h","target":0,"controls":[],
+//              "params":[]}...] and/or qasm:"...", priority?, deadline_ms?,
+//              async?  -> {"ok":true,"applied":N,"total_gates":M}
+//              (async:true -> {"ok":true,"job":ID} immediately)
+//   sample     session, shots, priority?, deadline_ms?
+//              -> {"ok":true,"shots":N,"counts":{"<basis index>":count,...}}
+//   amplitude  session, index -> {"ok":true,"re":x,"im":y}
+//   report     session -> {"ok":true,"report":{<RunReport JSON>}}
+//   checkpoint session -> {"ok":true,"checkpoint":ID}
+//   restore    session, checkpoint -> {"ok":true}
+//   close      session -> {"ok":true}
+//   job        job, wait_ms? -> {"ok":true,"state":"done","applied":N,...}
+//   cancel     job -> {"ok":true,"state":"cancelled"|...}
+//   shutdown   -> {"ok":true}; shutdownRequested() turns true
+//
+// Every error is {"ok":false,"error":"..."} (plus "state" when a job ended
+// cancelled/expired/failed). Gate/state-mutating ops run as queue jobs keyed
+// by the session id, so concurrent connections hitting one session are
+// serialized in arrival order while different sessions proceed in parallel.
+// handleLine() itself is thread-safe.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "service/session_manager.hpp"
+
+namespace fdd::svc {
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+
+  /// Handles one request line, returns one response line (no trailing \n).
+  /// Never throws: malformed input becomes an {"ok":false,...} response.
+  std::string handleLine(std::string_view line);
+
+  [[nodiscard]] bool shutdownRequested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] SessionManager& sessions() noexcept { return manager_; }
+
+ private:
+  struct AsyncJob {
+    JobHandle handle;
+    std::shared_ptr<Session> session;
+    std::shared_ptr<std::size_t> applied;  // written by the job body
+  };
+
+  std::string dispatch(std::string_view line);
+
+  SessionManager manager_;
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex jobsMutex_;
+  std::unordered_map<std::uint64_t, AsyncJob> jobs_;
+  std::uint64_t nextJobId_ = 1;
+};
+
+}  // namespace fdd::svc

@@ -1,0 +1,84 @@
+#pragma once
+// Owns everything long-lived in the service: the session table, the shared
+// DMAV plan cache, and the job queue. The manager enforces the concurrency
+// contract the lower layers rely on:
+//
+//   * Every operation that touches a session's state is submitted through
+//     submit() with the session id as the queue's orderKey, so one session's
+//     jobs run strictly FIFO (sessions need no internal locks) while
+//     different sessions' jobs interleave across workers under priority.
+//   * The shared PlanCache outlives every session, and a session's backend
+//     clears its own package's entries out of it on destruction — closing a
+//     session never invalidates another session's cached plans.
+//
+// close() removes the session from the table; jobs already queued for it
+// hold the Session shared_ptr and complete normally, after which the session
+// (and its backend) is destroyed on the last release.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "flatdd/plan_cache.hpp"
+#include "service/job_queue.hpp"
+#include "service/session.hpp"
+
+namespace fdd::svc {
+
+struct ServiceConfig {
+  /// Dedicated job-queue worker threads (concurrent sessions in flight).
+  unsigned workers = 4;
+  /// Capacity of the plan cache shared by all sessions (0 = per-session
+  /// private caches, no sharing).
+  std::size_t planCacheCapacity = 256;
+  /// Defaults for sessions that don't override engine options.
+  engine::EngineOptions engineDefaults;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServiceConfig config = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session. `config.engine` is taken as given — callers wanting
+  /// the service-wide defaults copy config().engineDefaults in first (the
+  /// protocol layer does).
+  std::shared_ptr<Session> open(SessionConfig config);
+  /// nullptr when the id is unknown (or already closed).
+  [[nodiscard]] std::shared_ptr<Session> find(std::uint64_t id) const;
+  /// True if the session existed. Queued jobs still holding the session
+  /// finish first; the backend dies with the last reference.
+  bool close(std::uint64_t id);
+  [[nodiscard]] std::size_t sessionCount() const;
+
+  /// Submits a job serialized after every earlier job of `session`.
+  JobHandle submit(const std::shared_ptr<Session>& session,
+                   std::function<void(Session&, const par::CancelToken&)> fn,
+                   JobOptions opts = {});
+
+  [[nodiscard]] JobQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] flat::PlanCache* sharedPlanCache() noexcept {
+    return config_.planCacheCapacity == 0 ? nullptr : &planCache_;
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ServiceConfig config_;
+  flat::PlanCache planCache_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t nextId_ = 1;
+
+  // Declared last: the queue must shut down (draining jobs that reference
+  // sessions and the plan cache) before either is destroyed.
+  JobQueue queue_;
+};
+
+}  // namespace fdd::svc

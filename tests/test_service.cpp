@@ -1,0 +1,755 @@
+// Service core: job queue scheduling (priority across sessions, FIFO within
+// one, cancellation, deadlines), session semantics (seeded sampling,
+// checkpoint/restore, incremental apply), the shared plan cache's
+// cross-package contract, concurrent sessions vs sequential replay, and the
+// line-delimited JSON protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "common/json.hpp"
+#include "common/prng.hpp"
+#include "dd/package.hpp"
+#include "engine/backend_factory.hpp"
+#include "flatdd/flatdd_simulator.hpp"
+#include "flatdd/plan_cache.hpp"
+#include "service/job_queue.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "service/session_manager.hpp"
+
+namespace fdd::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+JobOptions withPriority(int priority) {
+  JobOptions opts;
+  opts.priority = priority;
+  return opts;
+}
+
+JobOptions withDeadline(par::CancelToken::Clock::time_point deadline) {
+  JobOptions opts;
+  opts.deadline = deadline;
+  return opts;
+}
+
+ServiceConfig withWorkers(unsigned workers) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  return cfg;
+}
+
+/// Occupies a queue worker until release() — used to stage scheduling
+/// scenarios deterministically with a single-worker queue.
+class Blocker {
+ public:
+  explicit Blocker(JobQueue& queue) {
+    handle_ = queue.submit([this](const par::CancelToken&) {
+      started_.store(true);
+      while (!release_.load()) {
+        std::this_thread::sleep_for(1ms);
+      }
+    });
+    while (!started_.load()) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  void release() { release_.store(true); }
+  void join() {
+    release();
+    handle_->wait();
+  }
+
+ private:
+  std::atomic<bool> started_{false};
+  std::atomic<bool> release_{false};
+  JobHandle handle_;
+};
+
+// ---------------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------------
+
+TEST(JobQueue, RunsJobsToDone) {
+  JobQueue queue{2};
+  std::atomic<int> ran{0};
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(
+        queue.submit([&](const par::CancelToken&) { ++ran; }));
+  }
+  for (const JobHandle& h : handles) {
+    h->wait();
+    EXPECT_EQ(h->state(), JobState::Done);
+    EXPECT_GT(h->latencySeconds(), 0.0);
+  }
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(JobQueue, PriorityOrdersRunnableJobs) {
+  JobQueue queue{1};
+  Blocker blocker{queue};
+  std::mutex mutex;
+  std::vector<int> order;
+  const auto record = [&](int tag) {
+    return [&, tag](const par::CancelToken&) {
+      const std::lock_guard lock{mutex};
+      order.push_back(tag);
+    };
+  };
+  const JobHandle low = queue.submit(record(0), withPriority(0));
+  const JobHandle mid = queue.submit(record(1), withPriority(3));
+  const JobHandle high = queue.submit(record(2), withPriority(9));
+  EXPECT_EQ(queue.depth(), 3u);
+  blocker.join();
+  low->wait();
+  mid->wait();
+  high->wait();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(JobQueue, FifoWithinOrderKeyBeatsPriority) {
+  JobQueue queue{1};
+  Blocker blocker{queue};
+  std::mutex mutex;
+  std::vector<int> order;
+  const auto record = [&](int tag) {
+    return [&, tag](const par::CancelToken&) {
+      const std::lock_guard lock{mutex};
+      order.push_back(tag);
+    };
+  };
+  // Same key: the later, higher-priority job must still run second.
+  const JobHandle first =
+      queue.submit(record(0), withPriority(0), /*orderKey=*/7);
+  const JobHandle second =
+      queue.submit(record(1), withPriority(100), /*orderKey=*/7);
+  blocker.join();
+  first->wait();
+  second->wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(JobQueue, KeyedJobsInterleaveAcrossKeysUnderPriority) {
+  JobQueue queue{1};
+  Blocker blocker{queue};
+  std::mutex mutex;
+  std::vector<int> order;
+  const auto record = [&](int tag) {
+    return [&, tag](const par::CancelToken&) {
+      const std::lock_guard lock{mutex};
+      order.push_back(tag);
+    };
+  };
+  std::vector<JobHandle> handles;
+  handles.push_back(
+      queue.submit(record(10), withPriority(1), 1));  // key 1 #0
+  handles.push_back(
+      queue.submit(record(11), withPriority(1), 1));  // key 1 #1
+  handles.push_back(
+      queue.submit(record(20), withPriority(5), 2));  // key 2 #0
+  blocker.join();
+  for (const JobHandle& h : handles) {
+    h->wait();
+  }
+  // Key 2's head outranks key 1's head; key 1 stays internally ordered.
+  EXPECT_EQ(order, (std::vector<int>{20, 10, 11}));
+}
+
+TEST(JobQueue, CancelQueuedJobNeverRuns) {
+  JobQueue queue{1};
+  Blocker blocker{queue};
+  std::atomic<bool> ran{false};
+  const JobHandle job =
+      queue.submit([&](const par::CancelToken&) { ran.store(true); });
+  EXPECT_TRUE(job->cancel());
+  blocker.join();
+  job->wait();
+  EXPECT_EQ(job->state(), JobState::Cancelled);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(JobQueue, CancelRunningJobCooperatively) {
+  JobQueue queue{1};
+  std::atomic<bool> inBody{false};
+  const JobHandle job = queue.submit([&](const par::CancelToken& token) {
+    inBody.store(true);
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    throw CancelledError{};
+  });
+  while (!inBody.load()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  job->cancel();
+  job->wait();
+  EXPECT_EQ(job->state(), JobState::Cancelled);
+}
+
+TEST(JobQueue, DeadlineExpiresQueuedJob) {
+  JobQueue queue{1};
+  Blocker blocker{queue};
+  std::atomic<bool> ran{false};
+  const JobHandle job = queue.submit(
+      [&](const par::CancelToken&) { ran.store(true); },
+      withDeadline(par::CancelToken::Clock::now() + 5ms));
+  std::this_thread::sleep_for(20ms);
+  blocker.join();
+  job->wait();
+  EXPECT_EQ(job->state(), JobState::Expired);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(JobQueue, DeadlineExpiresRunningJob) {
+  JobQueue queue{1};
+  const JobHandle job = queue.submit(
+      [&](const par::CancelToken& token) {
+        while (!token.cancelled()) {
+          std::this_thread::sleep_for(1ms);
+        }
+        throw CancelledError{};
+      },
+      withDeadline(par::CancelToken::Clock::now() + 20ms));
+  job->wait();
+  EXPECT_EQ(job->state(), JobState::Expired);
+}
+
+TEST(JobQueue, FailedJobCarriesError) {
+  JobQueue queue{1};
+  const JobHandle job = queue.submit([](const par::CancelToken&) {
+    throw std::runtime_error("boom");
+  });
+  job->wait();
+  EXPECT_EQ(job->state(), JobState::Failed);
+  EXPECT_EQ(job->error(), "boom");
+}
+
+TEST(JobQueue, ShutdownCancelsQueuedJobs) {
+  JobQueue queue{1};
+  Blocker blocker{queue};
+  const JobHandle queued = queue.submit([](const par::CancelToken&) {});
+  const JobHandle stashed =
+      queue.submit([](const par::CancelToken&) {}, {}, /*orderKey=*/3);
+  const JobHandle stashed2 =
+      queue.submit([](const par::CancelToken&) {}, {}, /*orderKey=*/3);
+  blocker.release();
+  queue.shutdown();
+  EXPECT_TRUE(isTerminal(queued->state()));
+  EXPECT_TRUE(isTerminal(stashed->state()));
+  EXPECT_TRUE(isTerminal(stashed2->state()));
+  EXPECT_THROW(queue.submit([](const par::CancelToken&) {}),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// BackendFactory thread safety
+// ---------------------------------------------------------------------------
+
+TEST(BackendFactoryConcurrency, ConcurrentRegisterAndCreate) {
+  auto& factory = engine::BackendFactory::instance();
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (int i = 0; i < 25; ++i) {
+          factory.registerBackend(
+              "svc-test-" + std::to_string(t) + "-" + std::to_string(i),
+              "test backend",
+              [](Qubit n, const engine::EngineOptions& o) {
+                return engine::BackendFactory::instance().create("dd", n, o);
+              });
+          const auto backend = factory.create("dd", 3);
+          if (backend == nullptr || factory.registeredNames().empty() ||
+              !factory.contains("flatdd")) {
+            failed.store(true);
+          }
+        }
+      } catch (...) {
+        failed.store(true);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_TRUE(factory.contains("svc-test-0-0"));
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+SessionConfig makeConfig(Qubit qubits, std::uint64_t seed,
+                         const std::string& backend = "flatdd") {
+  SessionConfig cfg;
+  cfg.backend = backend;
+  cfg.qubits = qubits;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SvcSession, SameSeedSameGatesSameSamples) {
+  const qc::Circuit circuit = circuits::randomUniversal(6, 80, 11);
+  Session a{1, makeConfig(6, 42), nullptr};
+  Session b{2, makeConfig(6, 42), nullptr};
+  a.apply(circuit);
+  b.apply(circuit);
+  EXPECT_EQ(a.sample(64), b.sample(64));
+  // Further requests continue the identical stream.
+  EXPECT_EQ(a.sample(64), b.sample(64));
+
+  Session c{3, makeConfig(6, 43), nullptr};
+  c.apply(circuit);
+  EXPECT_NE(a.sample(256), c.sample(256));  // different seed, same state
+}
+
+TEST(SvcSession, SeedLandsInReport) {
+  Session s{1, makeConfig(4, 0xdeadbeefcafef00dULL), nullptr};
+  const engine::RunReport report = s.report();
+  EXPECT_EQ(report.seed, 0xdeadbeefcafef00dULL);
+  // And survives the JSON round trip (decimal-string serialization).
+  const engine::RunReport back =
+      engine::RunReport::fromJson(report.toJson());
+  EXPECT_EQ(back.seed, 0xdeadbeefcafef00dULL);
+}
+
+TEST(SvcSession, CheckpointRestoreResumesExactTrajectory) {
+  const qc::Circuit first = circuits::randomUniversal(6, 60, 21);
+  const qc::Circuit second = circuits::randomUniversal(6, 60, 22);
+  Session s{1, makeConfig(6, 7), nullptr};
+  s.apply(first);
+  const std::uint64_t cp = s.checkpoint();
+  EXPECT_EQ(s.gatesApplied(), 60u);
+
+  s.apply(second);
+  EXPECT_EQ(s.gatesApplied(), 120u);
+  const std::vector<Index> run1 = s.sample(128);
+  const Complex amp1 = s.amplitude(5);
+
+  s.restore(cp);
+  EXPECT_EQ(s.gatesApplied(), 60u);
+  s.apply(second);
+  const std::vector<Index> run2 = s.sample(128);
+  EXPECT_EQ(run1, run2);  // state AND rng stream were rewound
+  EXPECT_EQ(s.amplitude(5), amp1);
+
+  // Restoring twice is allowed (checkpoints are not consumed).
+  s.restore(cp);
+  EXPECT_EQ(s.gatesApplied(), 60u);
+  EXPECT_THROW(s.restore(999), std::invalid_argument);
+}
+
+TEST(SvcSession, IncrementalApplyMatchesOneShot) {
+  const qc::Circuit circuit = circuits::randomUniversal(7, 180, 31);
+  Session incremental{1, makeConfig(7, 5), nullptr};
+  // Apply in 3 uneven chunks.
+  const auto& ops = circuit.operations();
+  const std::size_t cuts[] = {50, 130, ops.size()};
+  std::size_t begin = 0;
+  for (const std::size_t end : cuts) {
+    qc::Circuit chunk{7, "chunk"};
+    for (std::size_t i = begin; i < end; ++i) {
+      chunk.append(ops[i]);
+    }
+    incremental.apply(chunk);
+    begin = end;
+  }
+
+  Session oneShot{2, makeConfig(7, 5), nullptr};
+  oneShot.apply(circuit);
+  for (const Index i : {Index{0}, Index{1}, Index{77}, Index{127}}) {
+    const Complex a = incremental.amplitude(i);
+    const Complex b = oneShot.amplitude(i);
+    EXPECT_NEAR(a.real(), b.real(), 1e-9) << i;
+    EXPECT_NEAR(a.imag(), b.imag(), 1e-9) << i;
+  }
+  EXPECT_EQ(incremental.sample(64), oneShot.sample(64));
+}
+
+TEST(SvcSession, ApplyChecksQubitCount) {
+  Session s{1, makeConfig(4, 0), nullptr};
+  EXPECT_THROW(s.apply(qc::Circuit{5, "wrong"}), std::invalid_argument);
+}
+
+TEST(SvcSession, CancelledApplyThrows) {
+  Session s{1, makeConfig(5, 0), nullptr};
+  par::CancelSource source;
+  source.requestCancel();
+  const qc::Circuit circuit = circuits::randomUniversal(5, 10, 3);
+  EXPECT_THROW(s.apply(circuit, source.token()), CancelledError);
+}
+
+// ---------------------------------------------------------------------------
+// Shared PlanCache
+// ---------------------------------------------------------------------------
+
+TEST(SharedPlanCache, ClearPackageDropsOnlyThatPackage) {
+  const Qubit n = 5;
+  dd::Package p1{n};
+  dd::Package p2{n};
+  flat::PlanCache cache{8};
+  const dd::mEdge g1 = p1.makeGateDD({qc::GateKind::RZ, 0, {}, {0.3}});
+  const dd::mEdge g2 = p2.makeGateDD({qc::GateKind::RZ, 0, {}, {0.3}});
+  p1.incRef(g1);
+  p2.incRef(g2);
+  (void)cache.getShared(p1, g1, n, 1, flat::PlanMode::Row);
+  (void)cache.getShared(p2, g2, n, 1, flat::PlanMode::Row);
+  EXPECT_EQ(cache.size(), 2u);  // keys embed the package: no false sharing
+
+  cache.clearPackage(p1);
+  EXPECT_EQ(cache.size(), 1u);
+  bool hit = false;
+  (void)cache.getShared(p2, g2, n, 1, flat::PlanMode::Row, &hit);
+  EXPECT_TRUE(hit);  // p2's entry untouched
+  cache.clearPackage(p2);
+  p1.decRef(g1);
+  p2.decRef(g2);
+}
+
+TEST(SharedPlanCache, GenerationGuardRejectsStaleHits) {
+  const Qubit n = 5;
+  dd::Package p{n};
+  flat::PlanCache cache{8};
+  const dd::mEdge g = p.makeGateDD({qc::GateKind::RY, 1, {}, {0.4}});
+  p.incRef(g);
+  (void)cache.getShared(p, g, n, 1, flat::PlanMode::Row);
+  EXPECT_EQ(cache.stats().staleHits, 0u);
+
+  // Recycle unrelated matrix nodes: the generation advances, so the cached
+  // entry — though its pinned root is intact — must be conservatively
+  // recompiled rather than replayed against a changed arena.
+  (void)p.makeGateDD({qc::GateKind::U3, 3, {}, {0.1, 0.2, 0.3}});
+  p.garbageCollect(true);
+
+  bool hit = true;
+  const auto plan = cache.getShared(p, g, n, 1, flat::PlanMode::Row, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().staleHits, 1u);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+  EXPECT_TRUE(plan->validFor(p));
+  cache.clearPackage(p);
+  p.decRef(g);
+}
+
+TEST(SharedPlanCache, HeldPlanSurvivesEviction) {
+  const Qubit n = 4;
+  dd::Package p{n};
+  flat::PlanCache cache{1};
+  const dd::mEdge a = p.makeGateDD({qc::GateKind::RZ, 0, {}, {0.1}});
+  const dd::mEdge b = p.makeGateDD({qc::GateKind::RZ, 1, {}, {0.2}});
+  p.incRef(a);
+  p.incRef(b);
+  const auto planA = cache.getShared(p, a, n, 1, flat::PlanMode::Row);
+  const auto planB = cache.getShared(p, b, n, 1, flat::PlanMode::Row);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // planA was evicted from the cache but our shared_ptr keeps it alive and
+  // replayable (plans are self-contained op streams).
+  AlignedVector<Complex> v(Index{1} << n, Complex{0});
+  v[0] = Complex{1, 0};
+  AlignedVector<Complex> w(v.size());
+  replayPlan(*planA, v, w);
+  EXPECT_NEAR(std::abs(w[0]), 1.0, 1e-12);
+  cache.clearPackage(p);
+  p.decRef(a);
+  p.decRef(b);
+}
+
+TEST(SharedPlanCache, CrossPackageEvictionParksThePin) {
+  const Qubit n = 4;
+  dd::Package p1{n};
+  dd::Package p2{n};
+  flat::PlanCache cache{1};
+  const dd::mEdge g1 = p1.makeGateDD({qc::GateKind::RZ, 0, {}, {0.5}});
+  const dd::mEdge g2 = p2.makeGateDD({qc::GateKind::RZ, 0, {}, {0.5}});
+  p1.incRef(g1);
+  p2.incRef(g2);
+  (void)cache.getShared(p1, g1, n, 1, flat::PlanMode::Row);
+  // p2's miss evicts p1's entry; the unpin of p1's root must be deferred
+  // (parked), not performed on p2's calling thread.
+  (void)cache.getShared(p2, g2, n, 1, flat::PlanMode::Row);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // p1's next call drains its parked pin; afterwards the root is collectable
+  // once the external ref is dropped. No crash/leak is the contract here.
+  (void)cache.getShared(p1, g1, n, 1, flat::PlanMode::Row);
+  cache.clearPackage(p1);
+  cache.clearPackage(p2);
+  p1.decRef(g1);
+  p2.decRef(g2);
+  p1.garbageCollect(true);
+  p2.garbageCollect(true);
+}
+
+TEST(SharedPlanCache, TwoSimulatorsShareOneCache) {
+  flat::PlanCache cache{64};
+  flat::FlatDDOptions options;
+  options.threads = 1;
+  options.forceConversionAtGate = 0;  // straight to the DMAV phase
+  options.sharedPlanCache = &cache;
+  const qc::Circuit circuit = circuits::randomUniversal(5, 60, 17);
+
+  auto sim1 = std::make_unique<flat::FlatDDSimulator>(5, options);
+  auto sim2 = std::make_unique<flat::FlatDDSimulator>(5, options);
+  sim1->simulate(circuit);
+  sim2->simulate(circuit);
+  EXPECT_GT(cache.stats().compiles, 0u);
+  EXPECT_GT(cache.size(), 0u);
+  // Identical circuits still compile per package (keys embed the package) —
+  // both simulators hit only within their own session stream.
+  EXPECT_GT(sim1->stats().planCacheHits, 0u);
+  EXPECT_GT(sim2->stats().planCacheHits, 0u);
+
+  const Complex before = sim2->amplitude(3);
+  sim1.reset();  // destructor must clear only sim1's entries
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_EQ(sim2->amplitude(3), before);
+  sim2->simulate(circuits::randomUniversal(5, 20, 18));  // still usable
+  sim2.reset();
+  EXPECT_EQ(cache.size(), 0u);  // everything unpinned and dropped
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager: concurrent sessions vs sequential replay
+// ---------------------------------------------------------------------------
+
+TEST(SvcSessionManager, OpenFindClose) {
+  SessionManager manager{withWorkers(2)};
+  const auto s1 = manager.open(makeConfig(4, 1));
+  const auto s2 = manager.open(makeConfig(5, 2));
+  EXPECT_EQ(manager.sessionCount(), 2u);
+  EXPECT_NE(s1->id(), s2->id());
+  EXPECT_EQ(manager.find(s1->id()), s1);
+  EXPECT_TRUE(manager.close(s1->id()));
+  EXPECT_FALSE(manager.close(s1->id()));
+  EXPECT_EQ(manager.find(s1->id()), nullptr);
+  EXPECT_EQ(manager.sessionCount(), 1u);
+}
+
+TEST(SvcSessionManager, ConcurrentSessionsMatchSequentialReplay) {
+  constexpr unsigned kSessions = 8;
+  constexpr unsigned kBatches = 3;
+  constexpr Qubit kQubits = 6;
+
+  const auto batchFor = [](unsigned session, unsigned batch) {
+    return circuits::randomUniversal(kQubits, 40,
+                                     1000 + 100 * session + batch);
+  };
+
+  SessionManager manager{withWorkers(4)};
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (unsigned i = 0; i < kSessions; ++i) {
+    sessions.push_back(manager.open(makeConfig(kQubits, 500 + i)));
+  }
+  // Interleave submission round-robin so different sessions' jobs overlap
+  // in the queue; per-session order is still batch 0, 1, 2.
+  std::vector<JobHandle> handles;
+  for (unsigned b = 0; b < kBatches; ++b) {
+    for (unsigned i = 0; i < kSessions; ++i) {
+      handles.push_back(manager.submit(
+          sessions[i],
+          [chunk = batchFor(i, b)](Session& s, const par::CancelToken& t) {
+            s.apply(chunk, t);
+          }));
+    }
+  }
+  std::vector<std::vector<Index>> samples{kSessions};
+  for (unsigned i = 0; i < kSessions; ++i) {
+    handles.push_back(manager.submit(
+        sessions[i], [&samples, i](Session& s, const par::CancelToken&) {
+          samples[i] = s.sample(128);
+        }));
+  }
+  for (const JobHandle& h : handles) {
+    h->wait();
+    ASSERT_EQ(h->state(), JobState::Done) << h->error();
+  }
+
+  // Sequential ground truth: same seeds, same batches, one at a time.
+  for (unsigned i = 0; i < kSessions; ++i) {
+    Session replay{9000 + i, makeConfig(kQubits, 500 + i), nullptr};
+    for (unsigned b = 0; b < kBatches; ++b) {
+      replay.apply(batchFor(i, b));
+    }
+    EXPECT_EQ(replay.sample(128), samples[i]) << "session " << i;
+    for (const Index idx : {Index{0}, Index{13}, Index{63}}) {
+      const Complex a = sessions[i]->amplitude(idx);
+      const Complex e = replay.amplitude(idx);
+      EXPECT_NEAR(a.real(), e.real(), 1e-9);
+      EXPECT_NEAR(a.imag(), e.imag(), 1e-9);
+    }
+    EXPECT_EQ(sessions[i]->gatesApplied(), kBatches * 40u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+const json::Object& asObject(const json::Value& v) {
+  const json::Object* obj = v.object();
+  EXPECT_NE(obj, nullptr);
+  return *obj;
+}
+
+bool responseOk(const std::string& response) {
+  const json::Value v = json::parse(response);
+  const auto it = asObject(v).find("ok");
+  return it != asObject(v).end() && it->second.boolean() != nullptr &&
+         *it->second.boolean();
+}
+
+TEST(SvcProtocol, PingAndErrors) {
+  Service service{withWorkers(1)};
+  EXPECT_TRUE(responseOk(service.handleLine(R"({"op":"ping"})")));
+  EXPECT_FALSE(responseOk(service.handleLine("not json")));
+  EXPECT_FALSE(responseOk(service.handleLine(R"({"op":"frobnicate"})")));
+  EXPECT_FALSE(
+      responseOk(service.handleLine(R"({"op":"report","session":99})")));
+  EXPECT_FALSE(responseOk(
+      service.handleLine(R"({"op":"open","backend":"nope","qubits":3})")));
+}
+
+TEST(SvcProtocol, FullSessionRoundTrip) {
+  Service service{withWorkers(2)};
+  const std::string opened = service.handleLine(
+      R"({"op":"open","backend":"flatdd","qubits":2,"seed":"12345678901234567890"})");
+  ASSERT_TRUE(responseOk(opened)) << opened;
+  const json::Value openedJson = json::parse(opened);
+  const double sid = *asObject(openedJson).find("session")->second.number();
+  const std::string sidStr = std::to_string(static_cast<int>(sid));
+
+  // Bell pair.
+  ASSERT_TRUE(responseOk(service.handleLine(
+      R"({"op":"apply","session":)" + sidStr +
+      R"(,"gates":[{"gate":"h","target":0},{"gate":"x","target":1,"controls":[0]}]})")));
+
+  const std::string sampled = service.handleLine(
+      R"({"op":"sample","session":)" + sidStr + R"(,"shots":200})");
+  ASSERT_TRUE(responseOk(sampled));
+  // Bell state: only outcomes 0 and 3.
+  EXPECT_EQ(sampled.find("\"1\""), std::string::npos);
+  EXPECT_EQ(sampled.find("\"2\""), std::string::npos);
+
+  const std::string amp = service.handleLine(
+      R"({"op":"amplitude","session":)" + sidStr + R"(,"index":0})");
+  ASSERT_TRUE(responseOk(amp));
+  EXPECT_NE(amp.find("0.7071"), std::string::npos);
+
+  const std::string report = service.handleLine(
+      R"({"op":"report","session":)" + sidStr + "}");
+  ASSERT_TRUE(responseOk(report));
+  // The 64-bit seed survives as a decimal string.
+  EXPECT_NE(report.find("\"seed\":\"12345678901234567890\""),
+            std::string::npos);
+
+  // Checkpoint / diverge / restore.
+  const std::string cp = service.handleLine(
+      R"({"op":"checkpoint","session":)" + sidStr + "}");
+  ASSERT_TRUE(responseOk(cp));
+  ASSERT_TRUE(responseOk(service.handleLine(
+      R"({"op":"apply","session":)" + sidStr +
+      R"(,"gates":[{"gate":"x","target":0}]})")));
+  const std::string restored = service.handleLine(
+      R"({"op":"restore","session":)" + sidStr + R"(,"checkpoint":1})");
+  ASSERT_TRUE(responseOk(restored));
+  EXPECT_NE(restored.find("\"total_gates\":2"), std::string::npos);
+
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"restore","session":)" + sidStr + R"(,"checkpoint":42})")));
+
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"close","session":)" + sidStr + "}")));
+  EXPECT_FALSE(responseOk(
+      service.handleLine(R"({"op":"report","session":)" + sidStr + "}")));
+
+  EXPECT_FALSE(service.shutdownRequested());
+  EXPECT_TRUE(responseOk(service.handleLine(R"({"op":"shutdown"})")));
+  EXPECT_TRUE(service.shutdownRequested());
+}
+
+TEST(SvcProtocol, QasmApplyAndGateValidation) {
+  Service service{withWorkers(1)};
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":3,"seed":1})")));
+  ASSERT_TRUE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n"})")));
+  // GHZ over 3 qubits: amplitude(7) = 1/sqrt(2).
+  const std::string amp =
+      service.handleLine(R"({"op":"amplitude","session":1,"index":7})");
+  EXPECT_NE(amp.find("0.7071"), std::string::npos);
+
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"gates":[{"gate":"warp","target":0}]})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"gates":[{"gate":"rz","target":0}]})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"gates":[{"gate":"h","target":9}]})")));
+}
+
+TEST(SvcProtocol, AsyncApplyJobLifecycle) {
+  Service service{withWorkers(1)};
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":4,"seed":1})")));
+  const std::string submitted = service.handleLine(
+      R"({"op":"apply","session":1,"async":true,"gates":[{"gate":"h","target":0}]})");
+  ASSERT_TRUE(responseOk(submitted)) << submitted;
+  EXPECT_NE(submitted.find("\"job\":"), std::string::npos);
+
+  // Poll with a generous wait: must end done with the gate applied.
+  const std::string done = service.handleLine(
+      R"({"op":"job","job":1,"wait_ms":10000})");
+  ASSERT_TRUE(responseOk(done)) << done;
+  EXPECT_NE(done.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(done.find("\"total_gates\":1"), std::string::npos);
+
+  // The record is dropped once observed terminal.
+  EXPECT_FALSE(responseOk(service.handleLine(R"({"op":"job","job":1})")));
+  EXPECT_FALSE(responseOk(service.handleLine(R"({"op":"cancel","job":7})")));
+}
+
+TEST(SvcProtocol, DeadlinePropagates) {
+  Service service{withWorkers(1)};
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":4,"seed":1})")));
+  // An already-expired deadline must reject the job, not run it.
+  const std::string expired = service.handleLine(
+      R"({"op":"apply","session":1,"deadline_ms":0.0001,"gates":[{"gate":"h","target":0}]})");
+  // Either expired at pop or cancelled mid-run — never ok.
+  EXPECT_FALSE(responseOk(expired)) << expired;
+  EXPECT_NE(expired.find("expired"), std::string::npos) << expired;
+}
+
+// ---------------------------------------------------------------------------
+// PRNG checkpointing
+// ---------------------------------------------------------------------------
+
+TEST(PrngState, SaveRestoreResumesSequence) {
+  Xoshiro256 rng{123};
+  for (int i = 0; i < 10; ++i) {
+    (void)rng();
+  }
+  const auto saved = rng.state();
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 16; ++i) {
+    expect.push_back(rng());
+  }
+  Xoshiro256 resumed{999};  // different seed, then overwritten
+  resumed.setState(saved);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(resumed(), expect[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace fdd::svc

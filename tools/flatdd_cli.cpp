@@ -261,6 +261,7 @@ int runCli(const CliOptions& opt) {
     par::resizePool(eo.threads);
   }
   eo.passes = opt.passes;
+  eo.seed = opt.seed;  // stamped into the report; derives the sampling rng
   eo.recordPerGate = !opt.traceCsv.empty();
   eo.usePlanCache = opt.planCache;
   const bool tracing = !opt.traceJson.empty();
