@@ -212,12 +212,20 @@ void JobQueue::workerLoop() {
 void JobQueue::finish(const JobHandle& job, JobState state,
                       const std::string& error) {
   const std::uint64_t latencyNs = monotonicNs() - job->submitNs_;
+  std::function<void(const par::CancelToken&)> fn;
   {
     const std::lock_guard lock{job->mutex_};
     job->state_ = state;
     job->error_ = error;
     job->latencySeconds_ = static_cast<double>(latencyNs) * 1e-9;
+    fn = std::move(job->fn_);
+    job->fn_ = nullptr;
   }
+  // A terminal Job must not retain its closure: handles can outlive the
+  // queue slot indefinitely (Service::jobs_), and the closure holds the
+  // Session shared_ptr — i.e. a full 2^n state. Destroy it here, outside
+  // the job mutex (releasing a Session can be arbitrarily heavy).
+  fn = nullptr;
   latencyHistogram().record(latencyNs);
   job->done_.notify_all();
   if (job->orderKey_ != 0) {

@@ -75,7 +75,10 @@ struct JobOptions {
 };
 
 /// Shared completion state of one submitted job. Handles are shared_ptr, so
-/// a handle outlives both the queue slot and the session it targets.
+/// a handle outlives both the queue slot and the session it targets. The
+/// closure (and whatever it captures — typically the Session) is released
+/// the moment the job reaches a terminal state, so a lingering handle pins
+/// only this small completion block.
 class Job {
  public:
   [[nodiscard]] JobState state() const;

@@ -1,7 +1,8 @@
 #include "service/protocol.hpp"
 
+#include <charconv>
 #include <chrono>
-#include <cstdlib>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 #include <vector>
@@ -63,9 +64,42 @@ double getNumber(const json::Object& obj, std::string_view key,
   return *v->number();
 }
 
+/// Rejects everything a float-to-unsigned cast would silently corrupt or
+/// turn into UB: NaN/inf, negatives, fractions, and values above `max`.
+std::uint64_t checkedUInt(double d, std::string_view key, std::uint64_t max) {
+  if (!std::isfinite(d) || d < 0 || std::floor(d) != d) {
+    throw std::invalid_argument("field '" + std::string{key} +
+                                "' must be a non-negative integer");
+  }
+  if (d > static_cast<double>(max)) {
+    throw std::invalid_argument("field '" + std::string{key} +
+                                "' must be <= " + std::to_string(max));
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+std::uint64_t requireUInt(const json::Object& obj, std::string_view key,
+                          std::uint64_t max) {
+  return checkedUInt(requireNumber(obj, key), key, max);
+}
+
+std::uint64_t getUInt(const json::Object& obj, std::string_view key,
+                      std::uint64_t fallback, std::uint64_t max) {
+  const json::Value* v = findField(obj, key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (v->number() == nullptr) {
+    throw std::invalid_argument("field '" + std::string{key} +
+                                "' must be a number");
+  }
+  return checkedUInt(*v->number(), key, max);
+}
+
 /// 64-bit integers (seeds) arrive as decimal strings — a JSON number is a
 /// double and only carries 53 mantissa bits — but plain numbers are accepted
-/// for convenience.
+/// for convenience. Malformed strings are an error, never a silent 0: a
+/// typo'd session/job/checkpoint id must not route to a different entity.
 std::uint64_t getU64(const json::Object& obj, std::string_view key,
                      std::uint64_t fallback) {
   const json::Value* v = findField(obj, key);
@@ -73,23 +107,52 @@ std::uint64_t getU64(const json::Object& obj, std::string_view key,
     return fallback;
   }
   if (const std::string* s = v->string()) {
-    return std::strtoull(s->c_str(), nullptr, 10);
+    std::uint64_t out = 0;
+    const char* const last = s->data() + s->size();
+    const auto [ptr, ec] = std::from_chars(s->data(), last, out, 10);
+    if (ec != std::errc{} || ptr != last || s->empty()) {
+      throw std::invalid_argument("field '" + std::string{key} +
+                                  "' is not an unsigned decimal: '" + *s +
+                                  "'");
+    }
+    return out;
   }
   if (const double* d = v->number()) {
-    return static_cast<std::uint64_t>(*d);
+    // Doubles above 2^53 no longer hit every integer — demand a string.
+    return checkedUInt(*d, key, std::uint64_t{1} << 53);
   }
   throw std::invalid_argument("field '" + std::string{key} +
                               "' must be a decimal string or number");
 }
 
+/// Millisecond duration field (0 = absent/none), bounded to one day so the
+/// microsecond conversion at the call sites cannot overflow. Sub-microsecond
+/// positives stay positive for the caller's `> 0` check.
+double getDurationMs(const json::Object& obj, std::string_view key) {
+  const double ms = getNumber(obj, key, 0);
+  if (!std::isfinite(ms) || ms < 0 || ms > 86'400'000.0) {
+    throw std::invalid_argument("field '" + std::string{key} +
+                                "' must be in [0, 86400000] ms");
+  }
+  return ms;
+}
+
+std::chrono::microseconds toMicros(double ms) {
+  return std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0));
+}
+
 JobOptions jobOptions(const json::Object& obj) {
   JobOptions opts;
-  opts.priority = static_cast<int>(getNumber(obj, "priority", 0));
-  const double deadlineMs = getNumber(obj, "deadline_ms", 0);
+  const double priority = getNumber(obj, "priority", 0);
+  if (!std::isfinite(priority) || std::floor(priority) != priority ||
+      std::abs(priority) > 1'000'000.0) {
+    throw std::invalid_argument(
+        "field 'priority' must be an integer in [-1000000, 1000000]");
+  }
+  opts.priority = static_cast<int>(priority);
+  const double deadlineMs = getDurationMs(obj, "deadline_ms");
   if (deadlineMs > 0) {
-    opts.deadline = par::CancelToken::Clock::now() +
-                    std::chrono::microseconds(
-                        static_cast<std::int64_t>(deadlineMs * 1000.0));
+    opts.deadline = par::CancelToken::Clock::now() + toMicros(deadlineMs);
   }
   return opts;
 }
@@ -133,9 +196,10 @@ qc::Circuit circuitFromRequest(const json::Object& obj, Qubit nQubits) {
       if (gate == nullptr) {
         throw std::invalid_argument("gate entries must be objects");
       }
+      const auto maxQubit = static_cast<std::uint64_t>(nQubits) - 1;
       qc::Operation op;
       op.kind = gateKindFromName(getString(*gate, "gate"));
-      op.target = static_cast<Qubit>(requireNumber(*gate, "target"));
+      op.target = static_cast<Qubit>(requireUInt(*gate, "target", maxQubit));
       if (const json::Value* controls = findField(*gate, "controls")) {
         const json::Array* arr = controls->array();
         if (arr == nullptr) {
@@ -145,7 +209,8 @@ qc::Circuit circuitFromRequest(const json::Object& obj, Qubit nQubits) {
           if (c.number() == nullptr) {
             throw std::invalid_argument("control qubits must be numbers");
           }
-          op.controls.push_back(static_cast<Qubit>(*c.number()));
+          op.controls.push_back(static_cast<Qubit>(
+              checkedUInt(*c.number(), "controls", maxQubit)));
         }
       }
       if (const json::Value* params = findField(*gate, "params")) {
@@ -154,8 +219,8 @@ qc::Circuit circuitFromRequest(const json::Object& obj, Qubit nQubits) {
           throw std::invalid_argument("'params' must be an array");
         }
         for (const json::Value& p : *arr) {
-          if (p.number() == nullptr) {
-            throw std::invalid_argument("gate params must be numbers");
+          if (p.number() == nullptr || !std::isfinite(*p.number())) {
+            throw std::invalid_argument("gate params must be finite numbers");
           }
           op.params.push_back(static_cast<fp>(*p.number()));
         }
@@ -208,7 +273,33 @@ std::string Service::handleLine(std::string_view line) {
   }
 }
 
+void Service::sweepExpiredJobs() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto grace =
+      std::chrono::milliseconds{manager_.config().asyncJobGraceMs};
+  const std::lock_guard lock{jobsMutex_};
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    AsyncJob& job = it->second;
+    if (!isTerminal(job.handle->state())) {
+      ++it;
+    } else if (!job.expireAt.has_value()) {
+      // First time we see it terminal: start the grace clock so a client
+      // that polls promptly still gets the result.
+      job.expireAt = now + grace;
+      ++it;
+    } else if (now >= *job.expireAt) {
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::string Service::dispatch(std::string_view line) {
+  // Terminal async jobs a client never polls would otherwise pin their
+  // session (and its 2^n state) forever via jobs_.
+  sweepExpiredJobs();
+
   const json::Value request = json::parse(line);
   const json::Object& obj = asObject(request);
   const std::string op = getString(obj, "op");
@@ -235,10 +326,17 @@ std::string Service::dispatch(std::string_view line) {
   if (op == "open") {
     SessionConfig cfg;
     cfg.backend = getString(obj, "backend", "flatdd");
-    cfg.qubits = static_cast<Qubit>(requireNumber(obj, "qubits"));
+    // 63 keeps `Index{1} << qubits` defined; dense backends run out of
+    // memory (a clean error) long before the protocol bound matters.
+    cfg.qubits = static_cast<Qubit>(requireUInt(obj, "qubits", 63));
+    if (cfg.qubits < 1) {
+      throw std::invalid_argument("field 'qubits' must be >= 1");
+    }
     cfg.seed = getU64(obj, "seed", 0);
+    cfg.maxCheckpoints = getUInt(obj, "max_checkpoints",
+                                 cfg.maxCheckpoints, 4096);
     cfg.engine = manager_.config().engineDefaults;
-    const double threads = getNumber(obj, "threads", 0);
+    const auto threads = getUInt(obj, "threads", 0, 1024);
     if (threads > 0) {
       cfg.engine.threads = static_cast<unsigned>(threads);
     }
@@ -268,10 +366,9 @@ std::string Service::dispatch(std::string_view line) {
     if (op == "cancel") {
       async.handle->cancel();
     } else {
-      const double waitMs = getNumber(obj, "wait_ms", 0);
+      const double waitMs = getDurationMs(obj, "wait_ms");
       if (waitMs > 0) {
-        async.handle->waitFor(std::chrono::microseconds(
-            static_cast<std::int64_t>(waitMs * 1000.0)));
+        async.handle->waitFor(toMicros(waitMs));
       }
     }
     const JobState state = async.handle->state();
@@ -297,7 +394,7 @@ std::string Service::dispatch(std::string_view line) {
   // Everything below addresses a session.
   if (op != "close" && op != "apply" && op != "sample" &&
       op != "amplitude" && op != "report" && op != "checkpoint" &&
-      op != "restore") {
+      op != "restore" && op != "release") {
     throw std::invalid_argument("unknown op '" + op + "'");
   }
   const std::uint64_t sessionId = getU64(obj, "session", 0);
@@ -333,7 +430,7 @@ std::string Service::dispatch(std::string_view line) {
       {
         const std::lock_guard lock{jobsMutex_};
         jobId = nextJobId_++;
-        jobs_.emplace(jobId, AsyncJob{handle, session, applied});
+        jobs_.emplace(jobId, AsyncJob{handle, session, applied, {}});
       }
       json::Writer w;
       w.beginObject();
@@ -356,8 +453,8 @@ std::string Service::dispatch(std::string_view line) {
   }
 
   if (op == "sample") {
-    const auto shots = static_cast<std::size_t>(
-        requireNumber(obj, "shots"));
+    const auto shots =
+        static_cast<std::size_t>(requireUInt(obj, "shots", 10'000'000));
     auto outcomes = std::make_shared<std::vector<Index>>();
     const JobHandle handle = manager_.submit(
         session,
@@ -387,7 +484,16 @@ std::string Service::dispatch(std::string_view line) {
   }
 
   if (op == "amplitude") {
-    const auto index = static_cast<Index>(requireNumber(obj, "index"));
+    // Backends index the state array directly — an unchecked index would be
+    // an out-of-bounds read on behalf of the client.
+    const double raw = requireNumber(obj, "index");
+    if (!std::isfinite(raw) || raw < 0 || std::floor(raw) != raw ||
+        raw >= std::ldexp(1.0, session->numQubits())) {
+      throw std::invalid_argument(
+          "field 'index' must be an integer in [0, 2^" +
+          std::to_string(session->numQubits()) + ")");
+    }
+    const auto index = static_cast<Index>(raw);
     auto value = std::make_shared<Complex>();
     const JobHandle handle = manager_.submit(
         session,
@@ -458,6 +564,30 @@ std::string Service::dispatch(std::string_view line) {
     w.beginObject();
     w.field("ok", true);
     w.field("total_gates", session->gatesApplied());
+    w.endObject();
+    return w.take();
+  }
+
+  if (op == "release") {
+    const std::uint64_t checkpointId = getU64(obj, "checkpoint", 0);
+    // Read the count inside the serialized job — checkpoints_ is not safe
+    // to inspect from the handler thread.
+    auto remaining = std::make_shared<std::size_t>(0);
+    const JobHandle handle = manager_.submit(
+        session,
+        [checkpointId, remaining](Session& s, const par::CancelToken&) {
+          s.release(checkpointId);
+          *remaining = s.checkpointCount();
+        },
+        jobOptions(obj));
+    handle->wait();
+    if (handle->state() != JobState::Done) {
+      return jobFailureResponse(*handle);
+    }
+    json::Writer w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("checkpoints", *remaining);
     w.endObject();
     return w.take();
   }

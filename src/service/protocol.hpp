@@ -15,25 +15,35 @@
 //              (async:true -> {"ok":true,"job":ID} immediately)
 //   sample     session, shots, priority?, deadline_ms?
 //              -> {"ok":true,"shots":N,"counts":{"<basis index>":count,...}}
-//   amplitude  session, index -> {"ok":true,"re":x,"im":y}
+//   amplitude  session, index (< 2^qubits) -> {"ok":true,"re":x,"im":y}
 //   report     session -> {"ok":true,"report":{<RunReport JSON>}}
-//   checkpoint session -> {"ok":true,"checkpoint":ID}
+//   checkpoint session -> {"ok":true,"checkpoint":ID}; fails once the
+//              session holds max_checkpoints (open option, default 32)
 //   restore    session, checkpoint -> {"ok":true}
+//   release    session, checkpoint -> {"ok":true,"checkpoints":N} (frees it)
 //   close      session -> {"ok":true}
 //   job        job, wait_ms? -> {"ok":true,"state":"done","applied":N,...}
 //   cancel     job -> {"ok":true,"state":"cancelled"|...}
 //   shutdown   -> {"ok":true}; shutdownRequested() turns true
 //
 // Every error is {"ok":false,"error":"..."} (plus "state" when a job ended
-// cancelled/expired/failed). Gate/state-mutating ops run as queue jobs keyed
-// by the session id, so concurrent connections hitting one session are
-// serialized in arrival order while different sessions proceed in parallel.
-// handleLine() itself is thread-safe.
+// cancelled/expired/failed). The protocol layer is the trust boundary: every
+// numeric field is validated here (integral, non-negative, bounded — e.g.
+// qubits <= 63, amplitude index < 2^qubits, shots <= 1e7) before anything is
+// cast for the backend, and id strings must parse exactly. Gate/state-
+// mutating ops run as queue jobs keyed by the session id, so concurrent
+// connections hitting one session are serialized in arrival order while
+// different sessions proceed in parallel. handleLine() itself is
+// thread-safe. Async job results a client never polls are dropped
+// ServiceConfig::asyncJobGraceMs after completion so they don't pin their
+// session forever.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -61,9 +71,15 @@ class Service {
     JobHandle handle;
     std::shared_ptr<Session> session;
     std::shared_ptr<std::size_t> applied;  // written by the job body
+    // Set on the first sweep that sees the job terminal; the entry is
+    // dropped once this passes so unpolled jobs can't pin sessions.
+    std::optional<std::chrono::steady_clock::time_point> expireAt;
   };
 
   std::string dispatch(std::string_view line);
+  /// Drops terminal async jobs the client stopped polling (grace period
+  /// ServiceConfig::asyncJobGraceMs). Called on every dispatch.
+  void sweepExpiredJobs();
 
   SessionManager manager_;
   std::atomic<bool> shutdown_{false};

@@ -47,7 +47,7 @@ std::size_t Session::apply(const qc::Circuit& chunk,
       slice.append(ops[i]);
     }
     applied += engine_.apply(slice);
-    gates_ += end - begin;
+    gates_.fetch_add(end - begin, std::memory_order_relaxed);
     ++stateVersion_;
   }
   if (ops.empty() && token.cancelled()) {
@@ -99,10 +99,16 @@ engine::RunReport Session::report() const {
 }
 
 std::uint64_t Session::checkpoint() {
+  if (checkpoints_.size() >= config_.maxCheckpoints) {
+    throw std::runtime_error(
+        "Session::checkpoint: limit of " +
+        std::to_string(config_.maxCheckpoints) +
+        " checkpoints reached; release one first");
+  }
   Checkpoint cp;
   cp.state = engine_.backend().stateVector();
   cp.rng = rng_.state();
-  cp.gatesApplied = gates_;
+  cp.gatesApplied = gates_.load(std::memory_order_relaxed);
   const std::uint64_t id = nextCheckpointId_++;
   checkpoints_.emplace(id, std::move(cp));
   return id;
@@ -117,8 +123,15 @@ void Session::restore(std::uint64_t checkpointId) {
   const Checkpoint& cp = it->second;
   engine_.backend().setState(cp.state);
   rng_.setState(cp.rng);
-  gates_ = cp.gatesApplied;
+  gates_.store(cp.gatesApplied, std::memory_order_relaxed);
   ++stateVersion_;  // the cached distribution is for the pre-restore state
+}
+
+void Session::release(std::uint64_t checkpointId) {
+  if (checkpoints_.erase(checkpointId) == 0) {
+    throw std::invalid_argument("Session::release: unknown checkpoint " +
+                                std::to_string(checkpointId));
+  }
 }
 
 }  // namespace fdd::svc

@@ -19,6 +19,7 @@
 // the session id as orderKey (per-key FIFO); direct calls are only safe
 // single-threaded (tests, sequential replay verification).
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -41,6 +42,10 @@ struct SessionConfig {
   std::string backend = "flatdd";
   Qubit qubits = 1;
   std::uint64_t seed = 0;
+  /// Checkpoints a session may hold at once — each stores a dense 2^n
+  /// state, so an unbounded map is a client-driven OOM. checkpoint()
+  /// fails at the cap until release() frees a slot.
+  std::size_t maxCheckpoints = 32;
   engine::EngineOptions engine;  // seed/sharedPlanCache are overwritten
 };
 
@@ -77,14 +82,23 @@ class Session {
   [[nodiscard]] engine::RunReport report() const;
 
   /// Gates live in the current state (rewound by restore(), unlike the
-  /// engine's cumulative counter which only grows).
-  [[nodiscard]] std::size_t gatesApplied() const noexcept { return gates_; }
+  /// engine's cumulative counter which only grows). Atomic so protocol
+  /// threads may read it while a queued job is still applying gates —
+  /// the only Session member with that exemption from the
+  /// "serialize via the queue" rule.
+  [[nodiscard]] std::size_t gatesApplied() const noexcept {
+    return gates_.load(std::memory_order_relaxed);
+  }
 
   /// Saves the dense state + RNG stream + gate count under a fresh id.
+  /// Throws std::runtime_error once maxCheckpoints are held (see
+  /// SessionConfig) — release() one first.
   std::uint64_t checkpoint();
   /// Rewinds to checkpoint `id`; throws std::invalid_argument on unknown id.
   /// The checkpoint stays stored (restore is repeatable).
   void restore(std::uint64_t checkpointId);
+  /// Frees checkpoint `id`; throws std::invalid_argument on unknown id.
+  void release(std::uint64_t checkpointId);
   [[nodiscard]] std::size_t checkpointCount() const noexcept {
     return checkpoints_.size();
   }
@@ -117,7 +131,8 @@ class Session {
 
   std::map<std::uint64_t, Checkpoint> checkpoints_;
   std::uint64_t nextCheckpointId_ = 1;
-  std::size_t gates_ = 0;  // gates in the current state (see gatesApplied)
+  // Gates in the current state (see gatesApplied for why it's atomic).
+  std::atomic<std::size_t> gates_{0};
 };
 
 }  // namespace fdd::svc

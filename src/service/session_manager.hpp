@@ -32,6 +32,9 @@ struct ServiceConfig {
   /// Capacity of the plan cache shared by all sessions (0 = per-session
   /// private caches, no sharing).
   std::size_t planCacheCapacity = 256;
+  /// How long a finished async job's result stays pollable after completion
+  /// before the service drops it (releasing its session reference).
+  std::int64_t asyncJobGraceMs = 60'000;
   /// Defaults for sessions that don't override engine options.
   engine::EngineOptions engineDefaults;
 };

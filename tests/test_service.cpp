@@ -730,6 +730,176 @@ TEST(SvcProtocol, DeadlinePropagates) {
   EXPECT_NE(expired.find("expired"), std::string::npos) << expired;
 }
 
+TEST(SvcProtocol, JobPollRacesLaterApply) {
+  // Regression for a data race: polling a finished async apply reads
+  // total_gates (Session::gatesApplied) on the handler thread while a later
+  // job for the same session is still incrementing it on a queue worker.
+  // The counter is atomic; TSan guards this test.
+  Service service{withWorkers(2)};
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":10,"seed":1})")));
+  ASSERT_TRUE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"async":true,"gates":[{"gate":"h","target":0}]})")));
+  std::string bulk =
+      R"({"op":"apply","session":1,"async":true,"gates":[)";
+  for (int i = 0; i < 2000; ++i) {
+    bulk += std::string{i == 0 ? "" : ","} + R"({"gate":"h","target":)" +
+            std::to_string(i % 10) + "}";
+  }
+  bulk += "]}";
+  ASSERT_TRUE(responseOk(service.handleLine(bulk)));
+
+  // Job 1 finishes first (FIFO within the session); its poll reads the gate
+  // counter while job 2 may still be applying.
+  const std::string first =
+      service.handleLine(R"({"op":"job","job":1,"wait_ms":10000})");
+  ASSERT_TRUE(responseOk(first)) << first;
+  const std::string second =
+      service.handleLine(R"({"op":"job","job":2,"wait_ms":10000})");
+  ASSERT_TRUE(responseOk(second)) << second;
+  EXPECT_NE(second.find("\"total_gates\":2001"), std::string::npos)
+      << second;
+}
+
+TEST(SvcProtocol, RejectsMalformedNumbers) {
+  Service service{withWorkers(1)};
+  // qubits: zero, negative, fractional, and absurd are all rejected.
+  EXPECT_FALSE(responseOk(service.handleLine(R"({"op":"open","qubits":0})")));
+  EXPECT_FALSE(
+      responseOk(service.handleLine(R"({"op":"open","qubits":-3})")));
+  EXPECT_FALSE(
+      responseOk(service.handleLine(R"({"op":"open","qubits":2.5})")));
+  EXPECT_FALSE(
+      responseOk(service.handleLine(R"({"op":"open","qubits":400})")));
+
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":3,"seed":1})")));
+
+  // amplitude index must be an integer inside [0, 2^qubits).
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"amplitude","session":1,"index":8})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"amplitude","session":1,"index":-1})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"amplitude","session":1,"index":1.5})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"amplitude","session":1,"index":1e300})")));
+  EXPECT_TRUE(responseOk(service.handleLine(
+      R"({"op":"amplitude","session":1,"index":7})")));
+
+  // shots: negative/fractional/huge are rejected.
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"sample","session":1,"shots":-5})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"sample","session":1,"shots":0.5})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"sample","session":1,"shots":1e12})")));
+
+  // Gate targets/controls outside the register are rejected before any cast.
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"gates":[{"gate":"h","target":-1}]})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"gates":[{"gate":"x","target":0,"controls":[5]}]})")));
+
+  // Priorities and durations are bounded integers / non-negative ms.
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"sample","session":1,"shots":1,"priority":1.5})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"sample","session":1,"shots":1,"deadline_ms":-1})")));
+}
+
+TEST(SvcProtocol, RejectsMalformedIdStrings) {
+  Service service{withWorkers(1)};
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":2,"seed":1})")));
+  // A typo'd id must be a parse error, not a silent 0 routed elsewhere.
+  EXPECT_FALSE(responseOk(
+      service.handleLine(R"({"op":"report","session":"abc"})")));
+  EXPECT_FALSE(responseOk(
+      service.handleLine(R"({"op":"report","session":"1x"})")));
+  EXPECT_FALSE(responseOk(
+      service.handleLine(R"({"op":"report","session":""})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"open","qubits":2,"seed":"99999999999999999999999999"})")));
+  // A well-formed decimal string still works.
+  EXPECT_TRUE(responseOk(
+      service.handleLine(R"({"op":"report","session":"1"})")));
+}
+
+TEST(SvcProtocol, CheckpointCapAndRelease) {
+  Service service{withWorkers(1)};
+  ASSERT_TRUE(responseOk(service.handleLine(
+      R"({"op":"open","qubits":2,"seed":1,"max_checkpoints":2})")));
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"checkpoint","session":1})")));
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"checkpoint","session":1})")));
+  // At the cap: a third checkpoint fails with a clear error.
+  const std::string full =
+      service.handleLine(R"({"op":"checkpoint","session":1})");
+  EXPECT_FALSE(responseOk(full));
+  EXPECT_NE(full.find("release"), std::string::npos) << full;
+
+  // Releasing one frees the slot; releasing it again is an error.
+  const std::string released = service.handleLine(
+      R"({"op":"release","session":1,"checkpoint":1})");
+  ASSERT_TRUE(responseOk(released)) << released;
+  EXPECT_NE(released.find("\"checkpoints\":1"), std::string::npos);
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"release","session":1,"checkpoint":1})")));
+  EXPECT_FALSE(responseOk(service.handleLine(
+      R"({"op":"restore","session":1,"checkpoint":1})")));
+  EXPECT_TRUE(responseOk(
+      service.handleLine(R"({"op":"checkpoint","session":1})")));
+  EXPECT_TRUE(responseOk(service.handleLine(
+      R"({"op":"restore","session":1,"checkpoint":2})")));
+}
+
+TEST(SvcProtocol, UnpolledAsyncJobsExpire) {
+  ServiceConfig cfg = withWorkers(1);
+  cfg.asyncJobGraceMs = 0;  // expire terminal jobs on the next sweep
+  Service service{cfg};
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":3,"seed":1})")));
+  ASSERT_TRUE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"async":true,"gates":[{"gate":"h","target":0}]})")));
+  // A sync apply on the same session serializes after the async job, so by
+  // the time it returns the async job is terminal.
+  ASSERT_TRUE(responseOk(service.handleLine(
+      R"({"op":"apply","session":1,"gates":[{"gate":"h","target":1}]})")));
+  // First sweep stamps the (zero) grace deadline, second collects.
+  EXPECT_TRUE(responseOk(service.handleLine(R"({"op":"ping"})")));
+  EXPECT_TRUE(responseOk(service.handleLine(R"({"op":"ping"})")));
+  const std::string gone = service.handleLine(R"({"op":"job","job":1})");
+  EXPECT_FALSE(responseOk(gone));
+  EXPECT_NE(gone.find("unknown job"), std::string::npos) << gone;
+}
+
+TEST(JobQueue, TerminalJobReleasesClosure) {
+  JobQueue queue{1};
+  auto marker = std::make_shared<int>(7);
+  const JobHandle handle =
+      queue.submit([marker](const par::CancelToken&) {});
+  handle->wait();
+  // The handle stays alive, but the closure (and anything it captured — in
+  // the service, the Session) must be dropped at terminal state. finish()
+  // releases it just before notifying, so poll briefly for the count.
+  for (int i = 0; i < 2000 && marker.use_count() > 1; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(marker.use_count(), 1);
+
+  // Jobs cancelled at shutdown (never run) release their closures too.
+  JobQueue stalled{1};
+  Blocker blocker{stalled};
+  auto queued = std::make_shared<int>(8);
+  const JobHandle orphan =
+      stalled.submit([queued](const par::CancelToken&) {});
+  blocker.release();
+  stalled.shutdown();
+  EXPECT_EQ(queued.use_count(), 1);
+}
+
 // ---------------------------------------------------------------------------
 // PRNG checkpointing
 // ---------------------------------------------------------------------------
