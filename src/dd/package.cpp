@@ -1,17 +1,46 @@
 #include "dd/package.hpp"
 
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/bits.hpp"
+#include "obs/metrics.hpp"
 
 namespace fdd::dd {
+
+namespace {
+
+/// FLATDD_DD_GRAIN: process-wide recursion grain override (parsed once).
+/// 0 forces maximal task fan-out (CI exercises this), large values force
+/// sequential recursion; unset/-1 keeps the automatic cutoff.
+int envDdGrain() noexcept {
+  static const int value = [] {
+    const char* e = std::getenv("FLATDD_DD_GRAIN");
+    if (e == nullptr || *e == '\0') {
+      return -1;
+    }
+    return std::atoi(e);
+  }();
+  return value;
+}
+
+void atomicMaxRelaxed(std::atomic<std::size_t>& a, std::size_t v) noexcept {
+  std::size_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 Package::Package(Qubit nQubits, fp tolerance)
     : nQubits_{nQubits},
       ctable_{tolerance},
       vUnique_{nQubits},
-      mUnique_{nQubits} {
+      mUnique_{nQubits},
+      ddGrain_{envDdGrain()} {
   if (nQubits < 1 || nQubits > 40) {
     throw std::invalid_argument("Package: qubit count must be in [1, 40]");
   }
@@ -84,14 +113,14 @@ Edge<NodeT> Package::normalize(Qubit level,
 vEdge Package::makeVectorNode(Qubit level, std::array<vEdge, 2> e) {
   assert(level >= 0 && level < nQubits_);
   const vEdge r = normalize(level, e, vPool_, vUnique_);
-  peakVNodes_ = std::max(peakVNodes_, vUnique_.count());
+  atomicMaxRelaxed(peakVNodes_, vUnique_.count());
   return r;
 }
 
 mEdge Package::makeMatrixNode(Qubit level, std::array<mEdge, 4> e) {
   assert(level >= 0 && level < nQubits_);
   const mEdge r = normalize(level, e, mPool_, mUnique_);
-  peakMNodes_ = std::max(peakMNodes_, mUnique_.count());
+  atomicMaxRelaxed(peakMNodes_, mUnique_.count());
   return r;
 }
 
@@ -120,28 +149,39 @@ vEdge Package::makeBasisState(Index bits) {
 // Reference counting & garbage collection
 // ---------------------------------------------------------------------------
 
-void Package::incRefNode(vNode* n) noexcept {
-  if (n->ref != kRefSaturated) {
-    ++n->ref;
+namespace {
+
+// Saturation-aware atomic ref updates: terminal nodes (and anything that
+// ever hits the ceiling) stay pinned at kRefSaturated forever, so the CAS
+// loop never writes them — which also keeps the shared terminals free of
+// cross-thread cache-line traffic.
+template <typename NodeT>
+void incRefImpl(NodeT* n) noexcept {
+  std::uint32_t cur = n->ref.load(std::memory_order_relaxed);
+  while (cur != kRefSaturated &&
+         !n->ref.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_relaxed)) {
   }
 }
-void Package::incRefNode(mNode* n) noexcept {
-  if (n->ref != kRefSaturated) {
-    ++n->ref;
+
+template <typename NodeT>
+void decRefImpl(NodeT* n) noexcept {
+  std::uint32_t cur = n->ref.load(std::memory_order_relaxed);
+  while (cur != kRefSaturated) {
+    assert(cur > 0);
+    if (n->ref.compare_exchange_weak(cur, cur - 1,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
   }
 }
-void Package::decRefNode(vNode* n) noexcept {
-  if (n->ref != kRefSaturated) {
-    assert(n->ref > 0);
-    --n->ref;
-  }
-}
-void Package::decRefNode(mNode* n) noexcept {
-  if (n->ref != kRefSaturated) {
-    assert(n->ref > 0);
-    --n->ref;
-  }
-}
+
+}  // namespace
+
+void Package::incRefNode(vNode* n) noexcept { incRefImpl(n); }
+void Package::incRefNode(mNode* n) noexcept { incRefImpl(n); }
+void Package::decRefNode(vNode* n) noexcept { decRefImpl(n); }
+void Package::decRefNode(mNode* n) noexcept { decRefImpl(n); }
 
 void Package::garbageCollect(bool force) {
   const std::size_t live = vUnique_.count() + mUnique_.count();
@@ -200,8 +240,8 @@ PackageStats Package::stats() const {
   PackageStats s;
   s.vNodesLive = vUnique_.count();
   s.mNodesLive = mUnique_.count();
-  s.peakVNodes = peakVNodes_;
-  s.peakMNodes = peakMNodes_;
+  s.peakVNodes = peakVNodes_.load(std::memory_order_relaxed);
+  s.peakMNodes = peakMNodes_.load(std::memory_order_relaxed);
   s.gcRuns = gcRuns_;
   s.gcCollected = gcCollected_;
   s.memoryBytes = vPool_.allocatedBytes() + mPool_.allocatedBytes() +
@@ -209,7 +249,82 @@ PackageStats Package::stats() const {
                   vAddTable_.memoryBytes() + mAddTable_.memoryBytes() +
                   mvTable_.memoryBytes() + mmTable_.memoryBytes() +
                   ctable_.memoryBytes();
+  s.computeHits = vAddTable_.hits() + mAddTable_.hits() + mvTable_.hits() +
+                  mmTable_.hits();
+  s.computeMisses = vAddTable_.misses() + mAddTable_.misses() +
+                    mvTable_.misses() + mmTable_.misses();
+  s.computeLostInserts = vAddTable_.lostInserts() + mAddTable_.lostInserts() +
+                         mvTable_.lostInserts() + mmTable_.lostInserts();
+  if (obs::enabled()) {
+    // Publish as gauges so the engine's registry snapshot (and therefore
+    // RunReport.metrics) carries the final table health of the run —
+    // backends call stats() while filling the report, before the snapshot.
+    auto& reg = obs::Registry::instance();
+    reg.gauge("dd.compute.hits").set(static_cast<double>(s.computeHits));
+    reg.gauge("dd.compute.misses").set(static_cast<double>(s.computeMisses));
+    reg.gauge("dd.compute.lost_inserts")
+        .set(static_cast<double>(s.computeLostInserts));
+  }
   return s;
+}
+
+namespace {
+
+/// Canonicity scan of one unique table: no duplicate (level, children)
+/// pairs, weights normalized, children one level down, zeros canonical,
+/// count consistent with the live chain contents.
+template <typename NodeT, typename TableT>
+bool checkTableCanonical(const TableT& table) {
+  bool ok = true;
+  // Group live nodes by structural hash, then compare within groups: any
+  // two distinct nodes with equal (level, children) break canonicity.
+  std::unordered_map<std::uint64_t, std::vector<const NodeT*>> groups;
+  std::size_t visited = 0;
+  table.forEach([&](const NodeT* node) {
+    ++visited;
+    // Normalization stores a literal 1.0 at the chosen maximum and snaps
+    // every other weight through the complex table, which can perturb
+    // magnitudes by up to the merge tolerance (so another weight's norm may
+    // sit a hair above 1, or a near-tie may canonicalize to exactly ±i to
+    // the left of the unit edge). The bit-exactly checkable invariant is:
+    // some edge carries weight exactly 1, and no weight's norm exceeds 1
+    // beyond that tolerance slack.
+    constexpr fp kSlack = 1e-8;
+    bool hasUnit = false;
+    for (const auto& edge : node->e) {
+      hasUnit = hasUnit || weightEqual(edge.w, Complex{1.0});
+      if (norm2(edge.w) > 1.0 + kSlack) {
+        ok = false;  // weight larger than the supposed maximum
+      }
+    }
+    if (!hasUnit) {
+      ok = false;  // no unit weight: the node was never normalized
+    }
+    for (const auto& child : node->e) {
+      if (child.isZero()) {
+        if (!child.isTerminal() || !weightEqual(child.w, Complex{})) {
+          ok = false;  // zero edges must be the canonical zero
+        }
+      } else if (!child.isTerminal() && child.n->v != node->v - 1) {
+        ok = false;  // no level skipping
+      }
+    }
+    auto& group = groups[nodeHash(node->v, node->e)];
+    for (const NodeT* other : group) {
+      if (other->v == node->v && other->e == node->e) {
+        ok = false;  // duplicate canonical node
+      }
+    }
+    group.push_back(node);
+  });
+  return ok && visited == table.count();
+}
+
+}  // namespace
+
+bool Package::checkCanonical() const {
+  return checkTableCanonical<vNode>(vUnique_) &&
+         checkTableCanonical<mNode>(mUnique_);
 }
 
 // Explicit instantiations keep normalize's definition out of the header.

@@ -1,5 +1,9 @@
 #include "flatdd/cost_model.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -88,6 +92,22 @@ bool cachingBeneficial(const dd::mEdge& m, Qubit nQubits, unsigned threads,
   const fp c1 = costNoCache(m, clampDmavThreads(nQubits, threads));
   const fp c2 = costWithCache(m, nQubits, threads, simdWidth);
   return c2 < c1;
+}
+
+fp ddPhaseSpeedup(unsigned threads, unsigned coreCap) {
+  if (coreCap == 0) {
+    if (const char* env = std::getenv("FLATDD_DD_ASSUME_CORES")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) {
+        coreCap = static_cast<unsigned>(v);
+      }
+    }
+    if (coreCap == 0) {
+      coreCap = std::max(1u, std::thread::hardware_concurrency());
+    }
+  }
+  const unsigned t = std::min(threads, coreCap);
+  return t <= 1 ? fp{1} : std::sqrt(static_cast<fp>(t));
 }
 
 }  // namespace fdd::flat

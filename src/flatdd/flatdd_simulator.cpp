@@ -12,12 +12,23 @@
 
 namespace fdd::flat {
 
+namespace {
+/// 0 = follow the DMAV thread count; otherwise the explicit DD-phase value.
+unsigned effectiveDdThreads(const FlatDDOptions& o) noexcept {
+  return o.ddThreads == 0 ? o.threads : o.ddThreads;
+}
+}  // namespace
+
 FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
     : nQubits_{nQubits},
       options_{options},
       ddSim_{nQubits, options.tolerance},
-      ewma_{options.beta, options.epsilon, options.warmupGates,
-            options.minDDSize},
+      // A parallel DD phase is ddPhaseSpeedup(t) faster per gate, so the
+      // DD-vs-array break-even DD size — epsilon's job — grows by the same
+      // factor, moving the conversion point later (measured in fig12).
+      ewma_{options.beta,
+            options.epsilon * ddPhaseSpeedup(effectiveDdThreads(options)),
+            options.warmupGates, options.minDDSize},
       planCache_{options.sharedPlanCache != nullptr
                      ? 0
                      : (options.usePlanCache ? options.planCacheCapacity : 0)},
@@ -26,6 +37,7 @@ FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
   // stats_ is a member, so the log vector's address is stable across reset()
   // (which assigns a fresh FlatDDStats into the same object).
   ewma_.attachLog(&stats_.ewmaLog);
+  ddSim_.setThreads(effectiveDdThreads(options_));
 }
 
 FlatDDSimulator::~FlatDDSimulator() {

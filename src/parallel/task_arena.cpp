@@ -1,0 +1,103 @@
+#include "parallel/task_arena.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace fdd::par {
+
+namespace {
+
+inline void cpuRelax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Help-recursion depth of the calling thread across all arenas (at most one
+/// arena is active per thread under the structured fork/join discipline).
+thread_local int tHelpDepth = 0;
+
+}  // namespace
+
+void TaskArena::run(ThreadPool& pool, unsigned threads,
+                    const std::function<void()>& root) {
+  rootDone_.store(false, std::memory_order_relaxed);
+  pool.run(threads, [&](unsigned worker) {
+    if (worker == 0) {
+      root();
+      // Root has joined every spawn transitively, so the queue is empty and
+      // no task is in flight; release the helper workers.
+      rootDone_.store(true, std::memory_order_release);
+      return;
+    }
+    // Helpers drain the queue until the root retires. Spin briefly between
+    // polls: regions last one gate application, so sleeping is not worth it
+    // (the pool itself parks workers between regions).
+    while (!rootDone_.load(std::memory_order_acquire)) {
+      if (Task* task = pop()) {
+        execute(*task);
+      } else {
+        cpuRelax();
+      }
+    }
+  });
+}
+
+void TaskArena::spawn(Task& task) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  queue_.push_back(&task);
+}
+
+void TaskArena::join(Task& task) {
+  if (task.done_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (popSpecific(task)) {
+    // Nobody claimed it: run inline, exactly as sequential recursion would.
+    execute(task);
+    return;
+  }
+  // Another worker owns it. Help with unrelated tasks while waiting, but cap
+  // the extra stack frames so maximal fan-out cannot overflow the stack.
+  while (!task.done_.load(std::memory_order_acquire)) {
+    Task* other = tHelpDepth < kMaxHelpDepth ? pop() : nullptr;
+    if (other != nullptr) {
+      ++tHelpDepth;
+      execute(*other);
+      --tHelpDepth;
+    } else {
+      cpuRelax();
+    }
+  }
+}
+
+void TaskArena::execute(Task& task) {
+  task.invoke_(task.ctx_);
+  task.done_.store(true, std::memory_order_release);
+}
+
+TaskArena::Task* TaskArena::pop() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  Task* task = queue_.back();
+  queue_.pop_back();
+  return task;
+}
+
+bool TaskArena::popSpecific(Task& task) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = std::find(queue_.begin(), queue_.end(), &task);
+  if (it == queue_.end()) {
+    return false;
+  }
+  // LIFO order is a heuristic, not a contract — swap-remove is fine.
+  *it = queue_.back();
+  queue_.pop_back();
+  return true;
+}
+
+}  // namespace fdd::par

@@ -1,0 +1,108 @@
+#pragma once
+// Structured fork/join task arena layered on the ThreadPool, built for the
+// DD phase's irregular recursion: DMAV's parallelFor splits an index range
+// statically, but mat-vec recursion over a DD spawns work whose shape is
+// only discovered while descending. A TaskArena turns one pool region into
+// a shared LIFO task queue that every participating worker drains.
+//
+// Usage (inside one gate application):
+//
+//   TaskArena arena;
+//   arena.run(globalPool(), threads, [&] {
+//     LambdaTask left{[&] { l = recurse(...); }};
+//     arena.spawn(left.task());
+//     r = recurse(...);              // other half inline
+//     arena.join(left.task());      // run-inline / help / wait
+//   });
+//
+// Properties:
+//  * Tasks live on the spawner's stack (LambdaTask); spawn/join cost is one
+//    mutex push/pop — no allocation on the fork path.
+//  * join() first tries to pop the awaited task and run it inline (the
+//    common case: nobody stole it yet, so fork/join degrades to plain
+//    recursion). If another worker claimed it, the joiner helps by running
+//    *other* queued tasks while it waits, bounded by kMaxHelpDepth so
+//    helping cannot grow the stack without bound at maximal fan-out
+//    (FLATDD_DD_GRAIN=0).
+//  * Deadlock-free: a task is executed only by whoever pops it from the
+//    queue (pop under the mutex is exclusive ownership), so every chain of
+//    waiting joiners terminates at a worker that is making progress inside
+//    a task body.
+//  * One arena is single-use per run(); run() may be called repeatedly.
+//    Nested run() (from inside a task) is unsupported, like ThreadPool.
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace fdd::par {
+
+class TaskArena {
+ public:
+  /// A unit of work. Stack-allocated by the spawner (see LambdaTask); must
+  /// outlive its join(), which the structured fork/join discipline ensures.
+  class Task {
+   public:
+    Task(void (*invoke)(void*), void* ctx) noexcept
+        : invoke_{invoke}, ctx_{ctx} {}
+
+   private:
+    friend class TaskArena;
+    void (*invoke_)(void*);
+    void* ctx_;
+    std::atomic<bool> done_{false};
+  };
+
+  /// How many other-task frames a blocked join() may stack while helping.
+  static constexpr int kMaxHelpDepth = 64;
+
+  /// Executes `root` on the calling thread with `threads - 1` pool workers
+  /// draining spawned tasks alongside it; returns when root has returned
+  /// (all spawns joined) and the queue is empty.
+  void run(ThreadPool& pool, unsigned threads,
+           const std::function<void()>& root);
+
+  /// Publishes a task for any participating worker. Only valid inside run().
+  void spawn(Task& task);
+
+  /// Blocks until `task` has executed; runs it inline when still queued.
+  void join(Task& task);
+
+ private:
+  void execute(Task& task);
+  /// Pops the most recently spawned task (LIFO: children before parents,
+  /// which keeps the queue shallow and the working set hot).
+  Task* pop();
+  /// Removes `task` from the queue if still there (exclusive claim).
+  bool popSpecific(Task& task);
+
+  std::mutex mutex_;
+  std::vector<Task*> queue_;          // guarded by mutex_
+  std::atomic<bool> rootDone_{false};
+};
+
+/// Wraps a callable into a stack Task: `LambdaTask t{[&]{ ... }};`.
+template <typename F>
+class LambdaTask {
+ public:
+  explicit LambdaTask(F f) : f_{std::move(f)}, task_{&LambdaTask::call, this} {}
+
+  LambdaTask(const LambdaTask&) = delete;
+  LambdaTask& operator=(const LambdaTask&) = delete;
+
+  [[nodiscard]] TaskArena::Task& task() noexcept { return task_; }
+
+ private:
+  static void call(void* self) { static_cast<LambdaTask*>(self)->f_(); }
+  F f_;
+  TaskArena::Task task_;
+};
+
+template <typename F>
+LambdaTask(F) -> LambdaTask<F>;
+
+}  // namespace fdd::par

@@ -340,6 +340,12 @@ std::string Service::dispatch(std::string_view line) {
     if (threads > 0) {
       cfg.engine.threads = static_cast<unsigned>(threads);
     }
+    // DD-phase worker count (0 = backend default). SessionManager::open
+    // clamps it against the global pool, so over-asking is harmless.
+    const auto ddThreads = getUInt(obj, "dd_threads", 0, 1024);
+    if (ddThreads > 0) {
+      cfg.engine.ddThreads = static_cast<unsigned>(ddThreads);
+    }
     const std::shared_ptr<Session> session = manager_.open(std::move(cfg));
     json::Writer w;
     w.beginObject();

@@ -1,0 +1,248 @@
+// Concurrency suite for the parallel DD phase (ISSUE 7): randomized stress
+// of the concurrent tables (unique, compute, complex), atomic refcounts,
+// and parallel-vs-sequential equivalence of the mat-vec recursion. Runs
+// under TSan in CI — the stress tests exist mostly to give the race
+// detector schedules to chew on, so they favor contention (tiny tables,
+// many workers) over realism.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/prng.hpp"
+#include "dd/compute_table.hpp"
+#include "dd/complex_table.hpp"
+#include "dd/package.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/dd_simulator.hpp"
+
+namespace fdd {
+namespace {
+
+constexpr unsigned kWorkers = 8;
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-sequential equivalence
+// ---------------------------------------------------------------------------
+
+qc::Circuit familyCircuit(int which) {
+  switch (which) {
+    case 0: return circuits::supremacy(10, 8, 46);
+    case 1: return circuits::qft(10, 777);
+    case 2: return circuits::grover(9);
+    case 3: return circuits::randomUniversal(10, 150, 3);
+    default: return circuits::quantumVolume(10, 4, 11);
+  }
+}
+
+void expectStatesMatch(const AlignedVector<Complex>& a,
+                       const AlignedVector<Complex>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i].real(), b[i].real(), 1e-9) << "amplitude " << i;
+    ASSERT_NEAR(a[i].imag(), b[i].imag(), 1e-9) << "amplitude " << i;
+  }
+}
+
+/// Runs `circuit` on `threads` workers with the parallel path forced on
+/// (no min-size gate) and returns the dense final state.
+AlignedVector<Complex> runParallel(const qc::Circuit& circuit,
+                                   unsigned threads, int grain) {
+  sim::DDSimulator sim{circuit.numQubits()};
+  sim.setThreads(threads);
+  sim.package().setDdParallelMinNodes(0);
+  sim.package().setDdGrain(grain);
+  sim.simulate(circuit);
+  EXPECT_TRUE(sim.package().checkCanonical());
+  return sim.stateVector();
+}
+
+TEST(DDConcurrent, ParallelMultiplyMatchesSequentialAcrossFamilies) {
+  for (int which = 0; which < 5; ++which) {
+    const qc::Circuit circuit = familyCircuit(which);
+    sim::DDSimulator seq{circuit.numQubits()};
+    seq.simulate(circuit);
+    const AlignedVector<Complex> expected = seq.stateVector();
+    for (const unsigned threads : {2u, 4u}) {
+      SCOPED_TRACE("family " + std::to_string(which) + " threads " +
+                   std::to_string(threads));
+      expectStatesMatch(expected, runParallel(circuit, threads, -1));
+    }
+  }
+}
+
+TEST(DDConcurrent, GrainZeroMatchesAutoGrain) {
+  // Grain 0 spawns a task at every recursion level — maximum scheduling
+  // pressure, worst case for the fork/join protocol and the tables.
+  const qc::Circuit circuit = circuits::supremacy(9, 6, 43);
+  const AlignedVector<Complex> coarse = runParallel(circuit, 4, -1);
+  const AlignedVector<Complex> fine = runParallel(circuit, 4, 0);
+  expectStatesMatch(coarse, fine);
+}
+
+TEST(DDConcurrent, ParallelKeepsStateNormalized) {
+  const qc::Circuit circuit = circuits::randomUniversal(11, 200, 29);
+  sim::DDSimulator sim{circuit.numQubits()};
+  sim.setThreads(kWorkers);
+  sim.package().setDdParallelMinNodes(0);
+  sim.package().setDdGrain(0);
+  sim.simulate(circuit);
+  EXPECT_TRUE(sim.package().checkCanonical());
+  const Complex norm = sim.package().innerProduct(sim.state(), sim.state());
+  EXPECT_NEAR(norm.real(), 1.0, 1e-9);
+  EXPECT_NEAR(norm.imag(), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Unique table: concurrent insertion stays canonical
+// ---------------------------------------------------------------------------
+
+TEST(DDConcurrent, UniqueTableConcurrentBasisStatesCanonical) {
+  constexpr Qubit kQubits = 10;
+  constexpr Index kDim = Index{1} << kQubits;
+  dd::Package pkg{kQubits};
+  // All workers build all basis states, so every node is racing to be
+  // inserted by every worker; canonicity demands they all get the same
+  // pointer per state.
+  std::vector<std::vector<dd::vEdge>> built(kWorkers);
+  par::globalPool().run(kWorkers, [&](unsigned w) {
+    auto& mine = built[w];
+    mine.reserve(kDim);
+    for (Index i = 0; i < kDim; ++i) {
+      // Stagger the order per worker so insert races hit different levels.
+      mine.push_back(pkg.makeBasisState((i + w * 37) % kDim));
+    }
+  });
+  EXPECT_TRUE(pkg.checkCanonical());
+  for (unsigned w = 1; w < kWorkers; ++w) {
+    for (Index i = 0; i < kDim; ++i) {
+      const Index state = (i + w * 37) % kDim;
+      // Worker 0 visits in natural order, so built[0][state] is `state`.
+      ASSERT_EQ(built[w][i].n, built[0][state].n) << "basis state " << state;
+    }
+  }
+}
+
+TEST(DDConcurrent, ConcurrentAddsProduceCanonicalNodes) {
+  constexpr Qubit kQubits = 8;
+  dd::Package pkg{kQubits};
+  // Each worker sums a deterministic batch of basis states; many of the
+  // intermediate sums coincide across workers, racing the unique, compute
+  // and complex tables at once.
+  std::vector<dd::vEdge> sums(kWorkers);
+  par::globalPool().run(kWorkers, [&](unsigned w) {
+    Xoshiro256 rng{1234 + (w % 4)};  // pairs of workers share a seed
+    dd::vEdge acc = pkg.makeBasisState(0);
+    for (int step = 0; step < 64; ++step) {
+      const auto bits = static_cast<Index>(rng() & 0xffu);
+      acc = pkg.add(acc, pkg.makeBasisState(bits), kQubits - 1);
+    }
+    sums[w] = acc;
+  });
+  EXPECT_TRUE(pkg.checkCanonical());
+  // Same seed -> bitwise identical DD (same canonical node pointers).
+  for (unsigned w = 4; w < kWorkers; ++w) {
+    EXPECT_EQ(sums[w].n, sums[w - 4].n) << "worker " << w;
+    EXPECT_EQ(sums[w].w, sums[w - 4].w) << "worker " << w;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compute table: torn reads must never surface
+// ---------------------------------------------------------------------------
+
+TEST(DDConcurrent, ComputeTableNeverReturnsMismatchedResult) {
+  // Tiny table (256 slots) so kWorkers hammer the same slots; keys and
+  // results both encode the same integer, so any torn read that survives
+  // the seqlock validation shows up as a key/result mismatch.
+  using Key = dd::MulKey<dd::mNode, dd::vNode>;
+  dd::ComputeTable<Key, dd::vEdge, 8> table;
+  std::atomic<std::size_t> validated{0};
+  par::globalPool().run(kWorkers, [&](unsigned w) {
+    Xoshiro256 rng{977 * (w + 1)};
+    std::size_t mine = 0;
+    for (int iter = 0; iter < 200'000; ++iter) {
+      const std::uintptr_t id = (rng() % 4096) + 1;
+      const Key key{reinterpret_cast<const dd::mNode*>(id << 4),
+                    reinterpret_cast<const dd::vNode*>(id << 8)};
+      if ((iter & 3) == 0) {
+        const dd::vEdge result{reinterpret_cast<dd::vNode*>(id << 12),
+                               Complex(static_cast<fp>(id), -1.0)};
+        table.insert(key, result);
+        continue;
+      }
+      if (dd::vEdge out; table.lookup(key, out)) {
+        ASSERT_EQ(reinterpret_cast<std::uintptr_t>(out.n), id << 12)
+            << "result does not match key: torn read escaped the seqlock";
+        ASSERT_EQ(out.w, Complex(static_cast<fp>(id), -1.0));
+        ++mine;
+      }
+    }
+    validated.fetch_add(mine, std::memory_order_relaxed);
+  });
+  // Contended or not, a healthy cache serves plenty of hits.
+  EXPECT_GT(validated.load(), 10'000u);
+  EXPECT_EQ(table.hits(), validated.load());
+}
+
+// ---------------------------------------------------------------------------
+// Complex table: concurrent lookups agree on one canonical representative
+// ---------------------------------------------------------------------------
+
+TEST(DDConcurrent, ComplexTableConcurrentLookupsAgree) {
+  dd::ComplexTable table{1e-10};
+  constexpr int kValues = 512;
+  std::vector<std::vector<Complex>> reps(
+      kWorkers, std::vector<Complex>(kValues));
+  par::globalPool().run(kWorkers, [&](unsigned w) {
+    for (int i = 0; i < kValues; ++i) {
+      // Different per-worker visit order; identical value set.
+      const int k = (i * 131 + static_cast<int>(w) * 31) % kValues;
+      const Complex z{0.001 * k, -0.002 * k};
+      reps[w][k] = table.lookup(z);
+    }
+  });
+  for (int k = 0; k < kValues; ++k) {
+    const Complex z{0.001 * k, -0.002 * k};
+    const Complex canon = table.lookup(z);
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      // Canonicity is bit-exact: every thread must have received the same
+      // representative the table answers with now.
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(reps[w][k].real()),
+                std::bit_cast<std::uint64_t>(canon.real()))
+          << "value " << k << " worker " << w;
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(reps[w][k].imag()),
+                std::bit_cast<std::uint64_t>(canon.imag()))
+          << "value " << k << " worker " << w;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Refcounts: relaxed atomic RMWs balance out
+// ---------------------------------------------------------------------------
+
+TEST(DDConcurrent, AtomicRefcountsBalanceUnderContention) {
+  dd::Package pkg{6};
+  const dd::vEdge e = pkg.makeBasisState(13);
+  pkg.incRef(e);  // pin once so the node's count is nonzero throughout
+  const std::uint32_t before = e.n->ref.load();
+  par::globalPool().run(kWorkers, [&](unsigned) {
+    for (int i = 0; i < 50'000; ++i) {
+      pkg.incRef(e);
+    }
+    for (int i = 0; i < 50'000; ++i) {
+      pkg.decRef(e);
+    }
+  });
+  EXPECT_EQ(e.n->ref.load(), before);
+}
+
+}  // namespace
+}  // namespace fdd

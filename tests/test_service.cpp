@@ -18,6 +18,7 @@
 #include "engine/backend_factory.hpp"
 #include "flatdd/flatdd_simulator.hpp"
 #include "flatdd/plan_cache.hpp"
+#include "parallel/thread_pool.hpp"
 #include "service/job_queue.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
@@ -534,6 +535,19 @@ TEST(SvcSessionManager, OpenFindClose) {
   EXPECT_FALSE(manager.close(s1->id()));
   EXPECT_EQ(manager.find(s1->id()), nullptr);
   EXPECT_EQ(manager.sessionCount(), 1u);
+}
+
+TEST(SvcSessionManager, OpenClampsDdThreadsToPoolBudget) {
+  SessionManager manager{withWorkers(2)};
+  SessionConfig cfg = makeConfig(4, 7);
+  cfg.engine.ddThreads = 100'000;  // far beyond any real pool
+  const auto session = manager.open(std::move(cfg));
+  const unsigned poolSize = par::globalPool().size();
+  EXPECT_EQ(session->config().engine.ddThreads, poolSize);
+  // A request within budget passes through untouched.
+  SessionConfig modest = makeConfig(4, 8);
+  modest.engine.ddThreads = 2;
+  EXPECT_EQ(manager.open(std::move(modest))->config().engine.ddThreads, 2u);
 }
 
 TEST(SvcSessionManager, ConcurrentSessionsMatchSequentialReplay) {
