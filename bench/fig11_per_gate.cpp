@@ -108,10 +108,13 @@ void runPlanCompilerCase() {
   base.forceConversionAtGate = 1; // everything after gate 1 is DMAV
   engine::EngineOptions planOn = base;
   planOn.usePlanCache = true;
+  engine::EngineOptions planNoFuse = planOn;
+  planNoFuse.fuseDiagonalRuns = false;  // plans per gate, no DiagRun collapse
   engine::EngineOptions planOff = base;
   planOff.usePlanCache = false;
 
   const engine::RunReport with = bestOf(3, "flatdd", circuit, planOn);
+  const engine::RunReport noFuse = bestOf(3, "flatdd", circuit, planNoFuse);
   const engine::RunReport without = bestOf(3, "flatdd", circuit, planOff);
 
   const auto perGate = [](const engine::RunReport& r) {
@@ -120,25 +123,33 @@ void runPlanCompilerCase() {
                                   static_cast<double>(r.dmavGates);
   };
   const double planUs = perGate(with) * 1e6;
+  const double noFuseUs = perGate(noFuse) * 1e6;
   const double preplanUs = perGate(without) * 1e6;
   const double lookups =
       static_cast<double>(with.planCacheHits + with.planCacheMisses);
   const double hitRate =
       lookups == 0 ? 0.0 : static_cast<double>(with.planCacheHits) / lookups;
   const double speedup = planUs > 0 ? preplanUs / planUs : 0.0;
+  const double fuseSpeedup = planUs > 0 ? noFuseUs / planUs : 0.0;
 
   Table table({"Config", "DMAV/gate", "hit rate", "compiles", "compile",
                "replay"});
-  table.addRow({"plan cache", fmtSeconds(perGate(with)),
+  table.addRow({"plan cache + diag fusion", fmtSeconds(perGate(with)),
                 fmtPercent(hitRate * 100),
                 std::to_string(with.planCompiles),
                 fmtSeconds(with.planCompileSeconds),
                 fmtSeconds(with.dmavReplaySeconds)});
+  table.addRow({"plan cache, per-gate", fmtSeconds(perGate(noFuse)), "-",
+                std::to_string(noFuse.planCompiles),
+                fmtSeconds(noFuse.planCompileSeconds),
+                fmtSeconds(noFuse.dmavReplaySeconds)});
   table.addRow({"pre-plan (recursive)", fmtSeconds(perGate(without)), "-",
                 "-", "-", "-"});
   table.print();
-  std::printf("plan-cache speedup: %s per DMAV gate\n\n",
-              fmtRatio(speedup).c_str());
+  std::printf("plan-cache speedup: %s per DMAV gate; diagonal-run fusion: "
+              "%s over per-gate plans (%zu runs collapsing %zu gates)\n\n",
+              fmtRatio(speedup).c_str(), fmtRatio(fuseSpeedup).c_str(),
+              with.diagRuns, with.diagRunGates);
 
   tools::JsonWriter w;
   w.beginObject();
@@ -159,6 +170,14 @@ void runPlanCompilerCase() {
   w.kv("planCompiles", with.planCompiles);
   w.kv("compileSeconds", with.planCompileSeconds);
   w.kv("replaySeconds", with.dmavReplaySeconds);
+  w.kv("diagRuns", with.diagRuns);
+  w.kv("diagRunGates", with.diagRunGates);
+  w.kv("denseBlockGates", with.denseBlockGates);
+  w.endObject();
+  w.key("planNoFuse").beginObject();
+  w.kv("dmavGates", noFuse.dmavGates);
+  w.kv("dmavSeconds", noFuse.dmavPhaseSeconds);
+  w.kv("perGateUs", noFuseUs);
   w.endObject();
   w.key("preplan").beginObject();
   w.kv("dmavGates", without.dmavGates);
@@ -166,6 +185,7 @@ void runPlanCompilerCase() {
   w.kv("perGateUs", preplanUs);
   w.endObject();
   w.kv("speedup", speedup);
+  w.kv("fusionSpeedup", fuseSpeedup);
   w.endObject();
   w.endObject();
   writeBenchJson("BENCH_fig11.json", w.str());

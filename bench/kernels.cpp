@@ -1,16 +1,24 @@
-// Kernel microbenchmark suite: every dispatched span kernel timed under the
-// scalar and AVX2 tiers (setDispatchTier flips the table in-process, so both
-// tiers run in one invocation on identical buffers). Reports ns/amplitude
-// and the AVX2-over-scalar speedup per kernel, per working-set size, and —
-// for the comb kernels — per stride, then emits BENCH_kernels.json for CI.
+// Kernel microbenchmark suite: every dispatched span kernel timed under
+// every tier available on this host (setDispatchTier flips the table
+// in-process, so scalar, AVX2 and AVX-512 run in one invocation on identical
+// buffers). Reports ns/amplitude and the per-tier speedup per kernel, per
+// working-set size, and — for the comb kernels — per stride; then times the
+// fused-op shapes (a DiagRun sweep vs the per-gate sweep sequence it
+// replaces, a DenseBlock column tile vs the butterfly passes it replaces)
+// and emits BENCH_kernels.json for CI.
 //
-// The speedup column is the d of Eq. 6 made observable: the cost model
-// divides the flat-array term by simd::lanes(), and this bench is the
-// evidence that the divide is earned on real buffers, not just in cpuid.
+// The speedup columns are the d of Eq. 6 made observable: the cost model
+// divides the flat-array term by the *measured* effective width
+// (simd/calibration.hpp), and the "calibration" JSON section is the source
+// of those numbers — when hardware class changes, re-run this bench and
+// refresh kCalibration in src/simd/calibration.cpp.
 
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -19,10 +27,13 @@
 #include "common/prng.hpp"
 #include "common/timing.hpp"
 #include "obs/metrics.hpp"
+#include "simd/calibration.hpp"
 #include "simd/kernels.hpp"
 
 namespace fdd::bench {
 namespace {
+
+constexpr int kNumTiers = 3;  // indexed by DispatchTier
 
 struct KernelCase {
   std::string kernel;
@@ -35,16 +46,37 @@ struct KernelResult {
   std::string kernel;
   std::size_t amps;
   std::size_t stride;
-  double scalarNs;  // per amplitude
-  double avx2Ns;    // per amplitude
-  double speedup;
+  std::array<double, kNumTiers> nsPerAmp{};  // 0 when the tier is unavailable
 };
+
+std::vector<simd::DispatchTier> availableTiers() {
+  std::vector<simd::DispatchTier> tiers{simd::DispatchTier::Scalar};
+  if (simd::tierAvailable(simd::DispatchTier::Avx2)) {
+    tiers.push_back(simd::DispatchTier::Avx2);
+  }
+  if (simd::tierAvailable(simd::DispatchTier::Avx512)) {
+    tiers.push_back(simd::DispatchTier::Avx512);
+  }
+  return tiers;
+}
 
 AlignedVector<Complex> randomBuf(std::size_t n, std::uint64_t seed) {
   Xoshiro256 rng{seed};
   AlignedVector<Complex> v(n);
   for (auto& z : v) {
     z = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  return v;
+}
+
+/// Unit-modulus random phases: safe for repeated in-place multiplication
+/// (values neither decay into denormals nor blow up).
+AlignedVector<Complex> randomPhases(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng{seed};
+  AlignedVector<Complex> v(n);
+  for (auto& z : v) {
+    const double t = rng.uniform(-3.14159265358979, 3.14159265358979);
+    z = Complex{std::cos(t), std::sin(t)};
   }
   return v;
 }
@@ -118,13 +150,27 @@ ObsOverhead measureObsOverhead() {
   return r;
 }
 
+constexpr std::size_t kMaxAmps = std::size_t{1} << 20;
+
+// Shared buffers sized for the largest case; sink is volatile-ish via
+// normSquared accumulation into a global-visible double.
+AlignedVector<Complex>& bufOut() {
+  static AlignedVector<Complex> v = randomBuf(kMaxAmps, 1);
+  return v;
+}
+AlignedVector<Complex>& bufX() {
+  static AlignedVector<Complex> v = randomBuf(kMaxAmps, 2);
+  return v;
+}
+AlignedVector<Complex>& bufY() {
+  static AlignedVector<Complex> v = randomBuf(kMaxAmps, 3);
+  return v;
+}
+
 std::vector<KernelResult> runSuite() {
-  constexpr std::size_t kMaxAmps = std::size_t{1} << 20;
-  // Shared buffers sized for the largest case; sink is volatile-ish via
-  // normSquared accumulation into a global-visible double.
-  static AlignedVector<Complex> out = randomBuf(kMaxAmps, 1);
-  static AlignedVector<Complex> x = randomBuf(kMaxAmps, 2);
-  static AlignedVector<Complex> y = randomBuf(kMaxAmps, 3);
+  static AlignedVector<Complex>& out = bufOut();
+  static AlignedVector<Complex>& x = bufX();
+  static AlignedVector<Complex>& y = bufY();
   // The butterfly kernels mutate both operands in place, so they get their
   // own buffers; u is unitary and the scale factors are unit-modulus so
   // repeated application keeps every value in the normal double range
@@ -136,9 +182,28 @@ std::vector<KernelResult> runSuite() {
   const Complex a{0.6, 0.8};
   const Complex b{-0.8, 0.6};
   static const Complex u[4] = {{0.6, 0.0}, {0.8, 0.0}, {0.8, 0.0}, {-0.6, 0.0}};
+  // Row-major 4x4 (two-qubit) and 8x8 (three-qubit) unitaries for the
+  // DenseBlock column kernel: tensor powers of u stay unitary.
+  static std::array<Complex, 64> u4{};
+  static std::array<Complex, 64> u8{};
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      u4[r * 4 + c] = u[(r >> 1) * 2 + (c >> 1)] * u[(r & 1) * 2 + (c & 1)];
+    }
+  }
+  for (unsigned r = 0; r < 8; ++r) {
+    for (unsigned c = 0; c < 8; ++c) {
+      u8[r * 8 + c] = u[(r >> 2) * 2 + (c >> 2)] * u4[(r & 3) * 4 + (c & 3)];
+    }
+  }
 
-  const std::vector<std::size_t> sizes = {std::size_t{1} << 12,
-                                          std::size_t{1} << 16, kMaxAmps};
+  // Contiguous kernels sweep 2^12..2^20; the comb kernels (4 strides each)
+  // run at three sizes to keep the suite a few seconds per tier.
+  const std::vector<std::size_t> sizes = {
+      std::size_t{1} << 12, std::size_t{1} << 14, std::size_t{1} << 16,
+      std::size_t{1} << 18, kMaxAmps};
+  const std::vector<std::size_t> combSizes = {
+      std::size_t{1} << 12, std::size_t{1} << 16, kMaxAmps};
   std::vector<KernelCase> cases;
   for (const std::size_t n : sizes) {
     cases.push_back({"scale", n, 1,
@@ -157,9 +222,29 @@ std::vector<KernelResult> runSuite() {
     cases.push_back({"butterflyAdjacent", n, 1, [n] {
                        simd::butterflyAdjacent(bf1.data(), u, n / 2);
                      }});
+    cases.push_back({"mulPointwise", n, 1, [n] {
+                       simd::mulPointwise(out.data(), x.data(), y.data(), n);
+                     }});
+    for (const unsigned m : {4u, 8u}) {
+      const std::size_t span = n / m;
+      cases.push_back({"denseColumns m=" + std::to_string(m), n, 1,
+                       [m, span] {
+                         const Complex* in[8];
+                         Complex* o[8];
+                         for (unsigned j = 0; j < m; ++j) {
+                           in[j] = x.data() + j * span;
+                           o[j] = out.data() + j * span;
+                         }
+                         simd::denseColumns(o, in,
+                                            m == 4 ? u4.data() : u8.data(),
+                                            m, span);
+                       }});
+    }
     cases.push_back({"normSquared", n, 1, [n] {
                        sink += simd::normSquared(x.data(), n);
                      }});
+  }
+  for (const std::size_t n : combSizes) {
     // Comb kernels at the strides the plan compiler emits: stride 2^(q+1)
     // with len = stride/2 for a low-qubit gate on q (period-2 collapse).
     for (const std::size_t stride : {2u, 8u, 64u, 256u}) {
@@ -203,6 +288,7 @@ std::vector<KernelResult> runSuite() {
                      }
                    }});
 
+  const std::vector<simd::DispatchTier> tiers = availableTiers();
   std::vector<KernelResult> results;
   for (const KernelCase& c : cases) {
     // ~2^22 amplitudes of work per measurement keeps each case ~ms-scale.
@@ -212,15 +298,9 @@ std::vector<KernelResult> runSuite() {
     r.kernel = c.kernel;
     r.amps = c.amps;
     r.stride = c.stride;
-    simd::setDispatchTier(simd::DispatchTier::Scalar);
-    r.scalarNs = timeKernel(c, iters);
-    if (simd::tierAvailable(simd::DispatchTier::Avx2)) {
-      simd::setDispatchTier(simd::DispatchTier::Avx2);
-      r.avx2Ns = timeKernel(c, iters);
-      r.speedup = r.avx2Ns > 0 ? r.scalarNs / r.avx2Ns : 0.0;
-    } else {
-      r.avx2Ns = 0;
-      r.speedup = 0;
+    for (const simd::DispatchTier tier : tiers) {
+      simd::setDispatchTier(tier);
+      r.nsPerAmp[static_cast<int>(tier)] = timeKernel(c, iters);
     }
     results.push_back(r);
   }
@@ -230,32 +310,288 @@ std::vector<KernelResult> runSuite() {
   return results;
 }
 
+// ---------------------------------------------------------------------------
+// Fused-op shapes: passes over memory are the acceptance metric on a
+// single-core container — each fused op must replace k sweeps with one.
+// ---------------------------------------------------------------------------
+
+/// A run of 4 diagonal gates: unfused DMAV applies one full-array sweep per
+/// gate (4 passes); the fused DiagRun plan applies the combined per-index
+/// phase table in a single mulPointwise pass.
+struct DiagRunBench {
+  std::size_t amps = kMaxAmps;
+  std::size_t gates = 4;
+  int passesSequence = 4;
+  int passesFused = 1;
+  double sequenceNs = 0;  // per amplitude, all 4 per-gate sweeps
+  double fusedNs = 0;     // per amplitude, the single fused sweep
+  double speedup = 0;
+  bool pass = false;  // acceptance: >= 2x at 2^20 amps
+};
+
+DiagRunBench measureDiagRun() {
+  static AlignedVector<Complex> state = randomPhases(kMaxAmps, 11);
+  static std::array<AlignedVector<Complex>, 4> diag = {
+      randomPhases(kMaxAmps, 12), randomPhases(kMaxAmps, 13),
+      randomPhases(kMaxAmps, 14), randomPhases(kMaxAmps, 15)};
+  static AlignedVector<Complex> fusedDiag = [] {
+    AlignedVector<Complex> d(kMaxAmps, Complex{1.0});
+    for (const auto& g : diag) {
+      simd::mulPointwise(d.data(), d.data(), g.data(), kMaxAmps);
+    }
+    return d;
+  }();
+
+  DiagRunBench r;
+  const KernelCase sequence{"diag-sequence", kMaxAmps, 1, [] {
+                              for (const auto& g : diag) {
+                                simd::mulPointwise(state.data(), state.data(),
+                                                   g.data(), kMaxAmps);
+                              }
+                            }};
+  const KernelCase fused{"diag-fused", kMaxAmps, 1, [] {
+                           simd::mulPointwise(state.data(), state.data(),
+                                              fusedDiag.data(), kMaxAmps);
+                         }};
+  const std::size_t iters = 4;
+  r.sequenceNs = timeKernel(sequence, iters);
+  r.fusedNs = timeKernel(fused, iters);
+  r.speedup = r.fusedNs > 0 ? r.sequenceNs / r.fusedNs : 0;
+  r.pass = r.speedup >= 2.0;
+  return r;
+}
+
+/// A fused two-qubit dense gate: the unfused replay runs one full V -> W
+/// pass per constituent single-qubit gate, and each pass is a zero-fill
+/// plus two accumulating mac2 half-sweeps (what the plan compiler emits for
+/// a top-qubit dense gate — see HighQubitHadamardFusesToTwoMac2SpansPerBlock
+/// in tests/test_dmav_plan.cpp). The DenseBlock plan applies the full 4x4 in
+/// one exclusive denseColumns pass, no zero-fill.
+struct DenseBlockBench {
+  std::size_t amps = kMaxAmps;
+  int passesSequence = 2;
+  int passesFused = 1;
+  double sequenceNs = 0;
+  double fusedNs = 0;
+  double speedup = 0;
+};
+
+DenseBlockBench measureDenseBlock() {
+  static AlignedVector<Complex> v = randomBuf(kMaxAmps, 21);
+  static AlignedVector<Complex> w = randomBuf(kMaxAmps, 22);
+  static const Complex u[4] = {
+      {0.6, 0.0}, {0.8, 0.0}, {0.8, 0.0}, {-0.6, 0.0}};
+  static std::array<Complex, 64> u4{};
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      u4[r * 4 + c] = u[(r >> 1) * 2 + (c >> 1)] * u[(r & 1) * 2 + (c & 1)];
+    }
+  }
+  constexpr std::size_t kHalf = kMaxAmps / 2;
+  constexpr std::size_t kQuarter = kMaxAmps / 4;
+
+  DenseBlockBench r;
+  const KernelCase sequence{
+      "dense-mac2-passes", kMaxAmps, 1, [] {
+        Complex* in = v.data();
+        Complex* out = w.data();
+        for (int gate = 0; gate < 2; ++gate) {
+          simd::zeroFill(out, kMaxAmps);
+          simd::mac2(out, in, u[0], in + kHalf, u[1], kHalf);
+          simd::mac2(out + kHalf, in, u[2], in + kHalf, u[3], kHalf);
+          std::swap(in, out);
+        }
+      }};
+  const KernelCase fused{"dense-block", kMaxAmps, 1, [] {
+                           const Complex* in[4];
+                           Complex* out[4];
+                           for (unsigned j = 0; j < 4; ++j) {
+                             in[j] = v.data() + j * kQuarter;
+                             out[j] = w.data() + j * kQuarter;
+                           }
+                           simd::denseColumns(out, in, u4.data(), 4,
+                                              kQuarter);
+                         }};
+  const std::size_t iters = 4;
+  r.sequenceNs = timeKernel(sequence, iters);
+  r.fusedNs = timeKernel(fused, iters);
+  r.speedup = r.fusedNs > 0 ? r.sequenceNs / r.fusedNs : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Calibration: scalarNs / tierNs per kernel class at 2^20 amps — the
+// measured effective widths that refresh kCalibration in
+// src/simd/calibration.cpp (and through it Eq. 5/6 and the EWMA trigger).
+// ---------------------------------------------------------------------------
+
+struct CalibrationRow {
+  const char* cls;
+  simd::KernelClass kernelClass;
+  std::array<double, kNumTiers> nsPerAmp{};
+  std::array<double, kNumTiers> measuredWidth{};  // scalarNs / tierNs
+  std::array<double, kNumTiers> tableWidth{};     // current kCalibration
+};
+
+std::vector<CalibrationRow> measureCalibration() {
+  static AlignedVector<Complex>& out = bufOut();
+  static AlignedVector<Complex>& x = bufX();
+  static AlignedVector<Complex>& y = bufY();
+  static AlignedVector<Complex> bf = randomBuf(kMaxAmps, 31);
+  static double sink = 0;
+  const Complex a{0.6, 0.8};
+  const Complex b{-0.8, 0.6};
+  static const Complex u[4] = {
+      {0.6, 0.0}, {0.8, 0.0}, {0.8, 0.0}, {-0.6, 0.0}};
+  static std::array<Complex, 16> u4{};
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      u4[r * 4 + c] = u[(r >> 1) * 2 + (c >> 1)] * u[(r & 1) * 2 + (c & 1)];
+    }
+  }
+  constexpr std::size_t n = kMaxAmps;
+
+  // The Mac/Mac2 probes use the replay shape (streaming input, cache-hot
+  // block-sized output) — that is the memory pattern Eq. 6's sweep term
+  // actually models; full-streaming MACs are DRAM-bound and would report
+  // width ~1 regardless of tier.
+  constexpr std::size_t kSpan = std::size_t{1} << 9;
+  const std::vector<std::pair<simd::KernelClass, KernelCase>> probes = {
+      {simd::KernelClass::Mac,
+       {"scaleAccumulate/hot-out", n, 1, [a] {
+          for (std::size_t off = 0; off < n; off += kSpan) {
+            simd::scaleAccumulate(out.data(), x.data() + off, a, kSpan);
+          }
+        }}},
+      {simd::KernelClass::Mac2,
+       {"mac2/hot-out", n, 1, [a, b] {
+          for (std::size_t off = 0; off < n; off += kSpan) {
+            simd::mac2(out.data(), x.data() + off, a, y.data() + off, b,
+                       kSpan);
+          }
+        }}},
+      {simd::KernelClass::Butterfly,
+       {"butterfly", n, 1,
+        [] { simd::butterfly(bf.data(), bf.data() + n / 2, u, n / 2); }}},
+      {simd::KernelClass::Diag,
+       {"mulPointwise", n, 1,
+        [] { simd::mulPointwise(out.data(), x.data(), y.data(), n); }}},
+      {simd::KernelClass::Dense,
+       {"denseColumns m=4", n, 1, [] {
+          const Complex* in[4];
+          Complex* o[4];
+          for (unsigned j = 0; j < 4; ++j) {
+            in[j] = x.data() + j * (n / 4);
+            o[j] = out.data() + j * (n / 4);
+          }
+          simd::denseColumns(o, in, u4.data(), 4, n / 4);
+        }}},
+      {simd::KernelClass::Norm,
+       {"normSquared", n, 1,
+        [] { sink += simd::normSquared(x.data(), n); }}},
+  };
+  static const char* kClassNames[] = {"Mac",  "Mac2",  "Butterfly",
+                                      "Diag", "Dense", "Norm"};
+
+  std::vector<CalibrationRow> rows;
+  const std::vector<simd::DispatchTier> tiers = availableTiers();
+  for (const auto& [cls, c] : probes) {
+    CalibrationRow row;
+    row.cls = kClassNames[static_cast<int>(cls)];
+    row.kernelClass = cls;
+    for (const simd::DispatchTier tier : tiers) {
+      simd::setDispatchTier(tier);
+      row.nsPerAmp[static_cast<int>(tier)] = timeKernel(c, 4);
+    }
+    const double scalarNs =
+        row.nsPerAmp[static_cast<int>(simd::DispatchTier::Scalar)];
+    for (const simd::DispatchTier tier : tiers) {
+      const int t = static_cast<int>(tier);
+      row.measuredWidth[t] =
+          row.nsPerAmp[t] > 0 ? scalarNs / row.nsPerAmp[t] : 0;
+      row.tableWidth[t] =
+          static_cast<double>(simd::calibratedLanes(cls, tier));
+    }
+    rows.push_back(row);
+  }
+  if (sink == 12345.6789) {
+    std::printf("%f\n", sink);
+  }
+  return rows;
+}
+
 int run() {
-  printPreamble("Kernel microbenchmarks — scalar vs dispatched SIMD",
+  printPreamble("Kernel microbenchmarks — per-tier dispatched SIMD",
                 "FlatDD (ICPP'24), Eq. 6 SIMD width d (Section 3.2.3)");
   const bool haveAvx2 = simd::tierAvailable(simd::DispatchTier::Avx2);
-  if (!haveAvx2) {
-    std::printf("AVX2 tier unavailable on this host/build; "
-                "scalar numbers only.\n\n");
-  }
+  const bool haveAvx512 = simd::tierAvailable(simd::DispatchTier::Avx512);
+  std::printf("tiers: scalar%s%s\n\n", haveAvx2 ? ", avx2" : "",
+              haveAvx512 ? ", avx512" : "");
+  const simd::DispatchTier startupTier = simd::activeTier();
 
   const std::vector<KernelResult> results = runSuite();
-  // Leave the process on its startup tier.
-  simd::setDispatchTier(haveAvx2 ? simd::DispatchTier::Avx2
-                                 : simd::DispatchTier::Scalar);
+  const DiagRunBench diagRun = measureDiagRun();
+  const DenseBlockBench denseBlock = measureDenseBlock();
+  const std::vector<CalibrationRow> calibration = measureCalibration();
+  simd::setDispatchTier(startupTier);
 
-  Table table({"Kernel", "amps", "scalar ns/amp", "avx2 ns/amp", "speedup"});
+  const auto ns = [](const KernelResult& r, simd::DispatchTier t) {
+    return r.nsPerAmp[static_cast<int>(t)];
+  };
+  Table table({"Kernel", "amps", "scalar ns/amp", "avx2 ns/amp",
+               "avx512 ns/amp", "best speedup"});
   char buf[32];
   for (const KernelResult& r : results) {
-    std::snprintf(buf, sizeof(buf), "%.3f", r.scalarNs);
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  ns(r, simd::DispatchTier::Scalar));
     std::string scalarCell = buf;
-    std::snprintf(buf, sizeof(buf), "%.3f", r.avx2Ns);
+    std::snprintf(buf, sizeof(buf), "%.3f", ns(r, simd::DispatchTier::Avx2));
     std::string avx2Cell = haveAvx2 ? buf : "-";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  ns(r, simd::DispatchTier::Avx512));
+    std::string avx512Cell = haveAvx512 ? buf : "-";
+    double bestNs = ns(r, simd::DispatchTier::Scalar);
+    for (const simd::DispatchTier t :
+         {simd::DispatchTier::Avx2, simd::DispatchTier::Avx512}) {
+      if (ns(r, t) > 0 && ns(r, t) < bestNs) {
+        bestNs = ns(r, t);
+      }
+    }
+    const double speedup =
+        bestNs > 0 ? ns(r, simd::DispatchTier::Scalar) / bestNs : 0;
     table.addRow({r.kernel, std::to_string(r.amps), scalarCell, avx2Cell,
-                  haveAvx2 ? fmtRatio(r.speedup) : "-"});
+                  avx512Cell, fmtRatio(speedup)});
   }
   table.print();
   std::printf("\n");
+
+  std::printf("DiagRun (4 diagonal gates, 2^20 amps): %d passes "
+              "%.3f ns/amp -> %d pass %.3f ns/amp, %.2fx %s\n",
+              diagRun.passesSequence, diagRun.sequenceNs, diagRun.passesFused,
+              diagRun.fusedNs, diagRun.speedup,
+              diagRun.pass ? "PASS (>=2x)" : "FAIL (<2x)");
+  std::printf("DenseBlock (fused 2-qubit gate, 2^20 amps): %d passes "
+              "%.3f ns/amp -> %d pass %.3f ns/amp, %.2fx\n\n",
+              denseBlock.passesSequence, denseBlock.sequenceNs,
+              denseBlock.passesFused, denseBlock.fusedNs, denseBlock.speedup);
+
+  Table calTable({"Class", "scalar ns", "avx2 width", "avx512 width",
+                  "table avx2", "table avx512"});
+  for (const CalibrationRow& row : calibration) {
+    const int s = static_cast<int>(simd::DispatchTier::Scalar);
+    const int a2 = static_cast<int>(simd::DispatchTier::Avx2);
+    const int a5 = static_cast<int>(simd::DispatchTier::Avx512);
+    std::snprintf(buf, sizeof(buf), "%.3f", row.nsPerAmp[s]);
+    std::string scalarCell = buf;
+    calTable.addRow({row.cls, scalarCell,
+                     haveAvx2 ? fmtRatio(row.measuredWidth[a2]) : "-",
+                     haveAvx512 ? fmtRatio(row.measuredWidth[a5]) : "-",
+                     fmtRatio(row.tableWidth[a2]),
+                     fmtRatio(row.tableWidth[a5])});
+  }
+  calTable.print();
+  std::printf("(measured widths refresh kCalibration in "
+              "src/simd/calibration.cpp)\n\n");
 
   const ObsOverhead obsOverhead = measureObsOverhead();
   std::printf("obs disabled-mode overhead (scale, 4096 amps): "
@@ -268,17 +604,64 @@ int run() {
   w.beginObject();
   w.kv("bench", "kernels");
   w.kv("avx2Available", haveAvx2);
+  w.kv("avx512Available", haveAvx512);
   w.kv("scalarLanes", 1);
   w.kv("avx2Lanes", haveAvx2 ? 4 : 0);
+  w.kv("avx512Lanes", haveAvx512 ? 8 : 0);
+  w.kv("bestTier", simd::toString(simd::bestAvailableTier()));
   w.key("kernels").beginArray();
   for (const KernelResult& r : results) {
+    const double scalarNs = ns(r, simd::DispatchTier::Scalar);
+    const double avx2Ns = ns(r, simd::DispatchTier::Avx2);
+    const double avx512Ns = ns(r, simd::DispatchTier::Avx512);
     w.beginObject();
     w.kv("kernel", r.kernel);
     w.kv("amps", static_cast<std::uint64_t>(r.amps));
     w.kv("stride", static_cast<std::uint64_t>(r.stride));
-    w.kv("scalarNsPerAmp", r.scalarNs);
-    w.kv("avx2NsPerAmp", r.avx2Ns);
-    w.kv("speedup", r.speedup);
+    w.kv("scalarNsPerAmp", scalarNs);
+    w.kv("avx2NsPerAmp", avx2Ns);
+    w.kv("avx512NsPerAmp", avx512Ns);
+    w.kv("avx2Speedup", avx2Ns > 0 ? scalarNs / avx2Ns : 0.0);
+    w.kv("avx512Speedup", avx512Ns > 0 ? scalarNs / avx512Ns : 0.0);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("diagRun").beginObject();
+  w.kv("gates", static_cast<std::uint64_t>(diagRun.gates));
+  w.kv("amps", static_cast<std::uint64_t>(diagRun.amps));
+  w.kv("passesSequence", std::uint64_t{4});
+  w.kv("passesFused", std::uint64_t{1});
+  w.kv("sequenceNsPerAmp", diagRun.sequenceNs);
+  w.kv("fusedNsPerAmp", diagRun.fusedNs);
+  w.kv("speedup", diagRun.speedup);
+  w.kv("pass", diagRun.pass);
+  w.endObject();
+  w.key("denseBlock").beginObject();
+  w.kv("amps", static_cast<std::uint64_t>(denseBlock.amps));
+  w.kv("passesSequence", std::uint64_t{2});
+  w.kv("passesFused", std::uint64_t{1});
+  w.kv("sequenceNsPerAmp", denseBlock.sequenceNs);
+  w.kv("fusedNsPerAmp", denseBlock.fusedNs);
+  w.kv("speedup", denseBlock.speedup);
+  w.endObject();
+  w.key("calibration").beginArray();
+  for (const CalibrationRow& row : calibration) {
+    w.beginObject();
+    w.kv("class", row.cls);
+    w.kv("scalarNsPerAmp",
+         row.nsPerAmp[static_cast<int>(simd::DispatchTier::Scalar)]);
+    w.kv("avx2NsPerAmp",
+         row.nsPerAmp[static_cast<int>(simd::DispatchTier::Avx2)]);
+    w.kv("avx512NsPerAmp",
+         row.nsPerAmp[static_cast<int>(simd::DispatchTier::Avx512)]);
+    w.kv("avx2MeasuredWidth",
+         row.measuredWidth[static_cast<int>(simd::DispatchTier::Avx2)]);
+    w.kv("avx512MeasuredWidth",
+         row.measuredWidth[static_cast<int>(simd::DispatchTier::Avx512)]);
+    w.kv("avx2TableWidth",
+         row.tableWidth[static_cast<int>(simd::DispatchTier::Avx2)]);
+    w.kv("avx512TableWidth",
+         row.tableWidth[static_cast<int>(simd::DispatchTier::Avx512)]);
     w.endObject();
   }
   w.endArray();

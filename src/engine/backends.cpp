@@ -216,6 +216,9 @@ class FlatDDBackend final : public Backend {
     report.planCacheHits = st.planCacheHits;
     report.planCacheMisses = st.planCacheMisses;
     report.planCompiles = st.planCompiles;
+    report.diagRuns = st.diagRuns;
+    report.diagRunGates = st.diagRunGates;
+    report.denseBlockGates = st.denseBlockGates;
     report.planCompileSeconds = st.planCompileSeconds;
     report.dmavReplaySeconds = st.dmavReplaySeconds;
     report.peakDDSize = st.peakDDSize;

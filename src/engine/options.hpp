@@ -54,6 +54,9 @@ struct EngineOptions {
   /// selects the pre-plan recursive path (for ablation benchmarks).
   bool usePlanCache = true;
   std::size_t planCacheCapacity = 64;
+  /// Collapse runs of consecutive diagonal gates into one fused DiagRun
+  /// sweep during the DMAV phase (simulate() only; requires usePlanCache).
+  bool fuseDiagonalRuns = true;
   /// When set, the flatdd backend compiles/replays through this externally
   /// owned PlanCache instead of a private one — the service shares one cache
   /// (and one capacity budget) across all sessions. Must outlive the
@@ -99,6 +102,7 @@ struct EngineOptions {
     o.forceConversionAtGate = forceConversionAtGate;
     o.usePlanCache = usePlanCache;
     o.planCacheCapacity = planCacheCapacity;
+    o.fuseDiagonalRuns = fuseDiagonalRuns;
     o.sharedPlanCache = sharedPlanCache;
     // The fusion stage is declared as a pipeline pass; the last fusion-*
     // entry wins (they configure the same conversion-point stage).

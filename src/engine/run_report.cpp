@@ -262,6 +262,9 @@ std::string RunReport::toJson() const {
   w.field("planCacheHits", planCacheHits);
   w.field("planCacheMisses", planCacheMisses);
   w.field("planCompiles", planCompiles);
+  w.field("diagRuns", diagRuns);
+  w.field("diagRunGates", diagRunGates);
+  w.field("denseBlockGates", denseBlockGates);
   w.field("peakDDSize", peakDDSize);
   w.field("dmavModelCost", dmavModelCost);
   w.endObject();
@@ -361,6 +364,9 @@ RunReport RunReport::fromJson(std::string_view text) {
       get(*c, "planCacheHits", r.planCacheHits);
       get(*c, "planCacheMisses", r.planCacheMisses);
       get(*c, "planCompiles", r.planCompiles);
+      get(*c, "diagRuns", r.diagRuns);
+      get(*c, "diagRunGates", r.diagRunGates);
+      get(*c, "denseBlockGates", r.denseBlockGates);
       get(*c, "peakDDSize", r.peakDDSize);
       get(*c, "dmavModelCost", r.dmavModelCost);
     }
@@ -458,6 +464,9 @@ std::string RunReport::toCsv() const {
   row("cache_hits", std::to_string(cacheHits));
   row("plan_cache_hits", std::to_string(planCacheHits));
   row("plan_cache_misses", std::to_string(planCacheMisses));
+  row("diag_runs", std::to_string(diagRuns));
+  row("diag_run_gates", std::to_string(diagRunGates));
+  row("dense_block_gates", std::to_string(denseBlockGates));
   row("peak_dd_size", std::to_string(peakDDSize));
   row("dmav_model_cost", numberToString(dmavModelCost));
   row("memory_bytes", std::to_string(memoryBytes));

@@ -121,7 +121,7 @@ struct RunReport {
   /// Serialized as a decimal string in JSON — 64-bit seeds don't fit a
   /// double exactly.
   std::uint64_t seed = 0;
-  std::string simdTier;      // kernel dispatch tier: "avx2" or "scalar"
+  std::string simdTier;  // kernel dispatch tier: "avx512", "avx2", "scalar"
   unsigned simdLanes = 1;    // Eq. 6's d — doubles per vector instruction
 
   // ---- phase timings (seconds) ------------------------------------------
@@ -145,6 +145,9 @@ struct RunReport {
   std::size_t planCacheHits = 0;      // DMAV plans reused from the LRU cache
   std::size_t planCacheMisses = 0;
   std::size_t planCompiles = 0;       // plan-cache misses that compiled
+  std::size_t diagRuns = 0;           // fused diagonal-gate runs executed
+  std::size_t diagRunGates = 0;       // gates collapsed into those runs
+  std::size_t denseBlockGates = 0;    // DMAVs via the DenseBlock lowering
   std::size_t peakDDSize = 0;         // peak state-DD node count
   double dmavModelCost = 0;           // summed Eq. 5/6 MAC estimate
 

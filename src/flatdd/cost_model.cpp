@@ -8,6 +8,8 @@
 #include <unordered_set>
 
 #include "flatdd/dmav_cache.hpp"
+#include "flatdd/dmav_plan.hpp"
+#include "simd/calibration.hpp"
 
 namespace fdd::flat {
 
@@ -51,10 +53,10 @@ fp costNoCache(const dd::mEdge& m, unsigned threads) {
 }
 
 fp costWithCache(const dd::mEdge& m, Qubit nQubits, unsigned threads,
-                 unsigned simdWidth) {
+                 fp simdWidth) {
   const ColumnAssignment a = assignColumnSpace(m, nQubits, threads);
   const fp t = static_cast<fp>(a.threads);
-  const fp d = static_cast<fp>(simdWidth == 0 ? 1 : simdWidth);
+  const fp d = simdWidth < fp{1} ? fp{1} : simdWidth;
   const fp dim = static_cast<fp>(Index{1} << nQubits);
 
   // K2: MACs with repeated border nodes deduplicated per thread; H: hits.
@@ -81,17 +83,31 @@ fp costWithCache(const dd::mEdge& m, Qubit nQubits, unsigned threads,
 }
 
 fp dmavCost(const dd::mEdge& m, Qubit nQubits, unsigned threads,
-            unsigned simdWidth) {
+            fp simdWidth) {
   const fp c1 = costNoCache(m, clampDmavThreads(nQubits, threads));
   const fp c2 = costWithCache(m, nQubits, threads, simdWidth);
   return c1 < c2 ? c1 : c2;
 }
 
 bool cachingBeneficial(const dd::mEdge& m, Qubit nQubits, unsigned threads,
-                       unsigned simdWidth) {
+                       fp simdWidth) {
   const fp c1 = costNoCache(m, clampDmavThreads(nQubits, threads));
   const fp c2 = costWithCache(m, nQubits, threads, simdWidth);
   return c2 < c1;
+}
+
+fp dmavCostTierAware(const dd::mEdge& m, Qubit nQubits, unsigned threads) {
+  fp c = dmavCost(m, nQubits, threads,
+                  simd::calibratedLanes(simd::KernelClass::Mac));
+  if (const auto dense = denseBlockProbe(m, nQubits)) {
+    const fp dim = static_cast<fp>(Index{1} << nQubits);
+    const fp t = static_cast<fp>(clampDmavThreads(nQubits, threads));
+    const fp densePass =
+        dim * static_cast<fp>(1u << dense->k) /
+        (simd::calibratedLanes(simd::KernelClass::Dense) * t);
+    c = std::min(c, densePass);
+  }
+  return c;
 }
 
 fp ddPhaseSpeedup(unsigned threads, unsigned coreCap) {

@@ -23,21 +23,31 @@ namespace fdd::flat {
 ///   C2 = K2/t + 2^n/(d*t) * (H/t + b)
 /// where K2 counts MACs with repeated border nodes deduplicated, H is the
 /// number of cache hits under the column-space assignment, b the number of
-/// partial-output buffers, and d the SIMD width. Callers pass
-/// simd::lanes(), which is resolved by runtime dispatch (cpuid +
-/// FLATDD_FORCE_SCALAR), so switch decisions use the width that will
-/// actually execute, not a compile-time guess. Requires simulating the
-/// assignment, so it is costlier to evaluate than Eq. 5.
+/// partial-output buffers, and d the SIMD width. Callers pass either
+/// simd::lanes() (the nominal width resolved by runtime dispatch: cpuid +
+/// FLATDD_FORCE_SCALAR/FLATDD_FORCE_TIER) or the measured effective width
+/// simd::calibratedLanes() — fractional widths are why `d` is fp. Requires
+/// simulating the assignment, so it is costlier to evaluate than Eq. 5.
 [[nodiscard]] fp costWithCache(const dd::mEdge& m, Qubit nQubits,
-                               unsigned threads, unsigned simdWidth);
+                               unsigned threads, fp simdWidth);
 
 /// min(C1, C2) — the cost FlatDD charges a DMAV (Section 3.2.3).
 [[nodiscard]] fp dmavCost(const dd::mEdge& m, Qubit nQubits, unsigned threads,
-                          unsigned simdWidth);
+                          fp simdWidth);
 
 /// True when the cost model picks the cached variant (C2 < C1).
 [[nodiscard]] bool cachingBeneficial(const dd::mEdge& m, Qubit nQubits,
-                                     unsigned threads, unsigned simdWidth);
+                                     unsigned threads, fp simdWidth);
+
+/// dmavCost evaluated with the *measured* effective width of the active
+/// dispatch tier (simd::calibratedLanes, refreshed from bench/kernels)
+/// instead of the nominal lane count, and clipped by the single-pass
+/// DenseBlock cost when the gate qualifies for that lowering: dim * 2^k
+/// MACs in one sweep at Dense-class throughput. Fusion (Alg. 3) charges
+/// candidates with this so fusing toward a 2-3 qubit dense product is
+/// recognized as profitable on any tier.
+[[nodiscard]] fp dmavCostTierAware(const dd::mEdge& m, Qubit nQubits,
+                                   unsigned threads);
 
 /// Expected DD-phase per-gate speedup from running the mat-vec recursion on
 /// `threads` workers. The EWMA trigger compares per-gate DD cost (~ s_i)

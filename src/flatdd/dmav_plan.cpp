@@ -1,9 +1,12 @@
 #include "flatdd/dmav_plan.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/bits.hpp"
 #include "common/timing.hpp"
@@ -22,6 +25,7 @@ const char* toString(SpanOpKind kind) noexcept {
     case SpanOpKind::DiagScale: return "DiagScale";
     case SpanOpKind::PermuteCopy: return "PermuteCopy";
     case SpanOpKind::BlockScale: return "BlockScale";
+    case SpanOpKind::DiagRun: return "DiagRun";
   }
   return "?";
 }
@@ -405,6 +409,152 @@ void compileCached(const dd::mEdge& m, DmavPlan& plan) {
   }
 }
 
+// ---- diagonal-run lowering ------------------------------------------------
+
+bool isDiagonalRec(const dd::mNode* n,
+                   std::unordered_set<const dd::mNode*>& seen) {
+  if (!seen.insert(n).second) {
+    return true;
+  }
+  if (n->ident) {
+    return true;
+  }
+  if (!n->e[1].isZero() || !n->e[2].isZero()) {
+    return false;
+  }
+  for (const int c : {0, 3}) {
+    const dd::mEdge& e = n->e[static_cast<std::size_t>(c)];
+    if (!e.isZero() && !e.isTerminal() && !isDiagonalRec(e.n, seen)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Writes the diagonal of edge `e` (node at `level`, span 2^(level+1)) into
+/// diag[idx..], with accumulated weight `f` (excluding e.w). A terminal edge
+/// above the bottom contributes only its first entry, matching flattenTask's
+/// len-1 convention; the remainder of the span is zero.
+void writeDiagRec(const dd::mEdge& e, Qubit level, Index idx, Complex f,
+                  Complex* diag) {
+  const Index len = Index{1} << (level + 1);
+  if (e.isZero()) {
+    simd::zeroFill(diag + idx, len);
+    return;
+  }
+  const Complex fw = f * e.w;
+  if (e.isTerminal()) {
+    diag[idx] = fw;
+    if (len > 1) {
+      simd::zeroFill(diag + idx + 1, len - 1);
+    }
+    return;
+  }
+  if (e.n->ident) {
+    std::fill(diag + idx, diag + idx + len, fw);
+    return;
+  }
+  const Index step = Index{1} << level;
+  writeDiagRec(e.n->e[0], level - 1, idx, fw, diag);
+  writeDiagRec(e.n->e[3], level - 1, idx + step, fw, diag);
+}
+
+/// Folds another diagonal gate into an already-written table: pointwise
+/// product of the existing entries with this gate's diagonal. Identity
+/// subtrees with unit weight — the bulk of an RZ/CP DD — are skipped.
+void foldDiagRec(const dd::mEdge& e, Qubit level, Index idx, Complex f,
+                 Complex* diag) {
+  const Index len = Index{1} << (level + 1);
+  if (e.isZero()) {
+    simd::zeroFill(diag + idx, len);
+    return;
+  }
+  const Complex fw = f * e.w;
+  if (e.isTerminal()) {
+    diag[idx] *= fw;
+    if (len > 1) {
+      simd::zeroFill(diag + idx + 1, len - 1);
+    }
+    return;
+  }
+  if (e.n->ident) {
+    if (fw != Complex{1.0}) {
+      simd::scale(diag + idx, diag + idx, fw, len);
+    }
+    return;
+  }
+  const Index step = Index{1} << level;
+  foldDiagRec(e.n->e[0], level - 1, idx, fw, diag);
+  foldDiagRec(e.n->e[3], level - 1, idx + step, fw, diag);
+}
+
+// ---- dense-block lowering -------------------------------------------------
+
+/// Carves the dense plan's work into per-thread DenseBlockOp chunks. Every
+/// chunk has cost proportional to baseCount * runLen, so greedy min-load
+/// packing balances exactly.
+void compileDense(const DenseGateInfo& info, DmavPlan& plan) {
+  plan.denseK = info.k;
+  plan.denseU = info.u;
+  const unsigned m = 1u << info.k;
+  Index activeMask = 0;
+  for (unsigned i = 0; i < info.k; ++i) {
+    activeMask |= Index{1} << info.qubits[i];
+  }
+  for (unsigned j = 0; j < m; ++j) {
+    Index off = 0;
+    for (unsigned i = 0; i < info.k; ++i) {
+      if ((j >> i & 1u) != 0) {
+        off |= Index{1} << info.qubits[i];
+      }
+    }
+    plan.denseOffsets[j] = off;
+  }
+  plan.denseRunLen = Index{1} << info.qubits[0];
+  plan.denseFreeHiMask =
+      (plan.dim - 1) & ~activeMask & ~(plan.denseRunLen - 1);
+  const Index nBases =
+      Index{1} << std::popcount(plan.denseFreeHiMask);
+
+  const unsigned t = plan.threads;
+  const Index targets = Index{t} * kPlanSplitFactor;
+  std::vector<DenseBlockOp> chunks;
+  if (nBases >= targets) {
+    // Plenty of bases: contiguous base ranges, full runs.
+    for (Index c = 0; c < targets; ++c) {
+      const Index b0 = nBases * c / targets;
+      const Index b1 = nBases * (c + 1) / targets;
+      if (b1 > b0) {
+        chunks.push_back(DenseBlockOp{b0, b1 - b0, 0, plan.denseRunLen});
+      }
+    }
+  } else {
+    // Few bases (active qubits near the top): split each base's run on
+    // kDenseTileAmps boundaries so threads share a single long run.
+    const Index perBase = (targets + nBases - 1) / nBases;
+    Index slice = (plan.denseRunLen + perBase - 1) / perBase;
+    slice = std::max(kDenseTileAmps,
+                     (slice + kDenseTileAmps - 1) / kDenseTileAmps *
+                         kDenseTileAmps);
+    for (Index b = 0; b < nBases; ++b) {
+      for (Index off = 0; off < plan.denseRunLen; off += slice) {
+        chunks.push_back(
+            DenseBlockOp{b, 1, off, std::min(slice, plan.denseRunLen - off)});
+      }
+    }
+  }
+
+  plan.denseOpsOf.assign(t, {});
+  std::vector<double> load(t, 0.0);
+  for (const DenseBlockOp& chunk : chunks) {
+    const auto it = std::min_element(load.begin(), load.end());
+    plan.denseOpsOf[static_cast<std::size_t>(it - load.begin())].push_back(
+        chunk);
+    *it += static_cast<double>(chunk.baseCount) *
+           static_cast<double>(chunk.runLen);
+  }
+}
+
 }  // namespace
 
 std::size_t DmavPlan::opCount() const noexcept {
@@ -414,6 +564,9 @@ std::size_t DmavPlan::opCount() const noexcept {
   }
   for (const ColumnProgram& p : colPrograms) {
     count += p.ops.size();
+  }
+  for (const auto& chunks : denseOpsOf) {
+    count += chunks.size();
   }
   return count;
 }
@@ -434,6 +587,9 @@ std::size_t DmavPlan::opCount(SpanOpKind kind) const noexcept {
 }
 
 bool DmavPlan::fullyExclusive() const noexcept {
+  if (denseK != 0) {
+    return true;  // every amplitude is written exactly once, no zero-fill
+  }
   for (const PlanBlock& b : blocks) {
     if (!b.zeroSpans.empty()) {
       return false;
@@ -465,6 +621,12 @@ std::size_t DmavPlan::memoryBytes() const noexcept {
   for (const auto& bufs : reduceFrom) {
     bytes += bufs.capacity() * sizeof(unsigned);
   }
+  bytes += diag.capacity() * sizeof(Complex);
+  bytes += extraRoots.capacity() * sizeof(extraRoots[0]);
+  for (const auto& chunks : denseOpsOf) {
+    bytes += chunks.capacity() * sizeof(DenseBlockOp);
+  }
+  bytes += denseOpsOf.capacity() * sizeof(denseOpsOf[0]);
   return bytes;
 }
 
@@ -486,7 +648,11 @@ DmavPlan compileDmavPlan(const dd::mEdge& m, Qubit nQubits, unsigned threads,
   plan.identFast = identFastPathEnabled();
   plan.generation = pkg != nullptr ? pkg->mNodeGeneration() : 0;
   if (mode == PlanMode::Row) {
-    compileRow(m, plan);
+    if (const auto dense = denseBlockProbe(m, nQubits)) {
+      compileDense(*dense, plan);
+    } else {
+      compileRow(m, plan);
+    }
   } else {
     compileCached(m, plan);
   }
@@ -494,9 +660,176 @@ DmavPlan compileDmavPlan(const dd::mEdge& m, Qubit nQubits, unsigned threads,
   return plan;
 }
 
+bool isDiagonalGateDD(const dd::mEdge& m) {
+  if (m.isZero()) {
+    return false;
+  }
+  if (m.isTerminal()) {
+    return true;  // scalar: trivially diagonal
+  }
+  std::unordered_set<const dd::mNode*> seen;
+  return isDiagonalRec(m.n, seen);
+}
+
+std::optional<DenseGateInfo> denseBlockProbe(const dd::mEdge& m,
+                                             Qubit nQubits) {
+  if (nQubits < 2 || m.isZero() || m.isTerminal() || m.n->ident ||
+      m.n->v != nQubits - 1) {
+    return std::nullopt;
+  }
+
+  // Classify each level: passive (matrix acts as the identity there) or
+  // active. A level is passive iff *every* node at it has zero off-diagonal
+  // children and e[0] == e[3] (node and weight) — then the sub-DD below is
+  // independent of that qubit's bit, which is what makes the single-path
+  // matrix extraction below valid for every run base at once.
+  std::vector<char> activeLevel(static_cast<std::size_t>(nQubits), 0);
+  {
+    std::unordered_set<const dd::mNode*> seen;
+    std::vector<const dd::mNode*> stack{m.n};
+    seen.insert(m.n);
+    while (!stack.empty()) {
+      const dd::mNode* n = stack.back();
+      stack.pop_back();
+      if (n->ident) {
+        continue;  // identity on [0, v]: all levels below are passive
+      }
+      const bool passive = n->e[1].isZero() && n->e[2].isZero() &&
+                           n->e[0] == n->e[3] && !n->e[0].isZero();
+      if (!passive) {
+        activeLevel[static_cast<std::size_t>(n->v)] = 1;
+      }
+      for (const auto& e : n->e) {
+        if (e.isZero()) {
+          continue;
+        }
+        if (e.isTerminal()) {
+          if (n->v != 0) {
+            return std::nullopt;  // mid-tree terminal: not block-structured
+          }
+          continue;
+        }
+        if (e.n->v != n->v - 1) {
+          return std::nullopt;  // level skip: bail
+        }
+        if (seen.insert(e.n).second) {
+          stack.push_back(e.n);
+        }
+      }
+    }
+  }
+
+  DenseGateInfo info;
+  for (Qubit q = 0; q < nQubits; ++q) {
+    if (activeLevel[static_cast<std::size_t>(q)] != 0) {
+      if (info.k == 3) {
+        return std::nullopt;  // more than 3 active qubits
+      }
+      info.qubits[info.k++] = q;
+    }
+  }
+  if (info.k < 2) {
+    return std::nullopt;  // single-qubit / diagonal: existing lowering wins
+  }
+  if ((Index{1} << info.qubits[0]) < kMinDenseRunLen) {
+    return std::nullopt;  // runs too short to keep the column kernel busy
+  }
+
+  // Extract U by 4^k path descents: active levels branch on (row, col)
+  // bits, passive levels always take e[0] (== e[3]).
+  const unsigned dimU = 1u << info.k;
+  bool denseRow = false;
+  for (unsigned ra = 0; ra < dimU; ++ra) {
+    unsigned nonzeros = 0;
+    for (unsigned ca = 0; ca < dimU; ++ca) {
+      Complex f = m.w;
+      const dd::mNode* node = m.n;
+      bool zero = false;
+      for (Qubit level = nQubits - 1; level >= 0; --level) {
+        unsigned child = 0;
+        if (activeLevel[static_cast<std::size_t>(level)] != 0) {
+          unsigned i = 0;
+          while (info.qubits[i] != level) {
+            ++i;
+          }
+          child = 2 * (ra >> i & 1u) + (ca >> i & 1u);
+        }
+        const dd::mEdge& e = node->e[child];
+        if (e.isZero()) {
+          zero = true;
+          break;
+        }
+        f *= e.w;
+        node = e.n;
+      }
+      info.u[ra * dimU + ca] = zero ? Complex{} : f;
+      nonzeros += zero ? 0u : 1u;
+    }
+    denseRow = denseRow || nonzeros >= 2;
+  }
+  if (!denseRow) {
+    return std::nullopt;  // diagonal/permutation: span ops are cheaper
+  }
+  return info;
+}
+
+DmavPlan compileDiagRunPlan(std::span<const dd::mEdge> gates, Qubit nQubits,
+                            unsigned threads, const dd::Package* pkg) {
+  assert(!gates.empty());
+  FDD_TIMED_SCOPE("plan.compileDiagRun");
+  Stopwatch clock;
+  DmavPlan plan;
+  plan.root = gates[0].n;
+  plan.rootWeight = gates[0].w;
+  plan.nQubits = nQubits;
+  plan.dim = Index{1} << nQubits;
+  plan.threads = clampDmavThreads(nQubits, plan.dim == 1 ? 1 : threads);
+  plan.mode = PlanMode::Row;
+  plan.identFast = identFastPathEnabled();
+  plan.generation = pkg != nullptr ? pkg->mNodeGeneration() : 0;
+  plan.fusedGates = gates.size();
+  plan.extraRoots.reserve(gates.size() - 1);
+  for (std::size_t g = 1; g < gates.size(); ++g) {
+    plan.extraRoots.emplace_back(gates[g].n, gates[g].w);
+  }
+
+  plan.diag.resize(plan.dim);
+  writeDiagRec(gates[0], nQubits - 1, 0, Complex{1.0}, plan.diag.data());
+  for (std::size_t g = 1; g < gates.size(); ++g) {
+    foldDiagRec(gates[g], nQubits - 1, 0, Complex{1.0}, plan.diag.data());
+  }
+
+  // Uniform exclusive-write sweeps: every block costs the same, so the plain
+  // round-robin assignment is already balanced.
+  const unsigned t = plan.threads;
+  unsigned split = 1;
+  if (t > 1) {
+    while (split < kPlanSplitFactor && Index{t} * split * 2 <= plan.dim &&
+           plan.dim / (Index{t} * split * 2) >= kMinPlanBlockRows) {
+      split *= 2;
+    }
+  }
+  const unsigned nBlocks = t * split;
+  const Index rows = plan.dim / nBlocks;
+  plan.blocks.resize(nBlocks);
+  plan.blocksOf.assign(t, {});
+  for (unsigned b = 0; b < nBlocks; ++b) {
+    PlanBlock& block = plan.blocks[b];
+    block.rowBegin = static_cast<Index>(b) * rows;
+    block.rows = rows;
+    block.ops.push_back(SpanOp{.iv = block.rowBegin, .iw = block.rowBegin,
+                               .len = rows, .kind = SpanOpKind::DiagRun});
+    block.cost = static_cast<double>(rows);
+    plan.blocksOf[b % t].push_back(b);
+  }
+  plan.compileSeconds = clock.seconds();
+  return plan;
+}
+
 namespace {
 
-inline void executeOp(const SpanOp& op, const Complex* v, Complex* w) {
+inline void executeOp(const SpanOp& op, const Complex* v, Complex* w,
+                      const Complex* diag) {
   if (op.count > 1) {
     switch (op.kind) {
       case SpanOpKind::MacSpan:
@@ -517,6 +850,13 @@ inline void executeOp(const SpanOp& op, const Complex* v, Complex* w) {
         simd::scaleStrided(w + op.iw, w + op.iv, op.f, op.count, op.len,
                            op.stride);
         return;
+      case SpanOpKind::DiagRun:
+        for (Index c = 0; c < op.count; ++c) {
+          const Index at = c * op.stride;
+          simd::mulPointwise(w + op.iw + at, v + op.iv + at,
+                             diag + op.iw + at, op.len);
+        }
+        return;
     }
   }
   switch (op.kind) {
@@ -534,6 +874,9 @@ inline void executeOp(const SpanOp& op, const Complex* v, Complex* w) {
     case SpanOpKind::BlockScale:
       simd::scale(w + op.iw, w + op.iv, op.f, op.len);
       break;
+    case SpanOpKind::DiagRun:
+      simd::mulPointwise(w + op.iw, v + op.iv, diag + op.iw, op.len);
+      break;
   }
 }
 
@@ -550,16 +893,46 @@ void replayPlan(const DmavPlan& plan, std::span<const Complex> v,
   FDD_TIMED_SCOPE("dmav.replay");
   obs::PoolPhaseScope poolPhase{"dmav.replay"};
   auto& pool = par::globalPool();
+  if (plan.denseK != 0) {
+    // Dense-block plan: one pass over memory, kDenseTileAmps amplitudes per
+    // span per denseColumns call. Bases are enumerated with the masked
+    // counter (seeded by scatterBits for mid-range chunk starts).
+    const unsigned m = 1u << plan.denseK;
+    const Index carry = ~plan.denseFreeHiMask;
+    pool.run(plan.threads, [&](unsigned i) {
+      const Complex* in[8];
+      Complex* out[8];
+      for (const DenseBlockOp& chunk : plan.denseOpsOf[i]) {
+        Index base = scatterBits(chunk.baseBegin, plan.denseFreeHiMask);
+        for (Index c = 0; c < chunk.baseCount; ++c) {
+          const Index end = chunk.runOffset + chunk.runLen;
+          for (Index off = chunk.runOffset; off < end;
+               off += kDenseTileAmps) {
+            const Index tile = std::min(kDenseTileAmps, end - off);
+            for (unsigned j = 0; j < m; ++j) {
+              const Index at = base + plan.denseOffsets[j] + off;
+              in[j] = v.data() + at;
+              out[j] = w.data() + at;
+            }
+            simd::denseColumns(out, in, plan.denseU.data(), m, tile);
+          }
+          base = ((base | carry) + 1) & ~carry;
+        }
+      }
+    });
+    return;
+  }
   pool.run(plan.threads, [&](unsigned i) {
     const Complex* vp = v.data();
     Complex* wp = w.data();
+    const Complex* diag = plan.diag.data();
     for (const std::uint32_t id : plan.blocksOf[i]) {
       const PlanBlock& block = plan.blocks[id];
       for (const ZeroSpan& z : block.zeroSpans) {
         simd::zeroFill(wp + z.begin, z.len);
       }
       for (const SpanOp& op : block.ops) {
-        executeOp(op, vp, wp);
+        executeOp(op, vp, wp, diag);
       }
     }
   });
@@ -597,7 +970,7 @@ DmavCacheStats replayPlanCached(const DmavPlan& plan,
       simd::zeroFill(buf + z.begin, z.len);
     }
     for (const SpanOp& op : prog.ops) {
-      executeOp(op, v.data(), buf);
+      executeOp(op, v.data(), buf, nullptr);  // DiagRun never cached-mode
     }
   });
   // Phase 2: reduce the buffers into W, summing only written blocks.

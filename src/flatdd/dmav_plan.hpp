@@ -29,6 +29,22 @@
 //                                         inside the thread's partial-output
 //                                         buffer (Alg. 2 line 7, decided at
 //                                         compile time).
+//   DiagRun      w[iw..]  = v[iv..] .*    exclusive write, iv == iw — a *run*
+//                          diag[iw..]     of consecutive diagonal gates
+//                                         collapsed into one pointwise
+//                                         product against the plan's
+//                                         precomputed combined-phase table
+//                                         (see compileDiagRunPlan). k gates
+//                                         become one memory sweep instead of
+//                                         k DiagScale passes.
+//
+// Multi-qubit dense gates take a third shape: when denseBlockProbe
+// recognizes the gate as a 2-3 qubit dense matrix acting on high qubits
+// (every other level passive), the plan compiles to DenseBlock tiles instead
+// of span ops — plan.denseK != 0, plan.denseOpsOf replaces blocks/blocksOf,
+// and replay applies the 4x4/8x8 matrix to 2^k parallel runs per 64-amp
+// tile in a single pass over memory (gather-free: run bases are enumerated
+// with the scatterBits masked counter).
 //
 // Every op additionally carries a comb shape (count, stride): the op repeats
 // `count` times with all offsets advancing by `stride` amplitudes per
@@ -44,10 +60,14 @@
 // removes the per-thread skew behind the Fig. 12 scalability cliff; row
 // blocks own disjoint output rows, so any assignment is race-free.
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "flatdd/dmav.hpp"
 #include "flatdd/dmav_cache.hpp"
 
@@ -64,6 +84,7 @@ enum class SpanOpKind : std::uint8_t {
   DiagScale,
   PermuteCopy,
   BlockScale,
+  DiagRun,
 };
 
 [[nodiscard]] const char* toString(SpanOpKind kind) noexcept;
@@ -71,7 +92,7 @@ enum class SpanOpKind : std::uint8_t {
 /// True for ops that overwrite their output span (no read-modify-write).
 [[nodiscard]] constexpr bool isExclusiveWrite(SpanOpKind kind) noexcept {
   return kind == SpanOpKind::DiagScale || kind == SpanOpKind::PermuteCopy ||
-         kind == SpanOpKind::BlockScale;
+         kind == SpanOpKind::BlockScale || kind == SpanOpKind::DiagRun;
 }
 
 struct SpanOp {
@@ -107,6 +128,28 @@ struct PlanBlock {
   double cost = 0;                  // modeled MACs, drives LPT packing
 };
 
+/// One chunk of a dense-block plan: applies the plan's 2^k x 2^k matrix to
+/// `baseCount` run bases starting at logical counter value `baseBegin`
+/// (scattered into denseFreeHiMask), touching run amplitudes [runOffset,
+/// runOffset + runLen) of each base. Chunks never share amplitudes, so any
+/// thread assignment is race-free.
+struct DenseBlockOp {
+  Index baseBegin = 0;
+  Index baseCount = 0;
+  Index runOffset = 0;
+  Index runLen = 0;
+};
+
+/// A multi-qubit dense gate recognized by denseBlockProbe: the matrix acts
+/// as the 2^k x 2^k dense `u` (row-major; bit i of a row/column index is
+/// the bit of qubits[i]) on `k` active qubits and as the identity on every
+/// other qubit. All scalar weight is folded into `u`.
+struct DenseGateInfo {
+  unsigned k = 0;
+  std::array<Qubit, 3> qubits{};  // active qubits, ascending
+  std::array<Complex, 64> u{};    // 2^k x 2^k row-major
+};
+
 /// One thread's compiled program in cached (column-space) mode.
 struct ColumnProgram {
   unsigned buffer = 0;  // workspace buffer this thread writes
@@ -137,9 +180,27 @@ struct DmavPlan {
 
   Index dim = 0;
 
+  /// Gates collapsed into this plan: 1 for single-gate plans, the run length
+  /// for compileDiagRunPlan.
+  std::size_t fusedGates = 1;
+  /// Roots of gates 2..k of a fused run, part of the plan's identity and
+  /// pinned alongside `root` by PlanCache.
+  std::vector<std::pair<const dd::mNode*, Complex>> extraRoots;
+
   // ---- row mode ---------------------------------------------------------
   std::vector<PlanBlock> blocks;
   std::vector<std::vector<std::uint32_t>> blocksOf;  // thread -> block ids
+  /// Combined per-index phases of a fused diagonal run; DiagRun ops multiply
+  /// the state pointwise against this table.
+  AlignedVector<Complex> diag;
+
+  // ---- dense-block mode (denseK != 0; replaces blocks/blocksOf) ---------
+  unsigned denseK = 0;              // active qubits (2 or 3); 0 = not dense
+  std::array<Complex, 64> denseU{};   // 2^k x 2^k row-major
+  std::array<Index, 8> denseOffsets{};  // amp offset of each active pattern
+  Index denseRunLen = 0;            // 2^q0 contiguous amps per base and span
+  Index denseFreeHiMask = 0;        // free (passive) bits above the run
+  std::vector<std::vector<DenseBlockOp>> denseOpsOf;  // thread -> chunks
 
   // ---- cached mode ------------------------------------------------------
   Index h = 0;  // row-block height = 2^n / threads
@@ -168,6 +229,17 @@ inline constexpr unsigned kPlanSplitFactor = 4;
 /// Minimum rows per sub-block; finer splits would cut identity/diagonal
 /// spans into sub-SIMD fragments.
 inline constexpr Index kMinPlanBlockRows = 32;
+/// Minimum contiguous run (2^q0 amplitudes) for the DenseBlock lowering;
+/// shorter runs would leave the SIMD column kernel mostly in its tail.
+inline constexpr Index kMinDenseRunLen = 16;
+/// DenseBlock tile: amplitudes per span processed per denseColumns call.
+/// With m = 8 spans of in + out this is 8 * 64 * 2 * 16 B = 16 KiB of
+/// working set — comfortably L1-resident while the 8x8 matrix stays in
+/// registers. Run splits for thread balance land on tile boundaries.
+inline constexpr Index kDenseTileAmps = 64;
+/// Upper bound on gates fused into one diagonal run: bounds the PlanCache
+/// key (per-gate root signature) and the pin list per cached plan.
+inline constexpr std::size_t kMaxDiagRunGates = 64;
 
 /// Lowers the gate DD `m` (at `nQubits`, for `threads` workers) into a
 /// replayable plan. `pkg` is only used to stamp the plan's generation; pass
@@ -175,6 +247,29 @@ inline constexpr Index kMinPlanBlockRows = 32;
 [[nodiscard]] DmavPlan compileDmavPlan(const dd::mEdge& m, Qubit nQubits,
                                        unsigned threads, PlanMode mode,
                                        const dd::Package* pkg = nullptr);
+
+/// True when the gate DD is diagonal: every node's off-diagonal children
+/// (e[1], e[2]) are zero. Such gates commute pointwise, so consecutive
+/// diagonal gates fuse into one DiagRun sweep (compileDiagRunPlan).
+[[nodiscard]] bool isDiagonalGateDD(const dd::mEdge& m);
+
+/// Recognizes `m` as a k-qubit dense gate (k in {2, 3}) acting on high
+/// qubits: every non-active level is passive (e[1], e[2] zero and
+/// e[0] == e[3], i.e. the matrix is the identity there), at least one row
+/// of the extracted 2^k x 2^k matrix has two or more nonzeros (diagonal and
+/// permutation gates keep their cheaper span lowering), and the lowest
+/// active qubit leaves a contiguous run of >= kMinDenseRunLen amplitudes.
+[[nodiscard]] std::optional<DenseGateInfo> denseBlockProbe(const dd::mEdge& m,
+                                                           Qubit nQubits);
+
+/// Lowers a run of >= 1 consecutive *diagonal* gates (isDiagonalGateDD) into
+/// one DiagRun plan: the combined per-index phases of all gates are folded
+/// into plan.diag at compile time, so replay is a single pointwise-product
+/// sweep regardless of the run length. Gates apply left-to-right (gates[0]
+/// first); diagonal matrices commute, so the fold order is immaterial.
+[[nodiscard]] DmavPlan compileDiagRunPlan(std::span<const dd::mEdge> gates,
+                                          Qubit nQubits, unsigned threads,
+                                          const dd::Package* pkg = nullptr);
 
 /// Replays a row-mode plan: W = M * V. V and W must have size 2^n and must
 /// not alias.

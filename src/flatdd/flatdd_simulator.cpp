@@ -8,6 +8,7 @@
 #include "flatdd/dmav.hpp"
 #include "flatdd/fusion.hpp"
 #include "obs/metrics.hpp"
+#include "simd/calibration.hpp"
 #include "simd/kernels.hpp"
 
 namespace fdd::flat {
@@ -26,8 +27,14 @@ FlatDDSimulator::FlatDDSimulator(Qubit nQubits, FlatDDOptions options)
       // A parallel DD phase is ddPhaseSpeedup(t) faster per gate, so the
       // DD-vs-array break-even DD size — epsilon's job — grows by the same
       // factor, moving the conversion point later (measured in fig12).
+      // Symmetrically, a faster *array* phase (AVX-512 tier vs the AVX2
+      // reference, measured by simd::arrayPhaseSpeedup()) shrinks the
+      // break-even size, moving conversion earlier; the factor is exactly
+      // 1.0 on AVX2 hosts so calibrated tiers only ever shift the trigger
+      // where the kernels are genuinely faster.
       ewma_{options.beta,
-            options.epsilon * ddPhaseSpeedup(effectiveDdThreads(options)),
+            options.epsilon * ddPhaseSpeedup(effectiveDdThreads(options)) /
+                simd::arrayPhaseSpeedup(),
             options.warmupGates, options.minDDSize},
       planCache_{options.sharedPlanCache != nullptr
                      ? 0
@@ -169,16 +176,48 @@ void FlatDDSimulator::simulate(const qc::Circuit& circuit) {
 
   // ---- Phase 2: DMAV --------------------------------------------------------
   Stopwatch dmavPhase;
-  for (const dd::mEdge& gate : gates) {
+  const bool fuseRuns = options_.fuseDiagonalRuns && options_.usePlanCache;
+  for (std::size_t g = 0; g < gates.size();) {
+    // Diagonal-run detection: extend over consecutive diagonal gate DDs and
+    // collapse runs of >= 2 into one fused DiagRun sweep.
+    std::size_t runEnd = g;
+    if (fuseRuns) {
+      while (runEnd < gates.size() && runEnd - g < kMaxDiagRunGates &&
+             isDiagonalGateDD(gates[runEnd])) {
+        ++runEnd;
+      }
+    }
+    if (runEnd - g >= 2) {
+      const std::size_t runLen = runEnd - g;
+      Stopwatch runClock;
+      applyDmavDiagRun(std::span<const dd::mEdge>{gates.data() + g, runLen});
+      for (std::size_t r = g; r < runEnd; ++r) {
+        pkg.decRef(gates[r]);
+      }
+      ++stats_.diagRuns;
+      stats_.diagRunGates += runLen;
+      stats_.dmavGates += runLen;
+      if (options_.recordPerGate) {
+        const double each = runClock.seconds() / static_cast<double>(runLen);
+        for (std::size_t r = 0; r < runLen; ++r) {
+          stats_.perGate.push_back(PerGateRecord{
+              stats_.conversionGateIndex + stats_.dmavGates - runLen + r,
+              false, each, 0});
+        }
+      }
+      g = runEnd;
+      continue;
+    }
     Stopwatch gateClock;
-    applyDmav(gate);
-    pkg.decRef(gate);
+    applyDmav(gates[g]);
+    pkg.decRef(gates[g]);
     ++stats_.dmavGates;
     if (options_.recordPerGate) {
       stats_.perGate.push_back(
           PerGateRecord{stats_.conversionGateIndex + stats_.dmavGates - 1,
                         false, gateClock.seconds(), 0});
     }
+    ++g;
   }
   pkg.garbageCollect(true);
   stats_.dmavPhaseSeconds = dmavPhase.seconds();
@@ -201,12 +240,42 @@ void FlatDDSimulator::convertToFlat(std::size_t gateIndex) {
   stats_.conversionSeconds = clock.seconds();
 }
 
+void FlatDDSimulator::applyDmavDiagRun(std::span<const dd::mEdge> run) {
+  const Index dim = Index{1} << nQubits_;
+  const unsigned threads =
+      dim < options_.parallelThresholdDim ? 1 : options_.threads;
+  bool wasHit = false;
+  const std::shared_ptr<const DmavPlan> plan = cache_->getSharedRun(
+      ddSim_.package(), run, nQubits_, threads, &wasHit);
+  if (wasHit) {
+    ++stats_.planCacheHits;
+  } else {
+    ++stats_.planCacheMisses;
+    ++stats_.planCompiles;
+    stats_.planCompileSeconds += plan->compileSeconds;
+  }
+  // One sweep regardless of the run length: charge a single pass of 2^n
+  // MACs (the pointwise product) split across the replay threads.
+  stats_.dmavModelCost +=
+      static_cast<fp>(dim) / static_cast<fp>(plan->threads);
+  Stopwatch replayClock;
+  replayPlan(*plan, v_, w_);
+  stats_.dmavReplaySeconds += replayClock.seconds();
+  std::swap(v_, w_);
+}
+
 void FlatDDSimulator::applyDmav(const dd::mEdge& gate) {
   const Index dim = Index{1} << nQubits_;
   const unsigned threads =
       dim < options_.parallelThresholdDim ? 1 : options_.threads;
+  // A gate that qualifies for the single-pass DenseBlock lowering always
+  // beats the cached (buffer-reduce) variant: skip Eq. 5/6 and force row
+  // mode, where compileDmavPlan picks the dense shape. forceCaching is an
+  // ablation flag and keeps overriding this.
+  const bool dense = options_.usePlanCache && !options_.forceCaching &&
+                     denseBlockProbe(gate, nQubits_).has_value();
   bool useCache = options_.forceCaching;
-  if (!useCache && options_.useCostModel) {
+  if (!useCache && !dense && options_.useCostModel) {
     useCache = cachingBeneficial(gate, nQubits_, threads, simd::lanes());
   }
   stats_.dmavModelCost += dmavCost(gate, nQubits_, threads, simd::lanes());
@@ -225,6 +294,9 @@ void FlatDDSimulator::applyDmav(const dd::mEdge& gate) {
       ++stats_.planCacheMisses;
       ++stats_.planCompiles;
       stats_.planCompileSeconds += plan->compileSeconds;
+    }
+    if (plan->denseK != 0) {
+      ++stats_.denseBlockGates;
     }
     Stopwatch replayClock;
     if (useCache) {

@@ -57,6 +57,12 @@ struct FlatDDOptions {
   /// (Alg. 1/2 verbatim), kept for ablation benchmarks.
   bool usePlanCache = true;
   std::size_t planCacheCapacity = 64;
+  /// Collapse runs of consecutive diagonal gates (RZ/CP/CZ/S/T layers) in
+  /// the DMAV phase into one fused DiagRun plan: k gates become a single
+  /// pointwise-product sweep over the state (see compileDiagRunPlan).
+  /// Requires usePlanCache; simulate() only — the streaming applyOperation()
+  /// path has no lookahead and applies gates one at a time.
+  bool fuseDiagonalRuns = true;
   /// When non-null, compiled plans go through this externally owned cache
   /// instead of the simulator's private one (the service shares one LRU
   /// budget across all sessions; see plan_cache.hpp for the sharing
@@ -87,6 +93,9 @@ struct FlatDDStats {
   std::size_t planCacheHits = 0;    // plan reused from the LRU cache
   std::size_t planCacheMisses = 0;
   std::size_t planCompiles = 0;
+  std::size_t diagRuns = 0;       // fused diagonal runs executed
+  std::size_t diagRunGates = 0;   // gates collapsed into those runs
+  std::size_t denseBlockGates = 0;  // DMAVs executed via the DenseBlock path
   double planCompileSeconds = 0;    // time spent lowering DDs to plans
   double dmavReplaySeconds = 0;     // time spent replaying compiled plans
   std::size_t peakDDSize = 0;
@@ -150,6 +159,7 @@ class FlatDDSimulator {
  private:
   void convertToFlat(std::size_t gateIndex);
   void applyDmav(const dd::mEdge& gate);
+  void applyDmavDiagRun(std::span<const dd::mEdge> run);
 
   Qubit nQubits_;
   FlatDDOptions options_;

@@ -4,7 +4,6 @@
 
 #include "flatdd/cost_model.hpp"
 #include "obs/metrics.hpp"
-#include "simd/kernels.hpp"
 
 namespace fdd::flat {
 
@@ -12,9 +11,14 @@ namespace {
 
 /// Section 3.2.3 cost of one DMAV: min(C1, C2). Algorithm 3's cost() uses
 /// the full model (the paper's Fig. 9/10 walkthroughs use Eq. 5 "for
-/// simplicity", but the algorithm itself charges min{C1, C2}).
+/// simplicity", but the algorithm itself charges min{C1, C2}), evaluated
+/// tier-aware: the SIMD width is the measured effective width of the active
+/// dispatch tier, and products that qualify for the single-pass DenseBlock
+/// lowering are charged its (much lower) sweep cost — so fusion keeps
+/// widening toward 2-3 qubit dense gates exactly when the kernels that will
+/// execute them make that a win.
 fp gateCost(const dd::mEdge& g, Qubit nQubits, unsigned threads) {
-  return dmavCost(g, nQubits, threads, simd::lanes());
+  return dmavCostTierAware(g, nQubits, threads);
 }
 
 fp sumCost(const std::vector<dd::mEdge>& gates, Qubit nQubits,

@@ -15,6 +15,16 @@ inline void hashCombine(std::size_t& seed, std::size_t v) noexcept {
   seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
 
+/// Applies `f` to every gate root a plan's cache entry pinned: the primary
+/// root plus the extra roots of a fused run.
+template <typename F>
+void forEachPlanRoot(const DmavPlan& plan, F&& f) {
+  f(dd::mEdge{const_cast<dd::mNode*>(plan.root), plan.rootWeight});
+  for (const auto& [node, weight] : plan.extraRoots) {
+    f(dd::mEdge{const_cast<dd::mNode*>(node), weight});
+  }
+}
+
 }  // namespace
 
 std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
@@ -27,6 +37,11 @@ std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
                         k.threads));
   hashCombine(seed, static_cast<std::size_t>(k.mode));
   hashCombine(seed, k.identFast ? 1u : 0u);
+  for (const RunGate& g : k.run) {
+    hashCombine(seed, std::hash<const void*>{}(g.n));
+    hashCombine(seed, std::hash<std::uint64_t>{}(g.wBits[0]));
+    hashCombine(seed, std::hash<std::uint64_t>{}(g.wBits[1]));
+  }
   return seed;
 }
 
@@ -42,7 +57,39 @@ std::shared_ptr<const DmavPlan> PlanCache::getShared(
   key.threads = threads;
   key.mode = mode;
   key.identFast = identFastPathEnabled();
+  return getCommon(pkg, std::move(key), wasHit, [&] {
+    return compileDmavPlan(m, nQubits, threads, mode, &pkg);
+  });
+}
 
+std::shared_ptr<const DmavPlan> PlanCache::getSharedRun(
+    dd::Package& pkg, std::span<const dd::mEdge> run, Qubit nQubits,
+    unsigned threads, bool* wasHit) {
+  assert(!run.empty());
+  Key key;
+  key.pkg = &pkg;
+  key.root = run[0].n;
+  key.weightBits[0] = std::bit_cast<std::uint64_t>(run[0].w.real());
+  key.weightBits[1] = std::bit_cast<std::uint64_t>(run[0].w.imag());
+  key.nQubits = nQubits;
+  key.threads = threads;
+  key.mode = PlanMode::Row;
+  key.identFast = identFastPathEnabled();
+  key.run.reserve(run.size() - 1);
+  for (std::size_t g = 1; g < run.size(); ++g) {
+    key.run.push_back(RunGate{
+        run[g].n,
+        {std::bit_cast<std::uint64_t>(run[g].w.real()),
+         std::bit_cast<std::uint64_t>(run[g].w.imag())}});
+  }
+  return getCommon(pkg, std::move(key), wasHit, [&] {
+    return compileDiagRunPlan(run, nQubits, threads, &pkg);
+  });
+}
+
+std::shared_ptr<const DmavPlan> PlanCache::getCommon(
+    dd::Package& pkg, Key key, bool* wasHit,
+    const std::function<DmavPlan()>& compile) {
   const std::lock_guard lock{mutex_};
   // The caller is the thread serialized on `pkg`, so deferred unpins of
   // this package's roots (parked by other sessions' evictions) are safe to
@@ -54,8 +101,7 @@ std::shared_ptr<const DmavPlan> PlanCache::getShared(
     ++stats_.compiles;
     FDD_OBS_COUNT("planCache.misses");
     FDD_OBS_COUNT("planCache.compiles");
-    auto plan = std::make_shared<DmavPlan>(
-        compileDmavPlan(m, nQubits, threads, mode, &pkg));
+    auto plan = std::make_shared<DmavPlan>(compile());
     stats_.compileSeconds += plan->compileSeconds;
     if (wasHit != nullptr) {
       *wasHit = false;
@@ -76,7 +122,7 @@ std::shared_ptr<const DmavPlan> PlanCache::getShared(
       index_.erase(it);
       unpinOrPark(victim, &pkg);
     } else {
-      assert(it->second->plan->root == m.n);
+      assert(it->second->plan->root == key.root);
       ++stats_.hits;
       FDD_OBS_COUNT("planCache.hits");
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -95,17 +141,18 @@ std::shared_ptr<const DmavPlan> PlanCache::getShared(
     evictOldestLocked(&pkg);
   }
   Entry entry;
-  entry.key = key;
-  entry.plan = std::make_shared<DmavPlan>(
-      compileDmavPlan(m, nQubits, threads, mode, &pkg));
+  entry.key = std::move(key);
+  entry.plan = std::make_shared<DmavPlan>(compile());
   entry.pkg = &pkg;
   stats_.compileSeconds += entry.plan->compileSeconds;
-  // Pin the root so the package cannot recycle any node of this gate DD
-  // while the plan is cached (children are kept alive transitively by their
-  // parents' reference counts).
-  pkg.incRef(m);
+  // Pin every root (the primary plus a fused run's extras) so the package
+  // cannot recycle any node of the cached gate DDs (children are kept alive
+  // transitively by their parents' reference counts).
+  forEachPlanRoot(*entry.plan, [&](const dd::mEdge& root) {
+    pkg.incRef(root);
+  });
   lru_.push_front(std::move(entry));
-  index_.emplace(key, lru_.begin());
+  index_.emplace(lru_.front().key, lru_.begin());
   if (wasHit != nullptr) {
     *wasHit = false;
   }
@@ -123,18 +170,18 @@ const DmavPlan& PlanCache::get(dd::Package& pkg, const dd::mEdge& m,
 }
 
 void PlanCache::unpinOrPark(Entry& victim, const dd::Package* caller) {
-  const dd::mEdge root{const_cast<dd::mNode*>(victim.plan->root),
-                       victim.plan->rootWeight};
-  if (victim.pkg == caller) {
-    // Unpinning our own package is safe: the caller is the thread
-    // serialized on it.
-    victim.pkg->decRef(root);
-  } else {
-    // Another session owns this package; mutating its reference counts here
-    // would race that session's DD phase. Park the pin until the owner's
-    // next getShared()/clearPackage().
-    parked_[victim.pkg].push_back(ParkedPin{victim.pkg, root.n, root.w});
-  }
+  forEachPlanRoot(*victim.plan, [&](const dd::mEdge& root) {
+    if (victim.pkg == caller) {
+      // Unpinning our own package is safe: the caller is the thread
+      // serialized on it.
+      victim.pkg->decRef(root);
+    } else {
+      // Another session owns this package; mutating its reference counts
+      // here would race that session's DD phase. Park the pin until the
+      // owner's next getShared()/clearPackage().
+      parked_[victim.pkg].push_back(ParkedPin{victim.pkg, root.n, root.w});
+    }
+  });
 }
 
 void PlanCache::drainParkedLocked(const dd::Package* pkg) {
@@ -165,8 +212,9 @@ void PlanCache::clearPackage(dd::Package& pkg) {
   drainParkedLocked(&pkg);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->pkg == &pkg) {
-      pkg.decRef(dd::mEdge{const_cast<dd::mNode*>(it->plan->root),
-                           it->plan->rootWeight});
+      forEachPlanRoot(*it->plan, [&](const dd::mEdge& root) {
+        pkg.decRef(root);
+      });
       index_.erase(it->key);
       it = lru_.erase(it);
     } else {
@@ -179,8 +227,9 @@ void PlanCache::clearPackage(dd::Package& pkg) {
 void PlanCache::clear() {
   const std::lock_guard lock{mutex_};
   for (Entry& entry : lru_) {
-    entry.pkg->decRef(dd::mEdge{const_cast<dd::mNode*>(entry.plan->root),
-                                entry.plan->rootWeight});
+    forEachPlanRoot(*entry.plan, [&](const dd::mEdge& root) {
+      entry.pkg->decRef(root);
+    });
   }
   lru_.clear();
   index_.clear();

@@ -36,9 +36,11 @@
 // concurrent access.
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -76,6 +78,16 @@ class PlanCache {
       dd::Package& pkg, const dd::mEdge& m, Qubit nQubits, unsigned threads,
       PlanMode mode, bool* wasHit = nullptr);
 
+  /// Returns the fused DiagRun plan for a run of consecutive diagonal gates
+  /// (compileDiagRunPlan on a miss). The key embeds every gate's (root,
+  /// weight) signature, and *all* run roots are pinned while the plan is
+  /// cached, so the combined phase table can be replayed whenever the exact
+  /// same gate sequence recurs (QFT ladders, layered rotation circuits).
+  /// Same ownership contract as getShared(); `run` must be non-empty.
+  [[nodiscard]] std::shared_ptr<const DmavPlan> getSharedRun(
+      dd::Package& pkg, std::span<const dd::mEdge> run, Qubit nQubits,
+      unsigned threads, bool* wasHit = nullptr);
+
   /// Single-owner convenience: getShared() with the reference kept alive
   /// until the next get()/clear() on this thread-unsafe-to-alias handle.
   /// Prefer getShared() whenever the cache is shared.
@@ -101,6 +113,13 @@ class PlanCache {
   [[nodiscard]] std::size_t memoryBytes() const;
 
  private:
+  /// Signature of one extra gate of a fused run (gates 2..k).
+  struct RunGate {
+    const dd::mNode* n = nullptr;
+    std::uint64_t wBits[2] = {0, 0};
+
+    bool operator==(const RunGate&) const = default;
+  };
   struct Key {
     const dd::Package* pkg = nullptr;
     const dd::mNode* root = nullptr;
@@ -109,6 +128,7 @@ class PlanCache {
     unsigned threads = 0;
     PlanMode mode = PlanMode::Row;
     bool identFast = true;
+    std::vector<RunGate> run;  // gates 2..k of a fused run (else empty)
 
     bool operator==(const Key&) const = default;
   };
@@ -128,6 +148,9 @@ class PlanCache {
   };
   using LruList = std::list<Entry>;
 
+  std::shared_ptr<const DmavPlan> getCommon(
+      dd::Package& pkg, Key key, bool* wasHit,
+      const std::function<DmavPlan()>& compile);
   void evictOldestLocked(const dd::Package* caller);
   void unpinOrPark(Entry& victim, const dd::Package* caller);
   void drainParkedLocked(const dd::Package* pkg);

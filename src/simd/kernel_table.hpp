@@ -1,10 +1,10 @@
 #pragma once
-// Internal kernel dispatch table. Each dispatch tier (scalar, AVX2+FMA)
-// provides one immutable table of function pointers; the public API in
-// kernels.hpp selects a table once at startup (cpuid + FLATDD_FORCE_SCALAR)
-// and forwards every call through it. Benchmarks and tests may switch the
-// active table at runtime via setDispatchTier() to time both tiers in one
-// process.
+// Internal kernel dispatch table. Each dispatch tier (scalar, AVX2+FMA,
+// AVX-512) provides one immutable table of function pointers; the public API
+// in kernels.hpp selects a table once at startup (cpuid +
+// FLATDD_FORCE_SCALAR / FLATDD_FORCE_TIER) and forwards every call through
+// it. Benchmarks and tests may switch the active table at runtime via
+// setDispatchTier() to time every tier in one process.
 //
 // Strided kernels operate on a comb of `count` sub-spans of `len` complex
 // amplitudes whose bases advance by `stride` elements: sub-span k covers
@@ -51,6 +51,16 @@ struct KernelTable {
                       std::size_t len, std::size_t stride) noexcept;
   /// sum of |v[i]|^2
   fp (*normSquared)(const Complex* v, std::size_t n) noexcept;
+  /// out[i] = a[i] * b[i] — full complex pointwise product. The DiagRun op
+  /// applies a precomputed per-index phase table in one sweep with this.
+  void (*mulPointwise)(Complex* out, const Complex* a, const Complex* b,
+                       std::size_t n) noexcept;
+  /// out[j][i] = sum_l u[j*m + l] * in[l][i] for j, l in [0, m), i in
+  /// [0, n) — an m x m dense matrix (row-major u) applied across m parallel
+  /// spans: the generalized butterfly a DenseBlock tile executes. m is 4 or
+  /// 8 (fused 2- or 3-qubit gate); out spans must not overlap in spans.
+  void (*denseColumns)(Complex* const* out, const Complex* const* in,
+                       const Complex* u, unsigned m, std::size_t n) noexcept;
 };
 
 [[nodiscard]] const KernelTable& scalarTable() noexcept;
@@ -61,5 +71,13 @@ struct KernelTable {
 
 /// True when avx2Table() really holds vector kernels.
 [[nodiscard]] bool avx2Compiled() noexcept;
+
+/// The AVX-512 table (8 complex lanes, masked-tail loads/stores); aliases
+/// the best lower tier when the AVX-512 translation unit was compiled
+/// without vector support.
+[[nodiscard]] const KernelTable& avx512Table() noexcept;
+
+/// True when avx512Table() really holds 512-bit kernels.
+[[nodiscard]] bool avx512Compiled() noexcept;
 
 }  // namespace fdd::simd::detail

@@ -5,22 +5,31 @@
 // line 7), the buffer summation of Alg. 2 lines 11-13, and the fused/strided
 // shapes the DmavPlan replay and ArraySimulator hot loops emit.
 //
-// Dispatch is resolved at runtime: when the library was built with AVX2+FMA
-// support AND the executing CPU reports avx2+fma, the vector table is
-// selected; otherwise (or when FLATDD_FORCE_SCALAR is set in the
-// environment) every call runs the portable scalar table. Benchmarks and
-// tests may switch tiers mid-process with setDispatchTier().
+// Dispatch is resolved at runtime: the widest tier the build AND the
+// executing CPU support wins (avx512 > avx2 > scalar). FLATDD_FORCE_SCALAR
+// pins the scalar table; FLATDD_FORCE_TIER=<scalar|avx2|avx512> pins any
+// tier. Both are validated — an unknown value or a tier this build/CPU
+// cannot run warns once on stderr and falls back to the best available
+// tier instead of silently changing meaning. Benchmarks and tests may
+// switch tiers mid-process with setDispatchTier().
 
 #include <cstddef>
+#include <optional>
 
 #include "common/types.hpp"
 
 namespace fdd::simd {
 
-enum class DispatchTier { Scalar, Avx2 };
+enum class DispatchTier { Scalar, Avx2, Avx512 };
 
-/// Human-readable tier name: "scalar" or "avx2".
+/// Human-readable tier name: "scalar", "avx2" or "avx512".
 [[nodiscard]] const char* toString(DispatchTier tier) noexcept;
+
+/// Inverse of toString (case-sensitive); nullopt for unknown names. This is
+/// the FLATDD_FORCE_TIER parser, exposed so tests can cover the accepted
+/// vocabulary without spawning processes.
+[[nodiscard]] std::optional<DispatchTier> parseTierName(
+    const char* name) noexcept;
 
 /// The tier every kernel below currently dispatches to.
 [[nodiscard]] DispatchTier activeTier() noexcept;
@@ -28,20 +37,30 @@ enum class DispatchTier { Scalar, Avx2 };
 /// True when `tier` can be selected on this build + CPU.
 [[nodiscard]] bool tierAvailable(DispatchTier tier) noexcept;
 
-/// Force the active tier (for benchmarking / testing both paths in one
+/// The widest tier this build + CPU can run (what dispatch resolves to when
+/// no force override is set).
+[[nodiscard]] DispatchTier bestAvailableTier() noexcept;
+
+/// Force the active tier (for benchmarking / testing all paths in one
 /// process). Returns false and leaves the tier unchanged when `tier` is not
 /// available. Not thread-safe against concurrently running kernels; switch
 /// only from the main thread between simulations.
 bool setDispatchTier(DispatchTier tier) noexcept;
 
 /// Number of double-precision MACs one vector instruction retires; this is
-/// the `d` of the paper's cost model (Eq. 6). 4 on the AVX2 tier, 1 on the
-/// scalar tier. Runtime-resolved, so cost-model callers always see the
-/// width that will actually execute.
+/// the `d` of the paper's cost model (Eq. 6). 8 on the AVX-512 tier, 4 on
+/// AVX2, 1 on scalar. Runtime-resolved, so cost-model callers always see
+/// the width that will actually execute.
 [[nodiscard]] unsigned lanes() noexcept;
 
-/// True when the active tier is the AVX2 path.
+/// Lanes of an arbitrary tier (8 / 4 / 1), independent of what is active.
+[[nodiscard]] unsigned lanesOf(DispatchTier tier) noexcept;
+
+/// True when the active tier is exactly the AVX2 path (not AVX-512).
 [[nodiscard]] bool avx2Enabled() noexcept;
+
+/// True when the active tier is any vector path (lanes > 1).
+[[nodiscard]] bool vectorEnabled() noexcept;
 
 /// out[i] = s * in[i] for i in [0, n). out and in may not overlap, except
 /// out == in (in-place scaling) which is allowed.
@@ -90,6 +109,18 @@ void mac2Strided(Complex* out, const Complex* x, Complex a, const Complex* y,
 
 /// Sum of |v[i]|^2 — used for normalization checks.
 [[nodiscard]] fp normSquared(const Complex* v, std::size_t n) noexcept;
+
+/// Full complex pointwise product: out[i] = a[i] * b[i]. out may alias a or
+/// b (element i only reads index i). The DiagRun op applies a fused
+/// diagonal-gate-run's phase table with this in one sweep.
+void mulPointwise(Complex* out, const Complex* a, const Complex* b,
+                  std::size_t n) noexcept;
+
+/// Dense m x m matrix (row-major u, m in {4, 8}) across m parallel spans:
+/// out[j][i] = sum_l u[j*m+l] * in[l][i]. Output spans must not overlap the
+/// input spans — the DenseBlock tile writes W from V.
+void denseColumns(Complex* const* out, const Complex* const* in,
+                  const Complex* u, unsigned m, std::size_t n) noexcept;
 
 /// out[i] = 0 for i in [0, n).
 void zeroFill(Complex* out, std::size_t n) noexcept;

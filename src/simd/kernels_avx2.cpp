@@ -301,6 +301,70 @@ fp normSquaredK(const Complex* v, std::size_t n) noexcept {
   return sum;
 }
 
+void mulPointwiseK(Complex* out, const Complex* a, const Complex* b,
+                   std::size_t n) noexcept {
+  auto* o = reinterpret_cast<double*>(out);
+  const auto* pa = reinterpret_cast<const double*>(a);
+  const auto* pb = reinterpret_cast<const double*>(b);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d va = _mm256_loadu_pd(pa + 2 * i);
+    const __m256d vb = _mm256_loadu_pd(pb + 2 * i);
+    // Per-element complexScale: the coefficient is a vector, so the real
+    // parts come from movedup (even lanes) and the imaginaries from the odd
+    // lanes duplicated.
+    const __m256d br = _mm256_movedup_pd(vb);
+    const __m256d bi = _mm256_permute_pd(vb, 0b1111);
+    _mm256_storeu_pd(o + 2 * i, complexScale(va, br, bi));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+void denseColumnsK(Complex* const* out, const Complex* const* in,
+                   const Complex* u, unsigned m, std::size_t n) noexcept {
+  // Broadcast the matrix once; the spill to stack stays L1-hot across the
+  // whole tile while the column loads stream.
+  __m256d ur[64];
+  __m256d ui[64];
+  for (unsigned j = 0; j < m * m; ++j) {
+    ur[j] = _mm256_set1_pd(u[j].real());
+    ui[j] = _mm256_set1_pd(u[j].imag());
+  }
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m256d acc[8];
+    for (unsigned j = 0; j < m; ++j) {
+      acc[j] = _mm256_setzero_pd();
+    }
+    for (unsigned l = 0; l < m; ++l) {
+      const __m256d v =
+          _mm256_loadu_pd(reinterpret_cast<const double*>(in[l] + i));
+      for (unsigned j = 0; j < m; ++j) {
+        acc[j] = _mm256_add_pd(acc[j],
+                               complexScale(v, ur[j * m + l], ui[j * m + l]));
+      }
+    }
+    for (unsigned j = 0; j < m; ++j) {
+      _mm256_storeu_pd(reinterpret_cast<double*>(out[j] + i), acc[j]);
+    }
+  }
+  for (; i < n; ++i) {
+    Complex x[8];
+    for (unsigned l = 0; l < m; ++l) {
+      x[l] = in[l][i];
+    }
+    for (unsigned j = 0; j < m; ++j) {
+      Complex acc{};
+      for (unsigned l = 0; l < m; ++l) {
+        acc += u[j * m + l] * x[l];
+      }
+      out[j][i] = acc;
+    }
+  }
+}
+
 }  // namespace
 
 bool avx2Compiled() noexcept { return true; }
@@ -310,7 +374,8 @@ const KernelTable& avx2Table() noexcept {
       /*lanes=*/4,          &scaleK,      &scaleAccumulateK,
       &accumulateK,         &mac2K,       &butterflyK,
       &butterflyAdjacentK,  &scaleStridedK, &macStridedK,
-      &mac2StridedK,        &normSquaredK,
+      &mac2StridedK,        &normSquaredK,  &mulPointwiseK,
+      &denseColumnsK,
   };
   return table;
 }

@@ -94,6 +94,30 @@ fp normSquaredK(const Complex* v, std::size_t n) noexcept {
   return sum;
 }
 
+void mulPointwiseK(Complex* out, const Complex* a, const Complex* b,
+                   std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+void denseColumnsK(Complex* const* out, const Complex* const* in,
+                   const Complex* u, unsigned m, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex x[8];
+    for (unsigned l = 0; l < m; ++l) {
+      x[l] = in[l][i];
+    }
+    for (unsigned j = 0; j < m; ++j) {
+      Complex acc{};
+      for (unsigned l = 0; l < m; ++l) {
+        acc += u[j * m + l] * x[l];
+      }
+      out[j][i] = acc;
+    }
+  }
+}
+
 }  // namespace
 
 const KernelTable& scalarTable() noexcept {
@@ -101,7 +125,8 @@ const KernelTable& scalarTable() noexcept {
       /*lanes=*/1,          &scaleK,      &scaleAccumulateK,
       &accumulateK,         &mac2K,       &butterflyK,
       &butterflyAdjacentK,  &scaleStridedK, &macStridedK,
-      &mac2StridedK,        &normSquaredK,
+      &mac2StridedK,        &normSquaredK,  &mulPointwiseK,
+      &denseColumnsK,
   };
   return table;
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "circuits/generators.hpp"
 #include "circuits/supremacy.hpp"
@@ -330,6 +331,216 @@ TEST(DmavPlan, CachedPlanMatchesRecursiveCachedPath) {
     std::swap(v2, w2);
   }
   EXPECT_STATE_NEAR(v1, v2, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Fused diagonal runs (DiagRun)
+// ---------------------------------------------------------------------------
+
+std::vector<qc::Operation> randomDiagonalOps(Qubit n, std::size_t count,
+                                             std::uint64_t seed) {
+  Xoshiro256 rng{seed};
+  std::vector<qc::Operation> ops;
+  ops.reserve(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    const Qubit q = static_cast<Qubit>(rng.below(n));
+    switch (rng.below(5)) {
+      case 0:
+        ops.push_back({qc::GateKind::RZ, q, {}, {rng.uniform(-3, 3)}});
+        break;
+      case 1:
+        ops.push_back({qc::GateKind::T, q, {}, {}});
+        break;
+      case 2:
+        ops.push_back({qc::GateKind::S, q, {}, {}});
+        break;
+      case 3: {  // CZ
+        const Qubit c = static_cast<Qubit>((q + 1 + rng.below(n - 1)) % n);
+        ops.push_back({qc::GateKind::Z, q, {c}, {}});
+        break;
+      }
+      default: {  // CP
+        const Qubit c = static_cast<Qubit>((q + 1 + rng.below(n - 1)) % n);
+        ops.push_back({qc::GateKind::P, q, {c}, {rng.uniform(-3, 3)}});
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+TEST(DiagRunPlan, EveryGateIsDetectedDiagonal) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  for (const auto& op : randomDiagonalOps(n, 32, 41)) {
+    EXPECT_TRUE(isDiagonalGateDD(p.makeGateDD(op))) << op.toString();
+  }
+  EXPECT_FALSE(isDiagonalGateDD(p.makeGateDD({qc::GateKind::H, 2, {}, {}})));
+  EXPECT_FALSE(isDiagonalGateDD(p.makeGateDD({qc::GateKind::X, 0, {}, {}})));
+  EXPECT_FALSE(
+      isDiagonalGateDD(p.makeGateDD({qc::GateKind::X, 0, {3}, {}})));  // CX
+}
+
+TEST(DiagRunPlan, FusedRunMatchesSequentialRecursive) {
+  // k diagonal gates collapse into one pointwise sweep; the fused replay
+  // must match applying the gates one by one through dmavRecursive.
+  const Qubit n = 7;
+  for (const std::size_t k : {2u, 5u, 17u}) {
+    for (const unsigned threads : {1u, 4u}) {
+      dd::Package p{n};
+      std::vector<dd::mEdge> run;
+      for (const auto& op : randomDiagonalOps(n, k, 100 + k + threads)) {
+        run.push_back(p.makeGateDD(op));
+        p.incRef(run.back());
+      }
+      const DmavPlan plan = compileDiagRunPlan(run, n, threads, &p);
+      EXPECT_EQ(plan.fusedGates, k);
+      EXPECT_EQ(plan.extraRoots.size(), k - 1);
+      EXPECT_EQ(plan.diag.size(), Index{1} << n);
+      EXPECT_TRUE(plan.fullyExclusive());
+      EXPECT_EQ(plan.opCount(), plan.opCount(SpanOpKind::DiagRun));
+      EXPECT_GT(plan.opCount(SpanOpKind::DiagRun), 0u);
+
+      const auto v = test::randomState(n, 200 + k);
+      AlignedVector<Complex> v1(v.begin(), v.end());
+      AlignedVector<Complex> w1(v1.size());
+      replayPlan(plan, v1, w1);
+
+      AlignedVector<Complex> v2(v.begin(), v.end());
+      AlignedVector<Complex> w2(v2.size());
+      for (const dd::mEdge& m : run) {
+        dmavRecursive(m, n, v2, w2, threads);
+        std::swap(v2, w2);
+      }
+      EXPECT_STATE_NEAR(w1, v2, 1e-12);
+      for (const dd::mEdge& m : run) {
+        p.decRef(m);
+      }
+    }
+  }
+}
+
+TEST(PlanCacheTest, RunKeyedEntriesHitAndPinAllRoots) {
+  const Qubit n = 6;
+  dd::Package p{n};
+  PlanCache cache{8};
+  std::vector<dd::mEdge> run;
+  for (const auto& op : randomDiagonalOps(n, 3, 7)) {
+    run.push_back(p.makeGateDD(op));
+    p.incRef(run.back());
+  }
+  bool hit = true;
+  const auto plan = cache.getSharedRun(p, run, n, 2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(plan->fusedGates, 3u);
+  const auto again = cache.getSharedRun(p, run, n, 2, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(plan.get(), again.get());
+  // A shorter prefix of the same run is a different plan, not a hit.
+  (void)cache.getSharedRun(p, std::span{run.data(), 2}, n, 2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The cache pinned every gate root of the fused run: after dropping our
+  // own references and collecting, the entry must still replay correctly.
+  for (const dd::mEdge& m : run) {
+    p.decRef(m);
+  }
+  p.garbageCollect(true);
+  const auto pinned = cache.getSharedRun(p, run, n, 2, &hit);
+  EXPECT_TRUE(hit);
+  const auto v = test::randomState(n, 77);
+  AlignedVector<Complex> in(v.begin(), v.end());
+  AlignedVector<Complex> out(in.size());
+  replayPlan(*pinned, in, out);
+  test::DenseVector want = v;
+  for (const dd::mEdge& m : run) {
+    AlignedVector<Complex> v2(want.begin(), want.end());
+    AlignedVector<Complex> w2(v2.size());
+    dmavRecursive(m, n, v2, w2, 1);
+    want.assign(w2.begin(), w2.end());
+  }
+  EXPECT_STATE_NEAR(out, want, 1e-12);
+  cache.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Cache-blocked dense gates (DenseBlock)
+// ---------------------------------------------------------------------------
+
+TEST(DenseBlockPlan, TwoQubitFusedGateMatchesRecursive) {
+  // H(7)*CX(7->6)*H(6) fused into one DD: both top qubits active, every
+  // level below passive, so the probe must fire with k=2 and the compiled
+  // tile replay must match the recursive baseline.
+  const Qubit n = 8;
+  dd::Package p{n};
+  dd::mEdge m = p.makeGateDD({qc::GateKind::H, 6, {}, {}});
+  m = p.multiply(p.makeGateDD({qc::GateKind::X, 6, {7}, {}}), m);
+  m = p.multiply(p.makeGateDD({qc::GateKind::H, 7, {}, {}}), m);
+  p.incRef(m);
+  const auto info = denseBlockProbe(m, n);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->k, 2u);
+  EXPECT_EQ(info->qubits[0], 6);
+  EXPECT_EQ(info->qubits[1], 7);
+  for (const unsigned threads : {1u, 4u}) {
+    const DmavPlan plan = compileDmavPlan(m, n, threads, PlanMode::Row, &p);
+    EXPECT_EQ(plan.denseK, 2u);
+    EXPECT_TRUE(plan.fullyExclusive());
+    EXPECT_GT(plan.opCount(), 0u);
+    const auto v = test::randomState(n, 300 + threads);
+    AlignedVector<Complex> v1(v.begin(), v.end());
+    AlignedVector<Complex> w1(v1.size());
+    replayPlan(plan, v1, w1);
+    AlignedVector<Complex> v2(v.begin(), v.end());
+    AlignedVector<Complex> w2(v2.size());
+    dmavRecursive(m, n, v2, w2, threads);
+    EXPECT_STATE_NEAR(w1, w2, 1e-12);
+  }
+  p.decRef(m);
+}
+
+TEST(DenseBlockPlan, ThreeQubitFusedGateMatchesRecursive) {
+  const Qubit n = 9;
+  dd::Package p{n};
+  dd::mEdge m = p.makeGateDD({qc::GateKind::H, 6, {}, {}});
+  m = p.multiply(p.makeGateDD({qc::GateKind::RY, 7, {}, {0.8}}), m);
+  m = p.multiply(p.makeGateDD({qc::GateKind::X, 6, {8}, {}}), m);
+  m = p.multiply(p.makeGateDD({qc::GateKind::H, 8, {}, {}}), m);
+  p.incRef(m);
+  const auto info = denseBlockProbe(m, n);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->k, 3u);
+  const DmavPlan plan = compileDmavPlan(m, n, 4, PlanMode::Row, &p);
+  EXPECT_EQ(plan.denseK, 3u);
+  const auto v = test::randomState(n, 301);
+  AlignedVector<Complex> v1(v.begin(), v.end());
+  AlignedVector<Complex> w1(v1.size());
+  replayPlan(plan, v1, w1);
+  AlignedVector<Complex> v2(v.begin(), v.end());
+  AlignedVector<Complex> w2(v2.size());
+  dmavRecursive(m, n, v2, w2, 4);
+  EXPECT_STATE_NEAR(w1, w2, 1e-12);
+  p.decRef(m);
+}
+
+TEST(DenseBlockPlan, ProbeRejectsUnsuitableGates) {
+  const Qubit n = 8;
+  dd::Package p{n};
+  // Single-qubit dense gate: k=1 < 2.
+  EXPECT_FALSE(
+      denseBlockProbe(p.makeGateDD({qc::GateKind::H, 7, {}, {}}), n)
+          .has_value());
+  // Diagonal two-qubit gate: no row has two nonzeros, DiagScale wins.
+  dd::mEdge diag = p.makeGateDD({qc::GateKind::RZ, 7, {}, {0.3}});
+  diag = p.multiply(p.makeGateDD({qc::GateKind::RZ, 6, {}, {0.7}}), diag);
+  EXPECT_FALSE(denseBlockProbe(diag, n).has_value());
+  // Dense pair on low qubits: the contiguous run (2^q0) is shorter than
+  // kMinDenseRunLen, so the tile sweep would be gather-bound.
+  dd::mEdge low = p.makeGateDD({qc::GateKind::H, 1, {}, {}});
+  low = p.multiply(p.makeGateDD({qc::GateKind::X, 1, {2}, {}}), low);
+  low = p.multiply(p.makeGateDD({qc::GateKind::H, 2, {}, {}}), low);
+  EXPECT_FALSE(denseBlockProbe(low, n).has_value());
 }
 
 // ---------------------------------------------------------------------------

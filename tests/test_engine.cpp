@@ -12,6 +12,7 @@
 #include "engine/simulation_engine.hpp"
 #include "helpers.hpp"
 #include "obs/trace.hpp"
+#include "simd/kernels.hpp"
 
 namespace fdd {
 namespace {
@@ -172,6 +173,35 @@ TEST(RunReportJson, RoundTripsEveryField) {
 
   const engine::RunReport parsed =
       engine::RunReport::fromJson(report.toJson());
+  EXPECT_EQ(parsed, report);
+}
+
+TEST(RunReportJson, SimdTierAndFusionCountersAreReported) {
+  // The report's resolved dispatch tier must match the active kernel table,
+  // and a diagonal-layer circuit must surface the fused-run counters.
+  qc::Circuit circuit{6, "diag"};
+  for (Qubit q = 0; q < 6; ++q) {
+    circuit.h(q);
+  }
+  for (int layer = 0; layer < 4; ++layer) {
+    for (Qubit q = 0; q < 6; ++q) {
+      circuit.gate(qc::GateKind::RZ, {}, q, {0.3 + 0.1 * layer});
+    }
+  }
+  engine::EngineOptions options;
+  options.forceConversionAtGate = 6;
+  const engine::RunReport report = engine::simulate("flatdd", circuit,
+                                                    options);
+  EXPECT_EQ(report.simdTier, simd::toString(simd::activeTier()));
+  EXPECT_EQ(report.simdLanes, simd::lanes());
+  EXPECT_EQ(report.simdLanes, simd::lanesOf(simd::activeTier()));
+  EXPECT_GT(report.diagRuns, 0u);
+  EXPECT_GE(report.diagRunGates, 2 * report.diagRuns);
+  const engine::RunReport parsed =
+      engine::RunReport::fromJson(report.toJson());
+  EXPECT_EQ(parsed.diagRuns, report.diagRuns);
+  EXPECT_EQ(parsed.diagRunGates, report.diagRunGates);
+  EXPECT_EQ(parsed.denseBlockGates, report.denseBlockGates);
   EXPECT_EQ(parsed, report);
 }
 

@@ -111,6 +111,51 @@ TEST(FlatDD, ForcedCachingStillCorrect) {
   EXPECT_STATE_NEAR(flat.stateVector(), ref.state(), 1e-9);
 }
 
+TEST(FlatDD, DiagonalLayersCollapseIntoDiagRuns) {
+  // An ISING/QAOA-style circuit: after the H wall, every layer is n RZ
+  // gates plus a CP ladder — all diagonal. With fuseDiagonalRuns the DMAV
+  // phase must collapse each maximal run into one fused sweep and still
+  // match both the unfused configuration and the array baseline.
+  const Qubit n = 8;
+  qc::Circuit circuit{n, "diag-layers"};
+  for (Qubit q = 0; q < n; ++q) {
+    circuit.h(q);
+  }
+  for (int layer = 0; layer < 6; ++layer) {
+    for (Qubit q = 0; q < n; ++q) {
+      circuit.gate(qc::GateKind::RZ, {}, q, {0.1 + 0.07 * layer + 0.03 * q});
+    }
+    for (Qubit q = 0; q + 1 < n; ++q) {
+      circuit.gate(qc::GateKind::P, {q}, static_cast<Qubit>(q + 1),
+                   {0.2 + 0.05 * layer});
+    }
+    circuit.h(0);  // break the run so several independent runs form
+  }
+
+  FlatDDOptions opt;
+  opt.threads = 2;
+  opt.forceConversionAtGate = n;  // convert right after the H wall
+  FlatDDSimulator fused{n, opt};
+  fused.simulate(circuit);
+  EXPECT_GT(fused.stats().diagRuns, 0u);
+  EXPECT_GE(fused.stats().diagRunGates, 2 * fused.stats().diagRuns);
+  // Every layer's 2n-1 diagonal gates form one maximal run.
+  EXPECT_GE(fused.stats().diagRunGates, 6u * (2u * n - 1u));
+  EXPECT_EQ(fused.stats().ddGates + fused.stats().dmavGates,
+            circuit.numGates());
+
+  FlatDDOptions unfusedOpt = opt;
+  unfusedOpt.fuseDiagonalRuns = false;
+  FlatDDSimulator unfused{n, unfusedOpt};
+  unfused.simulate(circuit);
+  EXPECT_EQ(unfused.stats().diagRuns, 0u);
+  EXPECT_STATE_NEAR(fused.stateVector(), unfused.stateVector(), 1e-10);
+
+  sim::ArraySimulator ref{n, {.threads = 2}};
+  ref.simulate(circuit);
+  EXPECT_STATE_NEAR(fused.stateVector(), ref.state(), 1e-10);
+}
+
 TEST(FlatDD, PerGateTraceCoversAllGates) {
   const auto circuit = circuits::supremacy(8, 5, 48);
   FlatDDOptions opt;

@@ -91,10 +91,18 @@ INSTANTIATE_TEST_SUITE_P(Sizes, SimdSizes,
                                            64, 100, 1023, 1024));
 
 TEST(Simd, LanesConsistentWithBuildFlag) {
-  if (avx2Enabled()) {
-    EXPECT_EQ(lanes(), 4u);
-  } else {
-    EXPECT_EQ(lanes(), 1u);
+  EXPECT_EQ(lanes(), lanesOf(activeTier()));
+  switch (activeTier()) {
+    case DispatchTier::Avx512:
+      EXPECT_EQ(lanes(), 8u);
+      break;
+    case DispatchTier::Avx2:
+      EXPECT_EQ(lanes(), 4u);
+      EXPECT_TRUE(avx2Enabled());
+      break;
+    case DispatchTier::Scalar:
+      EXPECT_EQ(lanes(), 1u);
+      break;
   }
 }
 

@@ -27,6 +27,9 @@ std::vector<DispatchTier> availableTiers() {
   if (tierAvailable(DispatchTier::Avx2)) {
     tiers.push_back(DispatchTier::Avx2);
   }
+  if (tierAvailable(DispatchTier::Avx512)) {
+    tiers.push_back(DispatchTier::Avx512);
+  }
   return tiers;
 }
 
@@ -334,12 +337,93 @@ TEST(SimdDispatch, TierRoundTrip) {
   for (const DispatchTier tier : availableTiers()) {
     EXPECT_TRUE(setDispatchTier(tier));
     EXPECT_EQ(activeTier(), tier);
-    EXPECT_EQ(lanes(), tier == DispatchTier::Avx2 ? 4u : 1u);
+    EXPECT_EQ(lanes(), lanesOf(tier));
     EXPECT_EQ(avx2Enabled(), tier == DispatchTier::Avx2);
+    EXPECT_EQ(vectorEnabled(), tier != DispatchTier::Scalar);
   }
   EXPECT_TRUE(tierAvailable(DispatchTier::Scalar));
   EXPECT_STREQ(toString(DispatchTier::Scalar), "scalar");
   EXPECT_STREQ(toString(DispatchTier::Avx2), "avx2");
+  EXPECT_STREQ(toString(DispatchTier::Avx512), "avx512");
+  EXPECT_EQ(lanesOf(DispatchTier::Scalar), 1u);
+  EXPECT_EQ(lanesOf(DispatchTier::Avx2), 4u);
+  EXPECT_EQ(lanesOf(DispatchTier::Avx512), 8u);
+}
+
+TEST(SimdDispatch, ParseTierNameCoversVocabulary) {
+  EXPECT_EQ(parseTierName("scalar"), DispatchTier::Scalar);
+  EXPECT_EQ(parseTierName("avx2"), DispatchTier::Avx2);
+  EXPECT_EQ(parseTierName("avx512"), DispatchTier::Avx512);
+  EXPECT_EQ(parseTierName("AVX2"), std::nullopt);  // case-sensitive
+  EXPECT_EQ(parseTierName("sse"), std::nullopt);
+  EXPECT_EQ(parseTierName(""), std::nullopt);
+  EXPECT_EQ(parseTierName(nullptr), std::nullopt);
+}
+
+TEST(SimdDispatch, MulPointwiseMatchesReference) {
+  TierGuard guard;
+  Xoshiro256 rng{22};
+  for (const DispatchTier tier : availableTiers()) {
+    ASSERT_TRUE(setDispatchTier(tier));
+    for (std::size_t n = 1; n <= 257; n += (n < 16 ? 1 : 13)) {
+      for (const std::size_t off : kOffsets) {
+        const auto a = randomBuf(off + n, rng);
+        const auto b = randomBuf(off + n, rng);
+        auto out = randomBuf(off + n, rng);
+        mulPointwise(out.data() + off, a.data() + off, b.data() + off, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          expectNear(out[off + i], a[off + i] * b[off + i], toString(tier),
+                     i);
+        }
+        // In-place on the first operand (the DiagRun replay shape).
+        auto v = a;
+        mulPointwise(v.data() + off, v.data() + off, b.data() + off, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          expectNear(v[off + i], a[off + i] * b[off + i], "in-place", i);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, DenseColumnsMatchesReference) {
+  TierGuard guard;
+  Xoshiro256 rng{23};
+  for (const DispatchTier tier : availableTiers()) {
+    ASSERT_TRUE(setDispatchTier(tier));
+    for (const unsigned m : {4u, 8u}) {
+      for (std::size_t n = 1; n <= 129; n += (n < 16 ? 1 : 13)) {
+        for (const std::size_t off : kOffsets) {
+          std::array<Complex, 64> u{};
+          for (unsigned j = 0; j < m * m; ++j) {
+            u[j] = randomCoeff(rng);
+          }
+          std::vector<AlignedVector<Complex>> inBufs;
+          std::vector<AlignedVector<Complex>> outBufs;
+          const Complex* in[8];
+          Complex* out[8];
+          for (unsigned j = 0; j < m; ++j) {
+            inBufs.push_back(randomBuf(off + n, rng));
+            outBufs.push_back(randomBuf(off + n, rng));
+          }
+          for (unsigned j = 0; j < m; ++j) {
+            in[j] = inBufs[j].data() + off;
+            out[j] = outBufs[j].data() + off;
+          }
+          denseColumns(out, in, u.data(), m, n);
+          for (unsigned j = 0; j < m; ++j) {
+            for (std::size_t i = 0; i < n; ++i) {
+              Complex want{};
+              for (unsigned l = 0; l < m; ++l) {
+                want += u[j * m + l] * inBufs[l][off + i];
+              }
+              expectNear(out[j][i], want, toString(tier), i);
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
