@@ -11,8 +11,15 @@
 // traffic over loopback sockets — that mode measures the full wire path.
 //
 // Emits BENCH_serve.json: sessions, total jobs, jobs/sec, p50/p99 latency,
-// and the verification verdict. CI gates on `verified` and a p99 sanity
-// bound.
+// a per-op (apply/sample/amplitude) breakdown splitting each op's latency
+// into queue-wait vs execute (from the service's "timing":true response
+// fields), and the verification verdict. CI gates on `verified` and a p99
+// sanity bound.
+//
+// Every request carries a deterministic request id
+// (1000000*(session_index+1) + sequence), so any row in the bench output is
+// joinable against the server's trace (`trace_summarize --by-request`) and
+// slow-request log.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -24,6 +31,7 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -172,7 +180,14 @@ std::vector<fdd::qc::Circuit> sessionBatches(const Options& opt,
   return batches;
 }
 
-std::string applyRequest(std::uint64_t session,
+/// Deterministic request id for client `index`'s `seq`-th request: joinable
+/// against the server's trace and slow log, and collision-free across the
+/// bench's clients.
+std::uint64_t requestIdFor(unsigned index, std::uint64_t seq) {
+  return 1'000'000ULL * (index + 1) + seq;
+}
+
+std::string applyRequest(std::uint64_t session, std::uint64_t requestId,
                          const fdd::qc::Circuit& batch) {
   // Ship batches as QASM: one string field instead of hundreds of gate
   // objects keeps request lines compact and exercises the parser path.
@@ -181,6 +196,8 @@ std::string applyRequest(std::uint64_t session,
   w.field("op", "apply");
   w.field("session", static_cast<std::size_t>(session));
   w.field("qasm", batch.toQasm());
+  w.field("request_id", std::to_string(requestId));
+  w.field("timing", true);
   w.endObject();
   return w.take();
 }
@@ -188,6 +205,13 @@ std::string applyRequest(std::uint64_t session,
 struct RequestCheck {
   bool ok = false;
   std::string body;
+};
+
+/// One op's queue-wait/execute split, parsed from a "timing":true response.
+struct OpTiming {
+  double totalMs = 0;
+  double queueWaitUs = 0;
+  double execUs = 0;
 };
 
 RequestCheck timedRequest(Transport& transport, const std::string& line,
@@ -200,15 +224,60 @@ RequestCheck timedRequest(Transport& transport, const std::string& line,
   return RequestCheck{response.find("\"ok\":true") == 1, response};
 }
 
+/// Strips the volatile fields the service splices onto responses
+/// (queue_wait_us/exec_us/request_id — timing differs run to run by
+/// construction) so the byte-for-byte replay comparison sees only payload.
+/// Both are appended after the payload, so truncating at the first volatile
+/// key is exact.
+std::string normalizeBody(std::string body) {
+  for (const std::string_view key :
+       {std::string_view{",\"queue_wait_us\":"},
+        std::string_view{",\"request_id\":\""}}) {
+    if (const std::size_t pos = body.find(key); pos != std::string::npos) {
+      body.erase(pos);
+      body += '}';
+    }
+  }
+  return body;
+}
+
+double timingField(const fdd::json::Object& obj, const char* key) {
+  if (const auto it = obj.find(key); it != obj.end()) {
+    if (const double* d = it->second.number()) {
+      return *d;
+    }
+  }
+  return 0;
+}
+
 struct SessionResult {
   std::uint64_t sessionId = 0;
   unsigned index = 0;
   std::vector<double> latenciesMs;
   std::vector<std::string> sampleBodies;  // one per sample request
   std::string amplitudeBody;
+  std::map<std::string, std::vector<OpTiming>> opTimings;
   bool ok = true;
   std::string error;
 };
+
+/// Records the op's latency split from its response body.
+void recordOpTiming(SessionResult& result, const char* op,
+                    const std::string& body, double totalMs) {
+  OpTiming t;
+  t.totalMs = totalMs;
+  try {
+    const fdd::json::Value parsed = fdd::json::parse(body);
+    if (const fdd::json::Object* obj = parsed.object()) {
+      t.queueWaitUs = timingField(*obj, "queue_wait_us");
+      t.execUs = timingField(*obj, "exec_us");
+    }
+  } catch (const std::exception&) {
+    // timing is best-effort diagnostics; a parse failure here must not fail
+    // the bench (verification catches real response corruption)
+  }
+  result.opTimings[op].push_back(t);
+}
 
 void runClient(const Options& opt, Service* inProcess, unsigned index,
                SessionResult& result) {
@@ -216,6 +285,7 @@ void runClient(const Options& opt, Service* inProcess, unsigned index,
   try {
     Transport transport{inProcess, opt.tcpPort};
     const std::uint64_t seed = opt.baseSeed + index;
+    std::uint64_t seq = 0;
 
     fdd::json::Writer open;
     open.beginObject();
@@ -227,6 +297,7 @@ void runClient(const Options& opt, Service* inProcess, unsigned index,
     // summation order) depends on it, and verification compares responses
     // byte-for-byte against a local replay.
     open.field("threads", opt.threads);
+    open.field("request_id", std::to_string(requestIdFor(index, seq++)));
     open.endObject();
     const RequestCheck opened =
         timedRequest(transport, open.take(), result.latenciesMs);
@@ -240,23 +311,30 @@ void runClient(const Options& opt, Service* inProcess, unsigned index,
 
     for (const fdd::qc::Circuit& batch : sessionBatches(opt, index)) {
       const RequestCheck applied = timedRequest(
-          transport, applyRequest(result.sessionId, batch),
+          transport,
+          applyRequest(result.sessionId, requestIdFor(index, seq++), batch),
           result.latenciesMs);
       if (!applied.ok) {
         throw std::runtime_error("apply failed: " + applied.body);
       }
+      recordOpTiming(result, "apply", applied.body,
+                     result.latenciesMs.back());
       fdd::json::Writer sample;
       sample.beginObject();
       sample.field("op", "sample");
       sample.field("session", static_cast<std::size_t>(result.sessionId));
       sample.field("shots", opt.shots);
+      sample.field("request_id", std::to_string(requestIdFor(index, seq++)));
+      sample.field("timing", true);
       sample.endObject();
       const RequestCheck sampled =
           timedRequest(transport, sample.take(), result.latenciesMs);
       if (!sampled.ok) {
         throw std::runtime_error("sample failed: " + sampled.body);
       }
-      result.sampleBodies.push_back(sampled.body);
+      recordOpTiming(result, "sample", sampled.body,
+                     result.latenciesMs.back());
+      result.sampleBodies.push_back(normalizeBody(sampled.body));
     }
 
     fdd::json::Writer amp;
@@ -264,18 +342,23 @@ void runClient(const Options& opt, Service* inProcess, unsigned index,
     amp.field("op", "amplitude");
     amp.field("session", static_cast<std::size_t>(result.sessionId));
     amp.field("index", 0);
+    amp.field("request_id", std::to_string(requestIdFor(index, seq++)));
+    amp.field("timing", true);
     amp.endObject();
     const RequestCheck amplitude =
         timedRequest(transport, amp.take(), result.latenciesMs);
     if (!amplitude.ok) {
       throw std::runtime_error("amplitude failed: " + amplitude.body);
     }
-    result.amplitudeBody = amplitude.body;
+    recordOpTiming(result, "amplitude", amplitude.body,
+                   result.latenciesMs.back());
+    result.amplitudeBody = normalizeBody(amplitude.body);
 
     fdd::json::Writer close;
     close.beginObject();
     close.field("op", "close");
     close.field("session", static_cast<std::size_t>(result.sessionId));
+    close.field("request_id", std::to_string(requestIdFor(index, seq++)));
     close.endObject();
     const RequestCheck closed =
         timedRequest(transport, close.take(), result.latenciesMs);
@@ -401,10 +484,41 @@ int main(int argc, char** argv) {
   const double jobsPerSec =
       wallSeconds > 0 ? static_cast<double>(jobs) / wallSeconds : 0;
 
+  // Per-op queue-wait vs execute split, merged across sessions.
+  struct OpAgg {
+    std::vector<double> totalMs;
+    std::vector<double> queueWaitUs;
+    std::vector<double> execUs;
+  };
+  std::map<std::string, OpAgg> perOp;
+  for (const SessionResult& r : results) {
+    for (const auto& [op, timings] : r.opTimings) {
+      OpAgg& agg = perOp[op];
+      for (const OpTiming& t : timings) {
+        agg.totalMs.push_back(t.totalMs);
+        agg.queueWaitUs.push_back(t.queueWaitUs);
+        agg.execUs.push_back(t.execUs);
+      }
+    }
+  }
+  for (auto& [op, agg] : perOp) {
+    std::sort(agg.totalMs.begin(), agg.totalMs.end());
+    std::sort(agg.queueWaitUs.begin(), agg.queueWaitUs.end());
+    std::sort(agg.execUs.begin(), agg.execUs.end());
+  }
+
   std::cout << "  requests: " << jobs << " in " << wallSeconds << " s ("
             << jobsPerSec << " req/s)\n"
-            << "  latency p50: " << p50 << " ms, p99: " << p99 << " ms\n"
-            << "  verified vs sequential replay: "
+            << "  latency p50: " << p50 << " ms, p99: " << p99 << " ms\n";
+  for (const auto& [op, agg] : perOp) {
+    std::cout << "  " << op << ": n=" << agg.totalMs.size()
+              << " total p50 " << percentile(agg.totalMs, 0.50)
+              << " ms (queue-wait p50 "
+              << percentile(agg.queueWaitUs, 0.50) / 1e3
+              << " ms, exec p50 " << percentile(agg.execUs, 0.50) / 1e3
+              << " ms)\n";
+  }
+  std::cout << "  verified vs sequential replay: "
             << (verified ? "yes" : "NO") << "\n";
 
   fdd::tools::JsonWriter w;
@@ -423,6 +537,19 @@ int main(int argc, char** argv) {
   w.kv("requestsPerSec", jobsPerSec);
   w.kv("p50Ms", p50);
   w.kv("p99Ms", p99);
+  w.key("perOp").beginObject();
+  for (const auto& [op, agg] : perOp) {
+    w.key(op).beginObject();
+    w.kv("count", static_cast<std::uint64_t>(agg.totalMs.size()));
+    w.kv("p50Ms", percentile(agg.totalMs, 0.50));
+    w.kv("p99Ms", percentile(agg.totalMs, 0.99));
+    w.kv("queueWaitP50Us", percentile(agg.queueWaitUs, 0.50));
+    w.kv("queueWaitP99Us", percentile(agg.queueWaitUs, 0.99));
+    w.kv("execP50Us", percentile(agg.execUs, 0.50));
+    w.kv("execP99Us", percentile(agg.execUs, 0.99));
+    w.endObject();
+  }
+  w.endObject();
   w.kv("verified", verified);
   if (!verified) {
     w.kv("mismatch", mismatch);

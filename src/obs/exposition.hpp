@@ -1,0 +1,39 @@
+#pragma once
+// Prometheus text-exposition writer over Registry::snapshot() (format
+// 0.0.4, what `GET /metrics` serves). The renderer never touches live
+// metric objects: it works off an ObsSnapshot, so the only lock taken is
+// the registry mutex for the duration of the snapshot copy — workers keep
+// recording through relaxed atomics the whole time.
+//
+// Mapping:
+//   Counter   -> `flatdd_<name>_total` (counter)
+//   Gauge     -> `flatdd_<name>` (gauge)
+//   Histogram -> `flatdd_<name>_seconds` (histogram): cumulative
+//                `_bucket{le="..."}` rows from the log2 ns buckets (upper
+//                bound of bucket b is (2^b - 1) ns, rendered in seconds),
+//                a `+Inf` bucket equal to `_count`, and `_sum` in seconds.
+//   PoolPhase -> `flatdd_pool_phase_{imbalance,regions_total,
+//                wall_seconds_total}{phase="..."}` per phase.
+//
+// Metric names are mangled to the Prometheus grammar (every character
+// outside [a-zA-Z0-9_:] becomes '_'); label values are escaped. Rendering
+// appends into a caller-owned string so a serving loop can reuse one
+// buffer — the writer reserves an estimate up front and allocates nothing
+// else beyond what the buffer needs to grow.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fdd::obs {
+
+/// Appends the snapshot rendered as Prometheus text exposition to `out`.
+void writePrometheusText(const ObsSnapshot& snap, std::string& out);
+
+/// Convenience: snapshot the registry and render it.
+[[nodiscard]] std::string prometheusText();
+
+/// `name` with the `flatdd_` prefix, mangled to the Prometheus grammar.
+[[nodiscard]] std::string prometheusName(std::string_view name);
+
+}  // namespace fdd::obs

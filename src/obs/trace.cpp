@@ -2,6 +2,7 @@
 
 #if FDD_OBS_ENABLED
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,7 @@ TraceRegistry& registry() {
 
 thread_local std::shared_ptr<TraceRing> tlsRing;
 thread_local const char* tlsPendingName = nullptr;
+thread_local std::uint64_t tlsRequestId = 0;
 
 TraceRing& ring() {
   if (!tlsRing) {
@@ -108,13 +110,23 @@ const char* internName(const std::string& name) {
   return storage->insert(name).first->c_str();
 }
 
+std::uint64_t currentRequestId() noexcept { return tlsRequestId; }
+
+void setCurrentRequestId(std::uint64_t id) noexcept { tlsRequestId = id; }
+
 void recordSpan(const char* name, std::uint64_t startNs,
                 std::uint64_t durNs) noexcept {
+  recordSpan(name, startNs, durNs, tlsRequestId);
+}
+
+void recordSpan(const char* name, std::uint64_t startNs, std::uint64_t durNs,
+                std::uint64_t requestId) noexcept {
   if (!enabled()) {
     return;
   }
   TraceRing& r = ring();
-  r.push(TraceEvent{name, startNs, durNs, 0, 0, 0, r.tid, EventType::Span});
+  r.push(TraceEvent{name, startNs, durNs, 0, 0, requestId, r.tid,
+                    EventType::Span});
 }
 
 void counterEvent(const char* name, double value) noexcept {
@@ -165,9 +177,12 @@ void TraceScope::finish() noexcept {
   }
 }
 
-std::string exportChromeTrace() {
+namespace {
+
+std::string exportChromeTraceImpl(bool live) {
   // Snapshot the ring list under the lock; the events themselves are read
-  // lock-free (quiescence is the caller's contract).
+  // lock-free (quiescence is the caller's contract — except in live mode,
+  // where overwritten-during-copy events are detected and dropped below).
   std::vector<std::shared_ptr<TraceRing>> rings;
   {
     auto& reg = registry();
@@ -197,10 +212,20 @@ std::string exportChromeTrace() {
 
     const std::uint64_t head = r->head.load(std::memory_order_acquire);
     const std::uint64_t cap = r->events.size();
-    const std::uint64_t first = head > cap ? head - cap : 0;
+    std::uint64_t first = head > cap ? head - cap : 0;
+    std::vector<TraceEvent> copied;
+    if (live) {
+      // Copy the window, then re-read the head: any slot the writer
+      // advanced over during the copy belongs to an event index below the
+      // new head-minus-capacity line and is discarded as torn.
+      copied.assign(r->events.begin(), r->events.end());
+      const std::uint64_t head2 = r->head.load(std::memory_order_acquire);
+      const std::uint64_t safeFirst = head2 > cap ? head2 - cap : 0;
+      first = std::max(first, safeFirst);
+    }
     dropped += first;
     for (std::uint64_t i = first; i < head; ++i) {
-      const TraceEvent& e = r->events[i % cap];
+      const TraceEvent& e = live ? copied[i % cap] : r->events[i % cap];
       w.beginObjectEntry();
       w.field("name", e.name != nullptr ? e.name : "?");
       switch (e.type) {
@@ -221,7 +246,17 @@ std::string exportChromeTrace() {
       }
       w.field("pid", 1);
       w.field("tid", e.tid);
-      if (e.type != EventType::Span) {
+      if (e.type == EventType::Span) {
+        // Spans carry the request context in aux; emit it as a span arg so
+        // Perfetto shows it and trace_summarize can group by request. The
+        // id is written as a decimal string — JSON numbers are doubles and
+        // drop bits above 2^53.
+        if (e.aux != 0) {
+          w.beginObjectIn("args");
+          w.field("request_id", std::to_string(e.aux));
+          w.endObject();
+        }
+      } else {
         w.beginObjectIn("args");
         w.field("value", e.value);
         if (e.type == EventType::Instant) {
@@ -241,6 +276,12 @@ std::string exportChromeTrace() {
   w.endObject();
   return w.take();
 }
+
+}  // namespace
+
+std::string exportChromeTrace() { return exportChromeTraceImpl(false); }
+
+std::string exportChromeTraceLive() { return exportChromeTraceImpl(true); }
 
 }  // namespace fdd::obs
 

@@ -84,9 +84,37 @@ void setThreadName(const char* name) noexcept;
 /// dynamically built event names (e.g. per-worker counter tracks).
 [[nodiscard]] const char* internName(const std::string& name);
 
+/// Request context: a thread-local id stamped onto every span the thread
+/// records while the scope is alive, so one service request is followable
+/// end-to-end (protocol -> queue -> session -> DD/DMAV spans) in Perfetto
+/// and groupable by `trace_summarize --by-request`. 0 means "no request".
+[[nodiscard]] std::uint64_t currentRequestId() noexcept;
+void setCurrentRequestId(std::uint64_t id) noexcept;
+
+/// RAII request-context scope: sets the calling thread's request id and
+/// restores the previous one on destruction (scopes nest).
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(std::uint64_t id) noexcept
+      : previous_{currentRequestId()} {
+    setCurrentRequestId(id);
+  }
+  ~RequestIdScope() { setCurrentRequestId(previous_); }
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
 /// Raw event entry points. All are no-ops while !enabled().
+/// `requestId` defaults to the calling thread's current request context;
+/// pass an explicit id to attribute a span recorded on another thread's
+/// behalf (e.g. the queue-wait span recorded by the worker that dequeues).
 void recordSpan(const char* name, std::uint64_t startNs,
                 std::uint64_t durNs) noexcept;
+void recordSpan(const char* name, std::uint64_t startNs, std::uint64_t durNs,
+                std::uint64_t requestId) noexcept;
 void counterEvent(const char* name, double value) noexcept;
 void instantEvent(const char* name, double value, double value2 = 0,
                   std::uint64_t aux = 0) noexcept;
@@ -105,6 +133,15 @@ void clearTrace() noexcept;
 /// ({"traceEvents":[...], ...}); Perfetto and chrome://tracing load it
 /// directly. Quiescence required.
 [[nodiscard]] std::string exportChromeTrace();
+
+/// Flight-recorder export for a *live* process (GET /tracez): reads the
+/// rings while writers keep recording, without pausing them. Events that
+/// could have been overwritten during the copy are dropped (the ring head
+/// is re-read after the copy and the overtaken prefix discarded), so the
+/// result is a consistent recent window rather than an exact snapshot.
+/// Reading a slot concurrently with its single writer is a benign torn
+/// read by design — do not call this under TSan with active writers.
+[[nodiscard]] std::string exportChromeTraceLive();
 
 /// RAII span: measures from construction to destruction and records a Span
 /// event on the calling thread's ring (plus, optionally, the duration into a
@@ -145,7 +182,19 @@ inline void setThreadName(const char*) noexcept {}
 [[nodiscard]] inline const char* internName(const std::string&) {
   return "";
 }
+[[nodiscard]] inline std::uint64_t currentRequestId() noexcept { return 0; }
+inline void setCurrentRequestId(std::uint64_t) noexcept {}
+
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(std::uint64_t) noexcept {}
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+};
+
 inline void recordSpan(const char*, std::uint64_t, std::uint64_t) noexcept {}
+inline void recordSpan(const char*, std::uint64_t, std::uint64_t,
+                       std::uint64_t) noexcept {}
 inline void counterEvent(const char*, double) noexcept {}
 inline void instantEvent(const char*, double, double = 0,
                          std::uint64_t = 0) noexcept {}
@@ -153,6 +202,9 @@ inline void setRingCapacity(std::size_t) noexcept {}
 [[nodiscard]] inline std::size_t droppedEvents() noexcept { return 0; }
 inline void clearTrace() noexcept {}
 [[nodiscard]] inline std::string exportChromeTrace() {
+  return R"({"traceEvents":[]})";
+}
+[[nodiscard]] inline std::string exportChromeTraceLive() {
   return R"({"traceEvents":[]})";
 }
 

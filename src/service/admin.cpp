@@ -1,0 +1,165 @@
+#include "service/admin.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/exposition.hpp"
+#include "obs/trace.hpp"
+#include "service/protocol.hpp"
+
+namespace fdd::svc {
+
+namespace {
+
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+void writeAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w = ::write(fd, data.data() + sent, data.size() - sent);
+    if (w <= 0) {
+      return;  // client went away; nothing to clean up
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void respond(int fd, int status, std::string_view reason,
+             std::string_view contentType, std::string_view body) {
+  std::string head;
+  head.reserve(160);
+  head += "HTTP/1.0 ";
+  head += std::to_string(status);
+  head += ' ';
+  head += reason;
+  head += "\r\nContent-Type: ";
+  head += contentType;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  writeAll(fd, head);
+  writeAll(fd, body);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(Service& service, std::uint16_t port)
+    : service_{service} {
+  listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener_ < 0) {
+    throw std::runtime_error("AdminServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listener_, 8) != 0) {
+    ::close(listener_);
+    listener_ = -1;
+    throw std::runtime_error("AdminServer: cannot listen on 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread{[this] { loop(); }};
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listener_ >= 0) {
+    ::shutdown(listener_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listener_ >= 0) {
+    ::close(listener_);
+    listener_ = -1;
+  }
+}
+
+void AdminServer::loop() {
+  for (;;) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // listener shut down
+    }
+    serveClient(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::serveClient(int fd) {
+  // Read just the request line; headers (if any) are irrelevant and the
+  // connection closes after one response, so partial header reads are fine.
+  char buf[1024];
+  const ssize_t n = ::read(fd, buf, sizeof buf - 1);
+  if (n <= 0) {
+    return;
+  }
+  buf[n] = '\0';
+  std::string_view request{buf, static_cast<std::size_t>(n)};
+  const std::size_t eol = request.find("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? request : request.substr(0, eol);
+
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    respond(fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    target = target.substr(0, q);
+  }
+  if (method != "GET") {
+    respond(fd, 405, "Method Not Allowed", "text/plain",
+            "GET only\n");
+    return;
+  }
+
+  if (target == "/metrics") {
+    std::string body = obs::prometheusText();
+    body += "# HELP flatdd_uptime_seconds Process uptime\n";
+    body += "# TYPE flatdd_uptime_seconds gauge\n";
+    body += "flatdd_uptime_seconds ";
+    body += json::numberToString(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      kProcessStart)
+            .count());
+    body += '\n';
+    respond(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            body);
+  } else if (target == "/healthz") {
+    respond(fd, 200, "OK", "application/json", service_.healthzJson());
+  } else if (target == "/tracez") {
+    respond(fd, 200, "OK", "application/json",
+            obs::exportChromeTraceLive());
+  } else {
+    respond(fd, 404, "Not Found", "text/plain",
+            "endpoints: /metrics /healthz /tracez\n");
+  }
+}
+
+}  // namespace fdd::svc

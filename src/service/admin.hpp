@@ -1,0 +1,59 @@
+#pragma once
+// Admin/observability listener: a tiny HTTP/1.0 server on a dedicated
+// loopback port, separate from the protocol listener so scrapes never
+// compete with protocol traffic for a connection slot and never speak the
+// line-JSON protocol. One thread accepts and serves requests sequentially —
+// every endpoint renders in microseconds off snapshots, so a serial loop is
+// plenty for a scraper cadence, and it keeps the server to a handful of
+// syscalls with no connection bookkeeping.
+//
+// Endpoints (GET only, Connection: close):
+//   /metrics  Prometheus text exposition (format 0.0.4) of the obs registry
+//             plus a `flatdd_uptime_seconds` gauge. Rendering works off
+//             Registry::snapshot(), so workers are never paused.
+//   /healthz  Service::healthzJson(): status, uptime, sessions, queue depth
+//             split, stall counts, per-worker progress.
+//   /tracez   Live Chrome-trace export of the flight recorder
+//             (obs::exportChromeTraceLive()) — torn events are dropped,
+//             workers keep recording.
+//
+// Anything else is a 404; non-GET methods are a 405.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace fdd::svc {
+
+class Service;
+
+class AdminServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the serving thread. Throws std::runtime_error when the bind
+  /// fails — an admin endpoint that silently isn't there is worse than a
+  /// startup error.
+  AdminServer(Service& service, std::uint16_t port);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// The bound port (resolves port 0 to the actual ephemeral port).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops the listener and joins the thread. Idempotent.
+  void stop();
+
+ private:
+  void loop();
+  void serveClient(int fd);
+
+  Service& service_;
+  int listener_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace fdd::svc

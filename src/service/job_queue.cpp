@@ -1,5 +1,7 @@
 #include "service/job_queue.hpp"
 
+#include <chrono>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -20,9 +22,21 @@ obs::Gauge& depthGauge() {
   return g;
 }
 
+obs::Gauge& stashedGauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("service.queue_stashed");
+  return g;
+}
+
 obs::Histogram& latencyHistogram() {
   static obs::Histogram& h =
       obs::Registry::instance().histogram("service.job_latency");
+  return h;
+}
+
+obs::Histogram& queueWaitHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("service.queue_wait");
   return h;
 }
 
@@ -77,13 +91,24 @@ double Job::latencySeconds() const {
   return latencySeconds_;
 }
 
+double Job::queueWaitSeconds() const {
+  const std::lock_guard lock{mutex_};
+  return queueWaitSeconds_;
+}
+
+double Job::executeSeconds() const {
+  const std::lock_guard lock{mutex_};
+  return executeSeconds_;
+}
+
 JobQueue::JobQueue(unsigned workers) {
   if (workers == 0) {
     workers = 1;
   }
+  workerSlots_ = std::make_unique<WorkerSlot[]>(workers);
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { workerLoop(); });
+    threads_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -96,7 +121,10 @@ JobHandle JobQueue::submit(std::function<void(const par::CancelToken&)> fn,
   job->deadline_ = opts.deadline;
   job->token_ = job->cancel_.token(opts.deadline);
   job->orderKey_ = orderKey;
+  job->requestId_ = opts.requestId;
+  job->label_ = opts.label;
   job->submitNs_ = monotonicNs();
+  job->submitTraceNs_ = obs::nowNs();
 
   {
     const std::lock_guard lock{mutex_};
@@ -118,7 +146,7 @@ JobHandle JobQueue::submit(std::function<void(const par::CancelToken&)> fn,
         ++stashed_;
       }
     }
-    updateDepthGaugeLocked();
+    updateDepthGaugesLocked();
   }
   ready_.notify_one();
   return job;
@@ -127,6 +155,33 @@ JobHandle JobQueue::submit(std::function<void(const par::CancelToken&)> fn,
 std::size_t JobQueue::depth() const {
   const std::lock_guard lock{mutex_};
   return runnable_.size() + stashed_;
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  const std::lock_guard lock{mutex_};
+  return Stats{runnable_.size(), stashed_, running_.size()};
+}
+
+std::vector<JobHandle> JobQueue::runningJobs() const {
+  const std::lock_guard lock{mutex_};
+  std::vector<JobHandle> jobs;
+  jobs.reserve(running_.size());
+  for (const auto& [ptr, handle] : running_) {
+    jobs.push_back(handle);
+  }
+  return jobs;
+}
+
+JobQueue::WorkerProgress JobQueue::workerProgress(unsigned worker) const {
+  WorkerProgress p;
+  if (worker >= threads_.size()) {
+    return p;
+  }
+  const WorkerSlot& slot = workerSlots_[worker];
+  p.lastBeatNs = slot.lastBeatNs.load(std::memory_order_relaxed);
+  p.requestId = slot.requestId.load(std::memory_order_relaxed);
+  p.busy = slot.busy.load(std::memory_order_relaxed);
+  return p;
 }
 
 void JobQueue::shutdown() {
@@ -148,7 +203,7 @@ void JobQueue::shutdown() {
       lane.stash.clear();
     }
     stashed_ = 0;
-    updateDepthGaugeLocked();
+    updateDepthGaugesLocked();
   }
   ready_.notify_all();
   for (const JobHandle& job : orphans) {
@@ -161,8 +216,9 @@ void JobQueue::shutdown() {
   }
 }
 
-void JobQueue::workerLoop() {
+void JobQueue::workerLoop(unsigned worker) {
   obs::setThreadName("svc-worker");
+  WorkerSlot& slot = workerSlots_[worker];
   for (;;) {
     JobHandle job;
     {
@@ -173,51 +229,76 @@ void JobQueue::workerLoop() {
       }
       job = runnable_.top().job;
       runnable_.pop();
-      updateDepthGaugeLocked();
+      running_.emplace(job.get(), job);
+      updateDepthGaugesLocked();
     }
+    slot.lastBeatNs.store(monotonicNs(), std::memory_order_relaxed);
+    slot.requestId.store(job->requestId_, std::memory_order_relaxed);
+    slot.busy.store(true, std::memory_order_relaxed);
 
     // Lazy cancellation/expiry: queued jobs are not removed eagerly, they
     // are skipped here when popped.
     if (job->token_.cancelRequested()) {
       finish(job, JobState::Cancelled, {});
-      continue;
-    }
-    if (job->deadline_.has_value() &&
-        par::CancelToken::Clock::now() >= *job->deadline_) {
+    } else if (job->deadline_.has_value() &&
+               par::CancelToken::Clock::now() >= *job->deadline_) {
       finish(job, JobState::Expired, {});
-      continue;
+    } else {
+      const std::uint64_t startNs = monotonicNs();
+      job->startNs_.store(startNs, std::memory_order_relaxed);
+      {
+        const std::lock_guard lock{job->mutex_};
+        job->state_ = JobState::Running;
+      }
+      // Request-context scope: every span the body records (service.job,
+      // session_apply, dd.apply, dmav.replay, ...) carries this job's
+      // request id. The queue-wait span covers submit→start and is
+      // attributed to the same request.
+      obs::RequestIdScope requestScope{job->requestId_};
+      obs::recordSpan("service.queue_wait", job->submitTraceNs_,
+                      obs::nowNs() - job->submitTraceNs_, job->requestId_);
+      queueWaitHistogram().record(startNs - job->submitNs_);
+      try {
+        FDD_TIMED_SCOPE("service.job");
+        job->fn_(job->token_);
+        finish(job, JobState::Done, {});
+      } catch (const CancelledError&) {
+        const bool expired =
+            !job->token_.cancelRequested() && job->deadline_.has_value() &&
+            par::CancelToken::Clock::now() >= *job->deadline_;
+        finish(job, expired ? JobState::Expired : JobState::Cancelled, {});
+      } catch (const std::exception& e) {
+        finish(job, JobState::Failed, e.what());
+      } catch (...) {
+        finish(job, JobState::Failed, "unknown exception");
+      }
     }
 
-    {
-      const std::lock_guard lock{job->mutex_};
-      job->state_ = JobState::Running;
-    }
-    try {
-      FDD_TIMED_SCOPE("service.job");
-      job->fn_(job->token_);
-      finish(job, JobState::Done, {});
-    } catch (const CancelledError&) {
-      const bool expired =
-          !job->token_.cancelRequested() && job->deadline_.has_value() &&
-          par::CancelToken::Clock::now() >= *job->deadline_;
-      finish(job, expired ? JobState::Expired : JobState::Cancelled, {});
-    } catch (const std::exception& e) {
-      finish(job, JobState::Failed, e.what());
-    } catch (...) {
-      finish(job, JobState::Failed, "unknown exception");
-    }
+    slot.busy.store(false, std::memory_order_relaxed);
+    slot.requestId.store(0, std::memory_order_relaxed);
+    slot.lastBeatNs.store(monotonicNs(), std::memory_order_relaxed);
   }
 }
 
 void JobQueue::finish(const JobHandle& job, JobState state,
                       const std::string& error) {
-  const std::uint64_t latencyNs = monotonicNs() - job->submitNs_;
+  const std::uint64_t endNs = monotonicNs();
+  const std::uint64_t latencyNs = endNs - job->submitNs_;
+  const std::uint64_t startNs = job->startNs_.load(std::memory_order_relaxed);
   std::function<void(const par::CancelToken&)> fn;
   {
     const std::lock_guard lock{job->mutex_};
     job->state_ = state;
     job->error_ = error;
     job->latencySeconds_ = static_cast<double>(latencyNs) * 1e-9;
+    // Jobs skipped at pop time (cancelled/expired before running) spent
+    // their whole life queued: wait == latency, execute == 0.
+    job->queueWaitSeconds_ =
+        static_cast<double>(startNs != 0 ? startNs - job->submitNs_
+                                         : latencyNs) *
+        1e-9;
+    job->executeSeconds_ =
+        startNs != 0 ? static_cast<double>(endNs - startNs) * 1e-9 : 0;
     fn = std::move(job->fn_);
     job->fn_ = nullptr;
   }
@@ -228,6 +309,10 @@ void JobQueue::finish(const JobHandle& job, JobState state,
   fn = nullptr;
   latencyHistogram().record(latencyNs);
   job->done_.notify_all();
+  {
+    const std::lock_guard lock{mutex_};
+    running_.erase(job.get());
+  }
   if (job->orderKey_ != 0) {
     bool promoted = false;
     {
@@ -255,15 +340,19 @@ void JobQueue::advanceKeyLocked(const JobHandle& job) {
     runnable_.push(std::move(it->second));
     lane.stash.erase(it);
     --stashed_;
-    updateDepthGaugeLocked();
+    updateDepthGaugesLocked();
   } else if (lane.nextTicket == lane.servingTicket && lane.stash.empty()) {
     // Lane fully drained; drop it so idle sessions don't accumulate state.
     lanes_.erase(laneIt);
   }
 }
 
-void JobQueue::updateDepthGaugeLocked() const {
-  depthGauge().set(static_cast<double>(runnable_.size() + stashed_));
+void JobQueue::updateDepthGaugesLocked() const {
+  // Split on purpose: `queue_depth` is the schedulable backlog a worker
+  // could pick up right now; stashed jobs are blocked behind a per-key
+  // predecessor and would mask real starvation if folded in.
+  depthGauge().set(static_cast<double>(runnable_.size()));
+  stashedGauge().set(static_cast<double>(stashed_));
 }
 
 }  // namespace fdd::svc

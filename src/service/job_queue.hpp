@@ -27,10 +27,14 @@
 //   Cancelled  cancel() was requested before/while it ran
 //   Expired    the deadline passed before/while it ran
 //
-// Observability: `service.queue_depth` gauge (queued, not yet running),
-// `service.job` timed scope around each body (span + histogram), and
-// `service.job_latency` histogram over submit→terminal time.
+// Observability: `service.queue_depth` gauge (runnable backlog only) and
+// `service.queue_stashed` gauge (parked out-of-order jobs), `service.job`
+// timed scope around each body (span + histogram, stamped with the job's
+// request id), a `service.queue_wait` span covering submit→start, and
+// `service.job_latency` histogram over submit→terminal time. Workers
+// heartbeat per-slot progress timestamps the watchdog and /healthz read.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -72,6 +76,12 @@ struct CancelledError : std::runtime_error {
 struct JobOptions {
   int priority = 0;  // higher runs first across sessions
   std::optional<par::CancelToken::Clock::time_point> deadline;
+  /// Request-context id stamped onto the job's trace spans and surfaced in
+  /// /healthz and stall logs (0 = no request context).
+  std::uint64_t requestId = 0;
+  /// Short operation label for diagnostics ("apply", "sample"). Must be a
+  /// string literal or interned pointer; may be null.
+  const char* label = nullptr;
 };
 
 /// Shared completion state of one submitted job. Handles are shared_ptr, so
@@ -95,6 +105,34 @@ class Job {
 
   /// submit→terminal wall time; 0 until terminal.
   [[nodiscard]] double latencySeconds() const;
+  /// submit→execution-start wall time; set at terminal (equals the full
+  /// latency for jobs cancelled/expired before they ran).
+  [[nodiscard]] double queueWaitSeconds() const;
+  /// Execution-start→terminal wall time; 0 for jobs that never ran.
+  [[nodiscard]] double executeSeconds() const;
+
+  [[nodiscard]] std::uint64_t requestId() const noexcept {
+    return requestId_;
+  }
+  /// Operation label from JobOptions ("" when none was given).
+  [[nodiscard]] const char* label() const noexcept {
+    return label_ != nullptr ? label_ : "";
+  }
+  /// Monotonic ns timestamp of execution start (0 until Running).
+  [[nodiscard]] std::uint64_t startedAtNs() const noexcept {
+    return startNs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::optional<par::CancelToken::Clock::time_point> deadline()
+      const noexcept {
+    return deadline_;
+  }
+  /// One-shot stall latch for the watchdog: returns true exactly once.
+  bool markStalled() noexcept {
+    return !stallFlagged_.exchange(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool stallFlagged() const noexcept {
+    return stallFlagged_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const par::CancelToken& token() const noexcept {
     return token_;
@@ -110,12 +148,21 @@ class Job {
   std::uint64_t orderKey_ = 0;
   std::uint64_t orderSeq_ = 0;  // FIFO ticket within orderKey_
   std::uint64_t submitNs_ = 0;
+  std::uint64_t submitTraceNs_ = 0;  // trace-epoch twin of submitNs_
+  std::uint64_t requestId_ = 0;
+  const char* label_ = nullptr;
+  // Written by the executing worker, read by the watchdog while Running —
+  // hence atomic, unlike the mutex-guarded terminal timings below.
+  std::atomic<std::uint64_t> startNs_{0};
+  std::atomic<bool> stallFlagged_{false};
 
   mutable std::mutex mutex_;
   mutable std::condition_variable done_;
   JobState state_ = JobState::Queued;
   std::string error_;
   double latencySeconds_ = 0;
+  double queueWaitSeconds_ = 0;
+  double executeSeconds_ = 0;
 };
 
 using JobHandle = std::shared_ptr<Job>;
@@ -140,6 +187,26 @@ class JobQueue {
   [[nodiscard]] unsigned workers() const noexcept {
     return static_cast<unsigned>(threads_.size());
   }
+
+  struct Stats {
+    std::size_t runnable = 0;  // schedulable now
+    std::size_t stashed = 0;   // parked behind a per-key predecessor
+    std::size_t running = 0;   // bodies currently executing
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Handles of the jobs currently executing (watchdog / healthz input).
+  [[nodiscard]] std::vector<JobHandle> runningJobs() const;
+
+  /// Per-worker progress view for /healthz and the watchdog: last heartbeat
+  /// (monotonic ns; workers beat at pop/finish boundaries) and the request
+  /// id of the job being executed (0 = idle).
+  struct WorkerProgress {
+    std::uint64_t lastBeatNs = 0;
+    std::uint64_t requestId = 0;
+    bool busy = false;
+  };
+  [[nodiscard]] WorkerProgress workerProgress(unsigned worker) const;
 
   /// Marks every queued job Cancelled, waits for running jobs to finish,
   /// and joins the workers. Idempotent; the destructor calls it.
@@ -167,19 +234,27 @@ class JobQueue {
     std::map<std::uint64_t, Item> stash;  // ticket -> not-yet-runnable job
   };
 
-  void workerLoop();
+  struct WorkerSlot {
+    std::atomic<std::uint64_t> lastBeatNs{0};
+    std::atomic<std::uint64_t> requestId{0};
+    std::atomic<bool> busy{false};
+  };
+
+  void workerLoop(unsigned worker);
   void finish(const JobHandle& job, JobState state, const std::string& error);
   /// Advances the job's key lane and promotes its successor, if stashed.
   void advanceKeyLocked(const JobHandle& job);
-  void updateDepthGaugeLocked() const;
+  void updateDepthGaugesLocked() const;
 
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::priority_queue<Item, std::vector<Item>, ItemOrder> runnable_;
   std::unordered_map<std::uint64_t, KeyLane> lanes_;
+  std::unordered_map<const Job*, JobHandle> running_;
   std::size_t stashed_ = 0;
   std::uint64_t nextSeq_ = 0;
   bool shutdown_ = false;
+  std::unique_ptr<WorkerSlot[]> workerSlots_;
   std::vector<std::thread> threads_;
 };
 

@@ -8,8 +8,11 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qasm/parser.hpp"
 #include "qc/gate.hpp"
+#include "simd/kernels.hpp"
 
 namespace fdd::svc {
 
@@ -141,8 +144,16 @@ std::chrono::microseconds toMicros(double ms) {
   return std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0));
 }
 
-JobOptions jobOptions(const json::Object& obj) {
+bool getBool(const json::Object& obj, std::string_view key) {
+  const json::Value* v = findField(obj, key);
+  return v != nullptr && v->boolean() != nullptr && *v->boolean();
+}
+
+JobOptions jobOptions(const json::Object& obj, std::uint64_t requestId,
+                      const char* label) {
   JobOptions opts;
+  opts.requestId = requestId;
+  opts.label = label;
   const double priority = getNumber(obj, "priority", 0);
   if (!std::isfinite(priority) || std::floor(priority) != priority ||
       std::abs(priority) > 1'000'000.0) {
@@ -259,18 +270,119 @@ std::string jobFailureResponse(const Job& job) {
   return w.take();
 }
 
+/// Splices `,<raw>` before the final '}' of a finished one-object response.
+/// Works on Writer output and spliced report responses alike — every
+/// response is exactly one JSON object.
+void spliceRaw(std::string& response, std::string_view raw) {
+  if (response.empty() || response.back() != '}') {
+    return;
+  }
+  response.pop_back();
+  response += ',';
+  response += raw;
+  response += '}';
+}
+
+void appendRequestId(std::string& response, std::uint64_t requestId) {
+  // Decimal string, not a number: u64 ids don't survive a double round-trip.
+  spliceRaw(response, "\"request_id\":\"" + std::to_string(requestId) + "\"");
+}
+
+void appendJobTiming(std::string& response, const Job& job) {
+  spliceRaw(response,
+            "\"queue_wait_us\":" +
+                json::numberToString(job.queueWaitSeconds() * 1e6) +
+                ",\"exec_us\":" +
+                json::numberToString(job.executeSeconds() * 1e6));
+}
+
 }  // namespace
 
 Service::Service(ServiceConfig config) : manager_{std::move(config)} {}
 
 std::string Service::handleLine(std::string_view line) {
+  std::uint64_t requestId = 0;
+  std::string response;
   try {
-    return dispatch(line);
+    response = dispatch(line, requestId);
   } catch (const std::exception& e) {
-    return errorResponse(e.what());
+    response = errorResponse(e.what());
   } catch (...) {
-    return errorResponse("unknown error");
+    response = errorResponse("unknown error");
   }
+  // Echo the id even on errors thrown after it was assigned — the client
+  // needs it to correlate the failure with its own records. Appended last
+  // so `ok` stays the response's first field for every op.
+  if (requestId != 0) {
+    appendRequestId(response, requestId);
+  }
+  return response;
+}
+
+void Service::logRequest(const char* op, std::uint64_t requestId,
+                         std::uint64_t sessionId, const Job& job,
+                         std::uint64_t gates) {
+  SlowRequestLog& log = manager_.slowLog();
+  if (!log.enabled()) {
+    return;
+  }
+  SlowLogEntry entry;
+  entry.op = op;
+  entry.requestId = requestId;
+  entry.sessionId = sessionId;
+  entry.queueWaitMs = job.queueWaitSeconds() * 1e3;
+  entry.executeMs = job.executeSeconds() * 1e3;
+  entry.totalMs = job.latencySeconds() * 1e3;
+  entry.gatesApplied = gates;
+  if (const flat::PlanCache* cache = manager_.sharedPlanCache()) {
+    entry.planCacheHits = cache->stats().hits;
+  }
+  entry.simdTier = simd::toString(simd::activeTier());
+  entry.state = toString(job.state());
+  log.record(entry);
+}
+
+std::string Service::healthzJson() {
+  JobQueue& queue = manager_.queue();
+  const JobQueue::Stats stats = queue.stats();
+  const std::size_t stalled = manager_.watchdog().stalledNow();
+  const auto now = std::chrono::steady_clock::now();
+  const std::uint64_t nowNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+
+  json::Writer w;
+  w.beginObject();
+  w.field("status", stalled == 0 ? "ok" : "degraded");
+  w.field("uptime_seconds",
+          std::chrono::duration<double>(now - startTime_).count());
+  w.field("sessions", manager_.sessionCount());
+  w.beginObjectIn("queue");
+  w.field("depth", stats.runnable);
+  w.field("stashed", stats.stashed);
+  w.field("running", stats.running);
+  w.field("workers", static_cast<std::size_t>(queue.workers()));
+  w.endObject();
+  w.field("jobs_stalled", stalled);
+  w.field("jobs_stalled_total",
+          static_cast<std::size_t>(manager_.watchdog().stalledTotal()));
+  w.beginArray("worker_progress");
+  for (unsigned i = 0; i < queue.workers(); ++i) {
+    const JobQueue::WorkerProgress p = queue.workerProgress(i);
+    w.beginObjectEntry();
+    w.field("busy", p.busy);
+    w.field("request_id", std::to_string(p.requestId));
+    // -1: this worker has not picked up a job yet (no heartbeat written).
+    w.field("last_progress_ms",
+            p.lastBeatNs == 0
+                ? -1.0
+                : static_cast<double>(nowNs - p.lastBeatNs) * 1e-6);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.take();
 }
 
 void Service::sweepExpiredJobs() {
@@ -295,7 +407,8 @@ void Service::sweepExpiredJobs() {
   }
 }
 
-std::string Service::dispatch(std::string_view line) {
+std::string Service::dispatch(std::string_view line,
+                              std::uint64_t& requestId) {
   // Terminal async jobs a client never polls would otherwise pin their
   // session (and its 2^n state) forever via jobs_.
   sweepExpiredJobs();
@@ -303,6 +416,17 @@ std::string Service::dispatch(std::string_view line) {
   const json::Value request = json::parse(line);
   const json::Object& obj = asObject(request);
   const std::string op = getString(obj, "op");
+
+  // Every request gets an id: the client's if supplied, a generated one
+  // otherwise. The TLS scope makes every span recorded on this thread (and,
+  // via JobOptions, on the worker executing this request's job) carry it.
+  requestId = getU64(obj, "request_id", 0);
+  if (requestId == 0) {
+    requestId = nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const obs::RequestIdScope requestScope{requestId};
+  FDD_TIMED_SCOPE("service.request");
+  const bool wantTiming = getBool(obj, "timing");
 
   if (op == "ping") {
     json::Writer w;
@@ -379,8 +503,19 @@ std::string Service::dispatch(std::string_view line) {
     }
     const JobState state = async.handle->state();
     if (isTerminal(state)) {
-      const std::lock_guard lock{jobsMutex_};
-      jobs_.erase(jobId);
+      bool firstObservation = false;
+      {
+        const std::lock_guard lock{jobsMutex_};
+        firstObservation = jobs_.erase(jobId) > 0;
+      }
+      // Async applies are invisible to the per-op slow-log path (the
+      // submitting dispatch returned immediately); log them under their
+      // original request id when their result is first collected.
+      if (firstObservation) {
+        logRequest("apply_async", async.handle->requestId(),
+                   async.session->id(), *async.handle,
+                   async.session->gatesApplied());
+      }
     }
     json::Writer w;
     w.beginObject();
@@ -428,7 +563,7 @@ std::string Service::dispatch(std::string_view line) {
                                             const par::CancelToken& token) {
           *applied = s.apply(chunk, token);
         },
-        jobOptions(obj));
+        jobOptions(obj, requestId, "apply"));
     const json::Value* async = findField(obj, "async");
     if (async != nullptr && async->boolean() != nullptr &&
         *async->boolean()) {
@@ -446,6 +581,8 @@ std::string Service::dispatch(std::string_view line) {
       return w.take();
     }
     handle->wait();
+    logRequest("apply", requestId, sessionId, *handle,
+               session->gatesApplied());
     if (handle->state() != JobState::Done) {
       return jobFailureResponse(*handle);
     }
@@ -455,7 +592,11 @@ std::string Service::dispatch(std::string_view line) {
     w.field("applied", *applied);
     w.field("total_gates", session->gatesApplied());
     w.endObject();
-    return w.take();
+    std::string response = w.take();
+    if (wantTiming) {
+      appendJobTiming(response, *handle);
+    }
+    return response;
   }
 
   if (op == "sample") {
@@ -467,8 +608,10 @@ std::string Service::dispatch(std::string_view line) {
         [shots, outcomes](Session& s, const par::CancelToken&) {
           *outcomes = s.sample(shots);
         },
-        jobOptions(obj));
+        jobOptions(obj, requestId, "sample"));
     handle->wait();
+    logRequest("sample", requestId, sessionId, *handle,
+               session->gatesApplied());
     if (handle->state() != JobState::Done) {
       return jobFailureResponse(*handle);
     }
@@ -486,7 +629,11 @@ std::string Service::dispatch(std::string_view line) {
     }
     w.endObject();
     w.endObject();
-    return w.take();
+    std::string response = w.take();
+    if (wantTiming) {
+      appendJobTiming(response, *handle);
+    }
+    return response;
   }
 
   if (op == "amplitude") {
@@ -506,8 +653,10 @@ std::string Service::dispatch(std::string_view line) {
         [index, value](Session& s, const par::CancelToken&) {
           *value = s.amplitude(index);
         },
-        jobOptions(obj));
+        jobOptions(obj, requestId, "amplitude"));
     handle->wait();
+    logRequest("amplitude", requestId, sessionId, *handle,
+               session->gatesApplied());
     if (handle->state() != JobState::Done) {
       return jobFailureResponse(*handle);
     }
@@ -517,7 +666,11 @@ std::string Service::dispatch(std::string_view line) {
     w.field("re", value->real());
     w.field("im", value->imag());
     w.endObject();
-    return w.take();
+    std::string response = w.take();
+    if (wantTiming) {
+      appendJobTiming(response, *handle);
+    }
+    return response;
   }
 
   if (op == "report") {
@@ -527,7 +680,7 @@ std::string Service::dispatch(std::string_view line) {
         [report](Session& s, const par::CancelToken&) {
           *report = s.report();
         },
-        jobOptions(obj));
+        jobOptions(obj, requestId, "report"));
     handle->wait();
     if (handle->state() != JobState::Done) {
       return jobFailureResponse(*handle);
@@ -541,7 +694,7 @@ std::string Service::dispatch(std::string_view line) {
     const JobHandle handle = manager_.submit(
         session,
         [id](Session& s, const par::CancelToken&) { *id = s.checkpoint(); },
-        jobOptions(obj));
+        jobOptions(obj, requestId, "checkpoint"));
     handle->wait();
     if (handle->state() != JobState::Done) {
       return jobFailureResponse(*handle);
@@ -561,7 +714,7 @@ std::string Service::dispatch(std::string_view line) {
         [checkpointId](Session& s, const par::CancelToken&) {
           s.restore(checkpointId);
         },
-        jobOptions(obj));
+        jobOptions(obj, requestId, "restore"));
     handle->wait();
     if (handle->state() != JobState::Done) {
       return jobFailureResponse(*handle);
@@ -585,7 +738,7 @@ std::string Service::dispatch(std::string_view line) {
           s.release(checkpointId);
           *remaining = s.checkpointCount();
         },
-        jobOptions(obj));
+        jobOptions(obj, requestId, "release"));
     handle->wait();
     if (handle->state() != JobState::Done) {
       return jobFailureResponse(*handle);

@@ -27,6 +27,15 @@
 //   cancel     job -> {"ok":true,"state":"cancelled"|...}
 //   shutdown   -> {"ok":true}; shutdownRequested() turns true
 //
+// Request context: every request may carry "request_id" (decimal string or
+// number; one is generated when absent). The id is echoed in the response
+// as a decimal string, stamped onto every trace span the request produces
+// (queue wait, job body, session apply/sample, DD/DMAV internals — follow
+// it in Perfetto or `trace_summarize --by-request`), and written to the
+// slow-request log, so one id joins the client's view to the server's.
+// Requests with "timing":true additionally get `queue_wait_us`/`exec_us`
+// response fields for ops that ran as queue jobs.
+//
 // Every error is {"ok":false,"error":"..."} (plus "state" when a job ended
 // cancelled/expired/failed). The protocol layer is the trust boundary: every
 // numeric field is validated here (integral, non-negative, bounded — e.g.
@@ -61,6 +70,12 @@ class Service {
   /// Never throws: malformed input becomes an {"ok":false,...} response.
   std::string handleLine(std::string_view line);
 
+  /// Liveness/readiness snapshot served by the admin listener's /healthz:
+  /// status ("ok" / "degraded" when jobs are stalled), uptime, session
+  /// count, queue depth split, stall count, and per-worker progress
+  /// (busy flag, request id being executed, ms since last heartbeat).
+  [[nodiscard]] std::string healthzJson();
+
   [[nodiscard]] bool shutdownRequested() const noexcept {
     return shutdown_.load(std::memory_order_acquire);
   }
@@ -77,13 +92,22 @@ class Service {
     std::optional<std::chrono::steady_clock::time_point> expireAt;
   };
 
-  std::string dispatch(std::string_view line);
+  /// `requestId` is an out-param so handleLine can echo it even when
+  /// dispatch throws after assigning it.
+  std::string dispatch(std::string_view line, std::uint64_t& requestId);
+  /// Records a completed synchronous job in the slow-request log.
+  void logRequest(const char* op, std::uint64_t requestId,
+                  std::uint64_t sessionId, const Job& job,
+                  std::uint64_t gates);
   /// Drops terminal async jobs the client stopped polling (grace period
   /// ServiceConfig::asyncJobGraceMs). Called on every dispatch.
   void sweepExpiredJobs();
 
   SessionManager manager_;
   std::atomic<bool> shutdown_{false};
+  const std::chrono::steady_clock::time_point startTime_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> nextRequestId_{1};
 
   std::mutex jobsMutex_;
   std::unordered_map<std::uint64_t, AsyncJob> jobs_;

@@ -17,10 +17,19 @@ obs::Gauge& sessionsGauge() {
 SessionManager::SessionManager(ServiceConfig config)
     : config_{std::move(config)},
       planCache_{config_.planCacheCapacity},
-      queue_{config_.workers} {}
+      slowLog_{config_.slowLogPath, config_.slowRequestMs,
+               config_.slowLogMaxPerSec},
+      queue_{config_.workers},
+      watchdog_{queue_, &slowLog_,
+                Watchdog::Config{config_.watchdogIntervalMs,
+                                 config_.watchdogGraceMs,
+                                 config_.watchdogStallMs}} {}
 
 SessionManager::~SessionManager() {
-  // Stop the workers first: no job may touch a session or the shared plan
+  // The watchdog reads the queue's running set; stop it before the workers
+  // so shutdown never races a scan.
+  watchdog_.stop();
+  // Stop the workers next: no job may touch a session or the shared plan
   // cache while the table below is torn down.
   queue_.shutdown();
   std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions;

@@ -23,6 +23,8 @@
 #include "flatdd/plan_cache.hpp"
 #include "service/job_queue.hpp"
 #include "service/session.hpp"
+#include "service/slow_log.hpp"
+#include "service/watchdog.hpp"
 
 namespace fdd::svc {
 
@@ -35,6 +37,19 @@ struct ServiceConfig {
   /// How long a finished async job's result stays pollable after completion
   /// before the service drops it (releasing its session reference).
   std::int64_t asyncJobGraceMs = 60'000;
+  /// Requests whose total latency crosses this go to the slow-request log
+  /// (<= 0 logs everything when the log is enabled).
+  double slowRequestMs = 250;
+  /// JSONL slow-request log path ("" = disabled).
+  std::string slowLogPath;
+  /// Rate limit for slow-log writes (token bucket, burst == one second).
+  double slowLogMaxPerSec = 100;
+  /// Watchdog scan period (0 = no watchdog thread).
+  std::uint64_t watchdogIntervalMs = 500;
+  /// Slack past a job's explicit deadline before it's flagged stalled.
+  std::uint64_t watchdogGraceMs = 1000;
+  /// Execution ceiling for deadline-less jobs before they're flagged.
+  std::uint64_t watchdogStallMs = 30'000;
   /// Defaults for sessions that don't override engine options.
   engine::EngineOptions engineDefaults;
 };
@@ -70,18 +85,24 @@ class SessionManager {
   [[nodiscard]] const ServiceConfig& config() const noexcept {
     return config_;
   }
+  [[nodiscard]] SlowRequestLog& slowLog() noexcept { return slowLog_; }
+  [[nodiscard]] Watchdog& watchdog() noexcept { return watchdog_; }
 
  private:
   ServiceConfig config_;
   flat::PlanCache planCache_;
+  SlowRequestLog slowLog_;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   std::uint64_t nextId_ = 1;
 
-  // Declared last: the queue must shut down (draining jobs that reference
-  // sessions and the plan cache) before either is destroyed.
+  // Declared after the caches/sessions it must outlive shut down: the queue
+  // must drain (jobs reference sessions and the plan cache) before either
+  // is destroyed, and the watchdog — which observes the queue — is declared
+  // after it so it stops first.
   JobQueue queue_;
+  Watchdog watchdog_;
 };
 
 }  // namespace fdd::svc

@@ -1,0 +1,115 @@
+#include "service/watchdog.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fdd::svc {
+
+namespace {
+
+std::uint64_t monotonicNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::Gauge& stalledGauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("service.jobs_stalled");
+  return g;
+}
+
+obs::Counter& stalledCounter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("service.jobs_stalled_total");
+  return c;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(JobQueue& queue, SlowRequestLog* slowLog, Config config)
+    : queue_{queue}, slowLog_{slowLog}, config_{config} {
+  if (config_.intervalMs > 0) {
+    thread_ = std::thread{[this] { loop(); }};
+  }
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard lock{mutex_};
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Watchdog::loop() {
+  obs::setThreadName("svc-watchdog");
+  std::unique_lock lock{mutex_};
+  while (!stop_) {
+    wake_.wait_for(lock, std::chrono::milliseconds{config_.intervalMs},
+                   [&] { return stop_; });
+    if (stop_) {
+      return;
+    }
+    lock.unlock();
+    scanOnce();
+    lock.lock();
+  }
+}
+
+void Watchdog::scanOnce() {
+  const auto nowClock = par::CancelToken::Clock::now();
+  const std::uint64_t nowNs = monotonicNs();
+  std::size_t stalledNow = 0;
+
+  for (const JobHandle& job : queue_.runningJobs()) {
+    const std::uint64_t startNs = job->startedAtNs();
+    if (startNs == 0) {
+      continue;  // popped but not yet executing
+    }
+    bool stalled = false;
+    if (const auto deadline = job->deadline(); deadline.has_value()) {
+      stalled = nowClock > *deadline + std::chrono::milliseconds{
+                                           config_.graceMs};
+    } else {
+      stalled = nowNs - startNs > config_.stallMs * 1'000'000ULL;
+    }
+    if (!stalled) {
+      continue;
+    }
+    ++stalledNow;
+    if (!job->markStalled()) {
+      continue;  // already flagged on an earlier scan
+    }
+    stalledTotal_.fetch_add(1, std::memory_order_relaxed);
+    stalledCounter().add(1);
+    const double runningMs = static_cast<double>(nowNs - startNs) * 1e-6;
+    obs::instantEvent("service.job_stalled", runningMs, 0, job->requestId());
+    if (slowLog_ != nullptr) {
+      SlowLogEntry entry;
+      entry.event = "stall";
+      entry.op = job->label();
+      entry.requestId = job->requestId();
+      entry.executeMs = runningMs;
+      entry.totalMs = runningMs;
+      entry.state = "running";
+      slowLog_->record(entry);
+    }
+  }
+
+  stalledNow_.store(stalledNow, std::memory_order_relaxed);
+  stalledGauge().set(static_cast<double>(stalledNow));
+}
+
+}  // namespace fdd::svc

@@ -1,0 +1,80 @@
+#pragma once
+// Watchdog thread over the JobQueue: every `intervalMs` it scans the
+// currently running jobs and flags the ones that overstayed. A job is
+// stalled when
+//   * it has a deadline and `now > deadline + graceMs`, or
+//   * it has no deadline and has been executing longer than `stallMs`.
+//
+// Flagging is one-shot per job (Job::markStalled latch): the first scan that
+// catches a job bumps `service.jobs_stalled_total`, emits an obs instant
+// event, and writes a "stall" record to the slow-request log (bypassing the
+// latency threshold). Every scan also refreshes the `service.jobs_stalled`
+// gauge with the number of jobs stalled *right now*, so the gauge decays
+// back to zero when offenders finish — the counter keeps the history.
+//
+// The watchdog only observes: it never cancels a job (deadline expiry is
+// already enforced cooperatively by the job's own CancelToken) and never
+// touches session state, so a scan is a handful of atomic loads per running
+// job. Worker heartbeat freshness is surfaced separately via /healthz from
+// JobQueue::workerProgress.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "service/job_queue.hpp"
+#include "service/slow_log.hpp"
+
+namespace fdd::svc {
+
+class Watchdog {
+ public:
+  struct Config {
+    std::uint64_t intervalMs = 500;  // 0 disables the thread entirely
+    std::uint64_t graceMs = 1000;    // slack past an explicit deadline
+    std::uint64_t stallMs = 30000;   // ceiling for deadline-less jobs
+  };
+
+  /// `slowLog` may be null (stalls still count, just aren't logged).
+  Watchdog(JobQueue& queue, SlowRequestLog* slowLog, Config config);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Jobs currently past their stall boundary (refreshed each scan).
+  [[nodiscard]] std::size_t stalledNow() const noexcept {
+    return stalledNow_.load(std::memory_order_relaxed);
+  }
+  /// Total stall flags raised since construction.
+  [[nodiscard]] std::uint64_t stalledTotal() const noexcept {
+    return stalledTotal_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+
+  /// Runs one scan synchronously (test hook; also what the thread calls).
+  void scanOnce();
+
+  /// Stops the thread. Idempotent; the destructor calls it. Must be called
+  /// before the JobQueue it observes shuts down.
+  void stop();
+
+ private:
+  void loop();
+
+  JobQueue& queue_;
+  SlowRequestLog* slowLog_;
+  Config config_;
+
+  std::atomic<std::size_t> stalledNow_{0};
+  std::atomic<std::uint64_t> stalledTotal_{0};
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fdd::svc

@@ -1,13 +1,22 @@
 // Service core: job queue scheduling (priority across sessions, FIFO within
 // one, cancellation, deadlines), session semantics (seeded sampling,
 // checkpoint/restore, incremental apply), the shared plan cache's
-// cross-package contract, concurrent sessions vs sequential replay, and the
-// line-delimited JSON protocol.
+// cross-package contract, concurrent sessions vs sequential replay, the
+// line-delimited JSON protocol, and the observability surface (request-id
+// propagation, timing fields, queue gauges, watchdog, slow log, admin
+// listener).
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -18,7 +27,10 @@
 #include "engine/backend_factory.hpp"
 #include "flatdd/flatdd_simulator.hpp"
 #include "flatdd/plan_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "service/admin.hpp"
 #include "service/job_queue.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
@@ -912,6 +924,411 @@ TEST(JobQueue, TerminalJobReleasesClosure) {
   blocker.release();
   stalled.shutdown();
   EXPECT_EQ(queued.use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Request context: ids, timing fields, slow log
+// ---------------------------------------------------------------------------
+
+TEST(SvcRequestContext, RequestIdEchoedAndGenerated) {
+  Service service{withWorkers(1)};
+  // Client-supplied id (decimal string) comes back verbatim, as a string.
+  const std::string pong =
+      service.handleLine(R"({"op":"ping","request_id":"424242"})");
+  EXPECT_TRUE(responseOk(pong));
+  EXPECT_NE(pong.find("\"request_id\":\"424242\""), std::string::npos)
+      << pong;
+  // Numeric form works too.
+  const std::string numeric =
+      service.handleLine(R"({"op":"ping","request_id":7})");
+  EXPECT_NE(numeric.find("\"request_id\":\"7\""), std::string::npos);
+  // One is generated when absent.
+  const std::string generated = service.handleLine(R"({"op":"ping"})");
+  EXPECT_NE(generated.find("\"request_id\":\""), std::string::npos)
+      << generated;
+  // The id is echoed even on errors raised after it was assigned.
+  const std::string err =
+      service.handleLine(R"({"op":"frobnicate","request_id":"99"})");
+  EXPECT_FALSE(responseOk(err));
+  EXPECT_NE(err.find("\"request_id\":\"99\""), std::string::npos) << err;
+  // A full u64 above 2^53 survives the round trip undamaged.
+  const std::string big = service.handleLine(
+      R"({"op":"ping","request_id":"11529215046068469760"})");
+  EXPECT_NE(big.find("\"request_id\":\"11529215046068469760\""),
+            std::string::npos)
+      << big;
+  // Responses stay parseable with the spliced field.
+  EXPECT_NO_THROW((void)json::parse(pong));
+  EXPECT_NO_THROW((void)json::parse(err));
+}
+
+TEST(SvcRequestContext, TimingFieldsOnQueueJobOps) {
+  Service service{withWorkers(1)};
+  ASSERT_TRUE(responseOk(
+      service.handleLine(R"({"op":"open","qubits":2,"seed":1})")));
+  const std::string applied = service.handleLine(
+      R"({"op":"apply","session":1,"timing":true,"gates":[{"gate":"h","target":0}]})");
+  ASSERT_TRUE(responseOk(applied)) << applied;
+  EXPECT_NE(applied.find("\"queue_wait_us\":"), std::string::npos)
+      << applied;
+  EXPECT_NE(applied.find("\"exec_us\":"), std::string::npos) << applied;
+  EXPECT_NO_THROW((void)json::parse(applied));
+
+  const std::string sampled = service.handleLine(
+      R"({"op":"sample","session":1,"shots":4,"timing":true,"request_id":"31337"})");
+  ASSERT_TRUE(responseOk(sampled)) << sampled;
+  EXPECT_NE(sampled.find("\"queue_wait_us\":"), std::string::npos);
+  EXPECT_NE(sampled.find("\"request_id\":\"31337\""), std::string::npos);
+
+  // Without timing:true the fields are absent.
+  const std::string plain = service.handleLine(
+      R"({"op":"sample","session":1,"shots":4})");
+  EXPECT_EQ(plain.find("queue_wait_us"), std::string::npos) << plain;
+}
+
+TEST(SvcSlowLog, WritesJsonlRecordsWithRequestId) {
+  const std::string path =
+      ::testing::TempDir() + "flatdd_slow_log_test.jsonl";
+  std::remove(path.c_str());
+  {
+    ServiceConfig cfg = withWorkers(1);
+    cfg.slowLogPath = path;
+    cfg.slowRequestMs = 0;  // log every request
+    Service service{cfg};
+    ASSERT_TRUE(responseOk(
+        service.handleLine(R"({"op":"open","qubits":2,"seed":1})")));
+    ASSERT_TRUE(responseOk(service.handleLine(
+        R"({"op":"apply","session":1,"request_id":"8675309","gates":[{"gate":"h","target":0}]})")));
+    ASSERT_TRUE(responseOk(service.handleLine(
+        R"({"op":"sample","session":1,"shots":8})")));
+    EXPECT_TRUE(service.sessions().slowLog().enabled());
+    EXPECT_GE(service.sessions().slowLog().written(), 2u);
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int entries = 0;
+  bool sawApply = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const json::Value v = json::parse(line);  // every line is valid JSON
+    const json::Object& obj = asObject(v);
+    EXPECT_EQ(*obj.find("event")->second.string(), "slow_request");
+    ++entries;
+    if (*obj.find("op")->second.string() == "apply") {
+      sawApply = true;
+      EXPECT_EQ(*obj.find("request_id")->second.string(), "8675309");
+      EXPECT_EQ(*obj.find("session")->second.number(), 1);
+      EXPECT_TRUE(obj.find("queue_wait_ms") != obj.end());
+      EXPECT_TRUE(obj.find("exec_ms") != obj.end());
+      EXPECT_TRUE(obj.find("simd_tier") != obj.end());
+      EXPECT_EQ(*obj.find("gates")->second.number(), 1);
+    }
+  }
+  EXPECT_GE(entries, 2);
+  EXPECT_TRUE(sawApply);
+  std::remove(path.c_str());
+}
+
+TEST(SvcSlowLog, ThresholdAndRateLimit) {
+  const std::string path =
+      ::testing::TempDir() + "flatdd_slow_log_limit.jsonl";
+  std::remove(path.c_str());
+  {
+    // High threshold: a fast entry is skipped, a "stall" event bypasses it.
+    SlowRequestLog log{path, 1e9, 2};
+    SlowLogEntry fast;
+    fast.op = "apply";
+    fast.totalMs = 0.1;
+    EXPECT_FALSE(log.record(fast));
+    SlowLogEntry stall;
+    stall.event = "stall";
+    stall.op = "apply";
+    stall.totalMs = 0.1;
+    EXPECT_TRUE(log.record(stall));
+
+    // Token bucket: burst of `maxPerSec` then suppression.
+    SlowRequestLog limited{path + ".2", 0, 2};
+    SlowLogEntry e;
+    e.op = "sample";
+    int written = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (limited.record(e)) {
+        ++written;
+      }
+    }
+    EXPECT_LE(written, 3);  // burst cap ~= maxPerSec (+refill slop)
+    EXPECT_GT(limited.suppressed(), 0u);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".2").c_str());
+
+  // Disabled (empty path): record is a no-op that reports false.
+  SlowRequestLog off;
+  EXPECT_FALSE(off.enabled());
+  SlowLogEntry e;
+  EXPECT_FALSE(off.record(e));
+}
+
+// ---------------------------------------------------------------------------
+// Queue gauges, watchdog, healthz
+// ---------------------------------------------------------------------------
+
+#if FDD_OBS_ENABLED
+TEST(JobQueue, DepthAndStashedGaugesSplit) {
+  obs::setEnabled(true);
+  obs::Registry::instance().reset();
+  const auto gaugeValue = [](const char* name) {
+    for (const auto& g : obs::Registry::instance().snapshot().gauges) {
+      if (g.name == name) {
+        return g.value;
+      }
+    }
+    return 0.0;
+  };
+  {
+    JobQueue queue{1};
+    Blocker blocker{queue};
+    // One schedulable job on key 9, one stashed behind it on the same key.
+    const JobHandle first =
+        queue.submit([](const par::CancelToken&) {}, {}, /*orderKey=*/9);
+    const JobHandle second =
+        queue.submit([](const par::CancelToken&) {}, {}, /*orderKey=*/9);
+    EXPECT_EQ(gaugeValue("service.queue_depth"), 1.0);
+    EXPECT_EQ(gaugeValue("service.queue_stashed"), 1.0);
+    const JobQueue::Stats stats = queue.stats();
+    EXPECT_EQ(stats.runnable, 1u);
+    EXPECT_EQ(stats.stashed, 1u);
+    blocker.join();
+    first->wait();
+    second->wait();
+    EXPECT_EQ(gaugeValue("service.queue_depth"), 0.0);
+    EXPECT_EQ(gaugeValue("service.queue_stashed"), 0.0);
+  }
+  obs::setEnabled(false);
+  obs::Registry::instance().reset();
+}
+#endif  // FDD_OBS_ENABLED
+
+TEST(SvcWatchdog, FlagsLongRunningJobOnce) {
+  const std::string path = ::testing::TempDir() + "flatdd_stall_log.jsonl";
+  std::remove(path.c_str());
+  {
+    JobQueue queue{1};
+    SlowRequestLog log{path, 1e9, 100};  // threshold can't mask stalls
+    Watchdog::Config cfg;
+    cfg.intervalMs = 0;  // no thread; drive scans manually
+    cfg.graceMs = 0;
+    cfg.stallMs = 1;
+    Watchdog watchdog{queue, &log, cfg};
+    EXPECT_FALSE(watchdog.running());
+
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    JobOptions opts;
+    opts.requestId = 555;
+    opts.label = "blocker";
+    const JobHandle job = queue.submit(
+        [&](const par::CancelToken&) {
+          started.store(true);
+          while (!release.load()) {
+            std::this_thread::sleep_for(1ms);
+          }
+        },
+        opts);
+    while (!started.load()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    std::this_thread::sleep_for(5ms);  // cross the 1ms stall ceiling
+
+    watchdog.scanOnce();
+    EXPECT_EQ(watchdog.stalledNow(), 1u);
+    EXPECT_EQ(watchdog.stalledTotal(), 1u);
+    EXPECT_TRUE(job->stallFlagged());
+    watchdog.scanOnce();  // one-shot: the total must not increment again
+    EXPECT_EQ(watchdog.stalledTotal(), 1u);
+    EXPECT_EQ(log.written(), 1u);
+
+    release.store(true);
+    job->wait();
+    watchdog.scanOnce();
+    EXPECT_EQ(watchdog.stalledNow(), 0u);  // gauge decays, counter stays
+    EXPECT_EQ(watchdog.stalledTotal(), 1u);
+    watchdog.stop();
+  }
+  // The stall record carries the request id and label, bypassing the
+  // threshold.
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  const json::Object& obj = asObject(json::parse(line));
+  EXPECT_EQ(*obj.find("event")->second.string(), "stall");
+  EXPECT_EQ(*obj.find("request_id")->second.string(), "555");
+  EXPECT_EQ(*obj.find("op")->second.string(), "blocker");
+  EXPECT_EQ(*obj.find("state")->second.string(), "running");
+  std::remove(path.c_str());
+}
+
+TEST(SvcWatchdog, ThreadScansWithoutManualDriving) {
+  JobQueue queue{1};
+  Watchdog::Config cfg;
+  cfg.intervalMs = 5;
+  cfg.graceMs = 0;
+  cfg.stallMs = 1;
+  Watchdog watchdog{queue, nullptr, cfg};
+  EXPECT_TRUE(watchdog.running());
+
+  std::atomic<bool> release{false};
+  const JobHandle job = queue.submit([&](const par::CancelToken&) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  // The watchdog thread must flag the job by itself within a few periods.
+  for (int i = 0; i < 2000 && watchdog.stalledTotal() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(watchdog.stalledTotal(), 1u);
+  release.store(true);
+  job->wait();
+  watchdog.stop();
+  EXPECT_FALSE(watchdog.running());
+  watchdog.stop();  // idempotent
+}
+
+TEST(SvcHealthz, ReportsQueueAndDegradesOnStall) {
+  ServiceConfig cfg = withWorkers(1);
+  cfg.watchdogIntervalMs = 0;  // drive scans manually
+  cfg.watchdogGraceMs = 0;
+  cfg.watchdogStallMs = 1;
+  Service service{cfg};
+
+  const json::Value healthy = json::parse(service.healthzJson());
+  const json::Object& h = asObject(healthy);
+  EXPECT_EQ(*h.find("status")->second.string(), "ok");
+  EXPECT_TRUE(h.find("uptime_seconds") != h.end());
+  EXPECT_TRUE(h.find("sessions") != h.end());
+  const json::Object& q = *h.find("queue")->second.object();
+  EXPECT_EQ(*q.find("workers")->second.number(), 1);
+  EXPECT_TRUE(q.find("depth") != q.end());
+  EXPECT_TRUE(q.find("stashed") != q.end());
+  EXPECT_TRUE(h.find("worker_progress") != h.end());
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  const JobHandle job = service.sessions().queue().submit(
+      [&](const par::CancelToken&) {
+        started.store(true);
+        while (!release.load()) {
+          std::this_thread::sleep_for(1ms);
+        }
+      });
+  while (!started.load()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(5ms);
+  service.sessions().watchdog().scanOnce();
+
+  const std::string degraded = service.healthzJson();
+  EXPECT_NE(degraded.find("\"status\":\"degraded\""), std::string::npos)
+      << degraded;
+  EXPECT_NE(degraded.find("\"jobs_stalled\":1"), std::string::npos)
+      << degraded;
+
+  release.store(true);
+  job->wait();
+  service.sessions().watchdog().scanOnce();
+  const std::string recovered = service.healthzJson();
+  EXPECT_NE(recovered.find("\"status\":\"ok\""), std::string::npos)
+      << recovered;
+  EXPECT_NE(recovered.find("\"jobs_stalled_total\":1"), std::string::npos)
+      << recovered;
+}
+
+// ---------------------------------------------------------------------------
+// Admin listener
+// ---------------------------------------------------------------------------
+
+std::string httpGet(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)::write(fd, req.data(), req.size());
+  std::string out;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string httpBody(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string{} : response.substr(pos + 4);
+}
+
+TEST(SvcAdmin, ServesMetricsHealthzAndTracez) {
+  // obs on so /metrics and /tracez carry content — mirrors --metrics-port.
+  obs::setEnabled(true);
+  obs::clearTrace();
+  obs::Registry::instance().reset();
+  {
+    Service service{withWorkers(1)};
+    AdminServer admin{service, 0};  // ephemeral port
+    ASSERT_NE(admin.port(), 0);
+
+    ASSERT_TRUE(responseOk(
+        service.handleLine(R"({"op":"open","qubits":2,"seed":1})")));
+    ASSERT_TRUE(responseOk(service.handleLine(
+        R"({"op":"apply","session":1,"gates":[{"gate":"h","target":0}]})")));
+
+    const std::string metrics = httpGet(admin.port(), "/metrics");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(metrics.find("flatdd_uptime_seconds"), std::string::npos);
+#if FDD_OBS_ENABLED
+    // The sync apply ran as a queue job, so its latency histogram is live.
+    EXPECT_NE(metrics.find("flatdd_service_job_latency_seconds"),
+              std::string::npos)
+        << metrics;
+#endif
+
+    const std::string healthz = httpGet(admin.port(), "/healthz");
+    EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+    EXPECT_NE(healthz.find("application/json"), std::string::npos);
+    const json::Value h = json::parse(httpBody(healthz));
+    EXPECT_EQ(*asObject(h).find("status")->second.string(), "ok");
+    EXPECT_EQ(*asObject(h).find("sessions")->second.number(), 1);
+
+    const std::string tracez = httpGet(admin.port(), "/tracez");
+    EXPECT_NE(tracez.find("200 OK"), std::string::npos);
+    const json::Value t = json::parse(httpBody(tracez));
+    EXPECT_TRUE(asObject(t).find("traceEvents") != asObject(t).end());
+
+    const std::string missing = httpGet(admin.port(), "/nope");
+    EXPECT_NE(missing.find("404"), std::string::npos);
+
+    admin.stop();
+    admin.stop();  // idempotent
+  }
+  obs::setEnabled(false);
+  obs::clearTrace();
+  obs::Registry::instance().reset();
 }
 
 // ---------------------------------------------------------------------------

@@ -6,11 +6,17 @@
 //
 //   echo '{"op":"ping"}' | flatdd_serve
 //   flatdd_serve --tcp 7117 --workers 4 --trace serve_trace.json
+//   flatdd_serve --tcp 7117 --metrics-port 7118 --slow-log slow.jsonl
 //
 // The process exits after a {"op":"shutdown"} request (or EOF on stdin in
 // stdio mode). With --trace, the observability runtime is enabled and a
 // Chrome trace (service.job / service.session_apply spans, queue-depth
 // counters) is written on exit — feed it to trace_summarize.
+//
+// --metrics-port starts the admin HTTP listener (also implies obs): GET
+// /metrics for Prometheus exposition, /healthz for liveness, /tracez for a
+// live flight-recorder export, all without pausing workers. --slow-log
+// appends structured JSONL records for requests slower than --slow-ms.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -22,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -30,6 +37,7 @@
 
 #include "bench_json.hpp"
 #include "obs/trace.hpp"
+#include "service/admin.hpp"
 #include "service/protocol.hpp"
 
 namespace {
@@ -38,24 +46,33 @@ using fdd::svc::Service;
 using fdd::svc::ServiceConfig;
 
 struct Options {
-  int tcpPort = -1;  // <0: stdio mode
+  int tcpPort = -1;      // <0: stdio mode
+  int metricsPort = -1;  // <0: no admin listener
   unsigned workers = 4;
   unsigned threads = 1;
   std::size_t planCacheCapacity = 256;
   std::string traceFile;
+  std::string slowLogFile;
+  double slowMs = 250;
   bool help = false;
 };
 
 void printUsage() {
   std::cout
       << "usage: flatdd_serve [options]\n"
-         "  --tcp PORT        listen on 127.0.0.1:PORT instead of stdio\n"
-         "  --workers N       job-queue worker threads (default 4)\n"
-         "  --threads N       default simulation threads per session "
+         "  --tcp PORT          listen on 127.0.0.1:PORT instead of stdio\n"
+         "  --metrics-port PORT admin listener on 127.0.0.1:PORT (implies\n"
+         "                      obs): GET /metrics, /healthz, /tracez\n"
+         "  --workers N         job-queue worker threads (default 4)\n"
+         "  --threads N         default simulation threads per session "
          "(default 1)\n"
-         "  --plan-cache N    shared DMAV plan cache capacity (default 256)\n"
-         "  --trace FILE      enable obs, write a Chrome trace on exit\n"
-         "  --help            this text\n";
+         "  --plan-cache N      shared DMAV plan cache capacity (default "
+         "256)\n"
+         "  --trace FILE        enable obs, write a Chrome trace on exit\n"
+         "  --slow-log FILE     append JSONL records for slow requests\n"
+         "  --slow-ms N         slow-request threshold in ms (default 250;\n"
+         "                      0 logs every request)\n"
+         "  --help              this text\n";
 }
 
 Options parseArgs(int argc, char** argv) {
@@ -70,6 +87,12 @@ Options parseArgs(int argc, char** argv) {
     };
     if (arg == "--tcp") {
       opt.tcpPort = std::stoi(value());
+    } else if (arg == "--metrics-port") {
+      opt.metricsPort = std::stoi(value());
+    } else if (arg == "--slow-log") {
+      opt.slowLogFile = value();
+    } else if (arg == "--slow-ms") {
+      opt.slowMs = std::stod(value());
     } else if (arg == "--workers") {
       opt.workers = static_cast<unsigned>(std::stoul(value()));
     } else if (arg == "--threads") {
@@ -246,7 +269,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!opt.traceFile.empty()) {
+  // The admin listener serves /tracez and request-id-stamped spans, so it
+  // implies the obs runtime just like --trace does.
+  if (!opt.traceFile.empty() || opt.metricsPort >= 0) {
     fdd::obs::setEnabled(true);
   }
 
@@ -254,12 +279,29 @@ int main(int argc, char** argv) {
   config.workers = opt.workers;
   config.planCacheCapacity = opt.planCacheCapacity;
   config.engineDefaults.threads = opt.threads;
+  config.slowLogPath = opt.slowLogFile;
+  config.slowRequestMs = opt.slowMs;
 
   int rc = 0;
   {
     Service service{config};
+    std::unique_ptr<fdd::svc::AdminServer> admin;
+    if (opt.metricsPort >= 0) {
+      try {
+        admin = std::make_unique<fdd::svc::AdminServer>(
+            service, static_cast<std::uint16_t>(opt.metricsPort));
+      } catch (const std::exception& e) {
+        std::cerr << "flatdd_serve: " << e.what() << "\n";
+        return 1;
+      }
+      std::cerr << "flatdd_serve admin on 127.0.0.1:" << admin->port()
+                << "\n"
+                << std::flush;
+    }
     rc = opt.tcpPort >= 0 ? runTcp(service, opt.tcpPort)
                           : runStdio(service);
+    // Admin stops before the service: /healthz and /tracez must never race
+    // worker teardown.
   }  // service (and its worker threads) down before the trace is exported
 
   if (!opt.traceFile.empty()) {

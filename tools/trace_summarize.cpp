@@ -7,6 +7,14 @@
 //
 //   trace_summarize trace.json
 //   trace_summarize --sort count --top 10 trace.json
+//   trace_summarize --percentiles trace.json
+//   trace_summarize --by-request serve_trace.json
+//
+// --percentiles widens the span table with p50/p90 columns. --by-request
+// groups spans by the request_id arg the service stamps on them (see
+// src/service/protocol.hpp) and prints one row per request with its
+// queue-wait (service.queue_wait spans) vs execute (service.job spans)
+// split — the server-side ledger for any request id a client holds.
 
 #include <algorithm>
 #include <cstdio>
@@ -66,10 +74,19 @@ std::string stringField(const Object& o, const char* key) {
   return {};
 }
 
+/// Per-request aggregate built from the request_id span args.
+struct RequestAgg {
+  std::size_t spanCount = 0;
+  double queueWaitUs = 0;  // service.queue_wait spans
+  double executeUs = 0;    // service.job spans
+  double firstTsUs = 0;
+  std::vector<std::string> ops;  // distinct top-level span names seen
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage: trace_summarize [--sort total|count|mean|p99] "
-               "[--top N] trace.json\n");
+               "[--top N] [--percentiles] [--by-request] trace.json\n");
   return 2;
 }
 
@@ -79,12 +96,18 @@ int main(int argc, char** argv) {
   std::string path;
   std::string sortKey = "total";
   std::size_t top = 0;  // 0 = all
+  bool percentiles = false;
+  bool byRequest = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--sort" && i + 1 < argc) {
       sortKey = argv[++i];
     } else if (arg == "--top" && i + 1 < argc) {
       top = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--percentiles") {
+      percentiles = true;
+    } else if (arg == "--by-request") {
+      byRequest = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -131,6 +154,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::size_t> instants;
   std::map<double, std::string> threadNames;
   std::map<double, std::size_t> perThreadEvents;
+  std::map<std::string, RequestAgg> requests;  // request_id -> aggregate
 
   for (const Value& entry : *events) {
     const Object* ev = entry.object();
@@ -159,6 +183,28 @@ int main(int argc, char** argv) {
       agg.totalUs += dur;
       agg.durationsUs.push_back(dur);
       ++agg.perTid[tid];
+      if (const auto it = ev->find("args"); it != ev->end()) {
+        if (const Object* args = it->second.object()) {
+          const std::string requestId = stringField(*args, "request_id");
+          if (!requestId.empty()) {
+            RequestAgg& req = requests[requestId];
+            const double ts = numberField(*ev, "ts");
+            if (req.spanCount == 0 || ts < req.firstTsUs) {
+              req.firstTsUs = ts;
+            }
+            ++req.spanCount;
+            if (name == "service.queue_wait") {
+              req.queueWaitUs += dur;
+            } else if (name == "service.job") {
+              req.executeUs += dur;
+            }
+            if (std::find(req.ops.begin(), req.ops.end(), name) ==
+                req.ops.end()) {
+              req.ops.push_back(name);
+            }
+          }
+        }
+      }
     } else if (ph == "C") {
       CounterAgg& agg = counters[name];
       double value = 0;
@@ -184,6 +230,8 @@ int main(int argc, char** argv) {
     std::size_t count;
     double totalUs;
     double meanUs;
+    double p50Us;
+    double p90Us;
     double p99Us;
     std::size_t tids;
   };
@@ -193,6 +241,8 @@ int main(int argc, char** argv) {
     std::sort(agg.durationsUs.begin(), agg.durationsUs.end());
     rows.push_back(Row{name, agg.count, agg.totalUs,
                        agg.totalUs / static_cast<double>(agg.count),
+                       quantile(agg.durationsUs, 0.50),
+                       quantile(agg.durationsUs, 0.90),
                        quantile(agg.durationsUs, 0.99), agg.perTid.size()});
   }
   std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
@@ -208,16 +258,61 @@ int main(int argc, char** argv) {
               perThreadEvents.size());
 
   if (!rows.empty()) {
-    std::printf("\n%-24s %10s %12s %12s %12s %5s\n", "span", "count",
-                "total_ms", "mean_us", "p99_us", "tids");
+    if (percentiles) {
+      std::printf("\n%-24s %10s %12s %12s %12s %12s %12s %5s\n", "span",
+                  "count", "total_ms", "mean_us", "p50_us", "p90_us",
+                  "p99_us", "tids");
+    } else {
+      std::printf("\n%-24s %10s %12s %12s %12s %5s\n", "span", "count",
+                  "total_ms", "mean_us", "p99_us", "tids");
+    }
     std::size_t printed = 0;
     for (const Row& r : rows) {
       if (top != 0 && printed++ >= top) {
         break;
       }
-      std::printf("%-24s %10zu %12.3f %12.3f %12.3f %5zu\n", r.name.c_str(),
-                  r.count, r.totalUs / 1e3, r.meanUs, r.p99Us, r.tids);
+      if (percentiles) {
+        std::printf("%-24s %10zu %12.3f %12.3f %12.3f %12.3f %12.3f %5zu\n",
+                    r.name.c_str(), r.count, r.totalUs / 1e3, r.meanUs,
+                    r.p50Us, r.p90Us, r.p99Us, r.tids);
+      } else {
+        std::printf("%-24s %10zu %12.3f %12.3f %12.3f %5zu\n",
+                    r.name.c_str(), r.count, r.totalUs / 1e3, r.meanUs,
+                    r.p99Us, r.tids);
+      }
     }
+  }
+  if (byRequest && !requests.empty()) {
+    // Chronological by first span — the order requests actually hit the
+    // service, not lexicographic id order.
+    std::vector<std::pair<std::string, const RequestAgg*>> reqRows;
+    reqRows.reserve(requests.size());
+    for (const auto& [id, agg] : requests) {
+      reqRows.emplace_back(id, &agg);
+    }
+    std::sort(reqRows.begin(), reqRows.end(),
+              [](const auto& a, const auto& b) {
+                return a.second->firstTsUs < b.second->firstTsUs;
+              });
+    std::printf("\n%-20s %6s %14s %14s %14s  %s\n", "request", "spans",
+                "queue_wait_us", "execute_us", "total_us", "ops");
+    std::size_t printed = 0;
+    for (const auto& [id, agg] : reqRows) {
+      if (top != 0 && printed++ >= top) {
+        break;
+      }
+      std::string ops;
+      for (const std::string& op : agg->ops) {
+        if (!ops.empty()) {
+          ops += ',';
+        }
+        ops += op;
+      }
+      std::printf("%-20s %6zu %14.3f %14.3f %14.3f  %s\n", id.c_str(),
+                  agg->spanCount, agg->queueWaitUs, agg->executeUs,
+                  agg->queueWaitUs + agg->executeUs, ops.c_str());
+    }
+    std::printf("%zu requests total\n", requests.size());
   }
   if (!counters.empty()) {
     std::printf("\n%-24s %10s %14s %14s %14s\n", "counter", "points", "min",
