@@ -1,0 +1,46 @@
+#include "dd/reorder.hpp"
+
+#include <cstddef>
+
+#include "dd/package.hpp"
+#include "obs/metrics.hpp"
+
+namespace fdd::dd {
+
+ReorderResult reorderGreedy(Package& pkg, const vEdge& state,
+                            const ReorderOptions& options) {
+  FDD_TIMED_SCOPE("dd.reorder");
+  ReorderResult result;
+  result.state = state;
+  result.nodesBefore = pkg.nodeCount(state);
+  result.nodesAfter = result.nodesBefore;
+  if (state.isZero() || state.isTerminal() || pkg.numQubits() < 2) {
+    return result;
+  }
+
+  std::size_t current = result.nodesBefore;
+  for (std::size_t round = 0; round < options.maxRounds; ++round) {
+    bool improvedThisRound = false;
+    for (Qubit lower = 0; lower + 1 < pkg.numQubits(); ++lower) {
+      const vEdge trial = pkg.swapAdjacent(result.state, lower);
+      const std::size_t trialNodes = pkg.nodeCount(trial);
+      const fp required =
+          static_cast<fp>(current) * (1.0 - options.minGainFraction);
+      if (static_cast<fp>(trialNodes) < required) {
+        result.state = trial;
+        result.swaps.push_back(lower);
+        current = trialNodes;
+        improvedThisRound = true;
+      }
+      // Rejected trials leave unreferenced nodes behind; the caller's next
+      // garbageCollect() reclaims them.
+    }
+    if (!improvedThisRound) {
+      break;
+    }
+  }
+  result.nodesAfter = current;
+  return result;
+}
+
+}  // namespace fdd::dd

@@ -1,0 +1,55 @@
+#pragma once
+// Greedy dynamic variable reordering for vector DDs (the "reorder trick",
+// arXiv:2211.07110): sweeps of trial adjacent-level swaps that keep only the
+// swaps shrinking the state's node count. Intended to run at a quiescent
+// point between gate applications — FlatDD invokes it when the EWMA monitor
+// is about to trigger a conversion, so the flat array is materialized from
+// the smallest DD the sweep can find ("reorder before converting").
+//
+// The caller owns the bookkeeping that makes a reorder observable:
+// replacing the simulator's root reference, updating its qubit <-> level
+// permutation by the returned swap list, and bumping the package's
+// orderingEpoch so plan caches keyed on flat indices invalidate.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dd/edge.hpp"
+
+namespace fdd::dd {
+
+class Package;
+
+struct ReorderOptions {
+  /// Full bubble sweeps over the levels per call. Each sweep trials every
+  /// adjacent pair once; a second sweep catches variables that want to
+  /// travel more than one level. More rounds rarely pay within one call —
+  /// the driver can always reorder again at the next trigger.
+  std::size_t maxRounds = 2;
+  /// A trial swap is kept only when it shrinks the node count by at least
+  /// this fraction (0 keeps any strict improvement). Guards against churn
+  /// on plateaus where a swap saves one node.
+  fp minGainFraction = 0.0;
+};
+
+struct ReorderResult {
+  /// The reordered state (== the input edge when no swap was kept). The
+  /// edge is unreferenced; the caller incRefs it (and decRefs the old root)
+  /// before the next garbage collection.
+  vEdge state;
+  /// Accepted swaps in application order; each entry is the lower level of
+  /// the exchanged pair. Replaying these on a level -> qubit array yields
+  /// the new ordering.
+  std::vector<Qubit> swaps;
+  std::size_t nodesBefore = 0;
+  std::size_t nodesAfter = 0;
+};
+
+/// Greedy sifting over `state`. Rejected trial nodes stay in the unique
+/// table as garbage until the caller's next garbageCollect(); the function
+/// itself never collects (the input and every trial root are unreferenced).
+[[nodiscard]] ReorderResult reorderGreedy(Package& pkg, const vEdge& state,
+                                          const ReorderOptions& options = {});
+
+}  // namespace fdd::dd

@@ -18,6 +18,9 @@ namespace fdd::engine {
 /// Pass names understood by the pipeline (see pass_pipeline.hpp):
 ///   "optimize"     — qc peephole optimizer (inverse cancellation, rotation
 ///                    merging, identity dropping); rewrites the circuit.
+///   "ordering"     — scored static qubit ordering (engine/ordering.hpp);
+///                    armed here, the engine wraps the backend in an
+///                    OrderedBackend at the first gate batch.
 ///   "fusion-dmav"  — DMAV-aware gate fusion (Algorithm 3); armed here,
 ///                    executed by the flatdd backend at its conversion point.
 ///   "fusion-kops"  — k-operations fusion baseline; armed like fusion-dmav.
@@ -43,6 +46,18 @@ struct EngineOptions {
   std::size_t ewmaWarmupGates = 8;
   std::size_t ewmaMinDDSize = 64;
   std::optional<std::size_t> forceConversionAtGate;  // override the EWMA
+
+  // ---- dynamic variable reordering (flatdd backend, arXiv:2211.07110) ----
+  /// When the EWMA fires, first try a greedy adjacent-level reorder of the
+  /// state DD; if it shrinks the DD below `ddReorderKeepRatio` of its size,
+  /// stay in the DD phase (conversion deferred) — otherwise convert the
+  /// (possibly still smaller) DD.
+  bool ddReorder = false;
+  /// Cap on accepted reorders per run (each one relabels internal qubits
+  /// and invalidates compiled plans via the ordering epoch).
+  std::size_t ddMaxReorders = 4;
+  /// Conversion is cancelled when nodesAfter <= keepRatio * nodesBefore.
+  fp ddReorderKeepRatio = 0.7;
 
   // ---- DMAV caching (flatdd backend) ------------------------------------
   bool useCostModel = true;
@@ -100,6 +115,9 @@ struct EngineOptions {
     o.tolerance = tolerance;
     o.recordPerGate = recordPerGate;
     o.forceConversionAtGate = forceConversionAtGate;
+    o.ddReorder = ddReorder;
+    o.maxReorders = ddMaxReorders;
+    o.reorderKeepRatio = ddReorderKeepRatio;
     o.usePlanCache = usePlanCache;
     o.planCacheCapacity = planCacheCapacity;
     o.fuseDiagonalRuns = fuseDiagonalRuns;

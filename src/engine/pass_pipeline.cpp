@@ -9,8 +9,8 @@
 namespace fdd::engine {
 
 const std::vector<std::string>& PassPipeline::knownPasses() {
-  static const std::vector<std::string> names{"optimize", "fusion-dmav",
-                                              "fusion-kops"};
+  static const std::vector<std::string> names{"ordering", "optimize",
+                                              "fusion-dmav", "fusion-kops"};
   return names;
 }
 
@@ -50,6 +50,13 @@ qc::Circuit PassPipeline::run(const qc::Circuit& circuit,
                    " rotations merged, " +
                    std::to_string(stats.droppedIdentities) +
                    " identities dropped";
+    } else if (name == "ordering") {
+      // Scored at the first gate batch by the engine, which then wraps the
+      // backend so inputs/outputs are permuted transparently (the circuit
+      // text itself is untouched — relabeling happens inside the wrapper).
+      entry.circuitTransform = false;
+      entry.gatesAfter = prepared.numGates();
+      entry.note = "armed; backend inputs/outputs permuted by the engine";
     } else {
       // fusion-dmav / fusion-kops: armed here, executed by the flatdd
       // backend where the remaining gates are known (its conversion point).

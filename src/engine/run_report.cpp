@@ -267,7 +267,18 @@ std::string RunReport::toJson() const {
   w.field("denseBlockGates", denseBlockGates);
   w.field("peakDDSize", peakDDSize);
   w.field("dmavModelCost", dmavModelCost);
+  w.field("reorderCount", reorderCount);
+  w.field("reorderSwaps", reorderSwaps);
+  w.field("ddSizePreReorder", ddSizePreReorder);
+  w.field("ddSizePostReorder", ddSizePostReorder);
+  w.field("reorderSeconds", reorderSeconds);
   w.endObject();
+
+  w.beginArray("ordering");
+  for (const Qubit q : ordering) {
+    w.element(static_cast<double>(q));
+  }
+  w.endArray();
 
   w.beginObjectIn("memory");
   w.field("accountedBytes", memoryBytes);
@@ -369,6 +380,20 @@ RunReport RunReport::fromJson(std::string_view text) {
       get(*c, "denseBlockGates", r.denseBlockGates);
       get(*c, "peakDDSize", r.peakDDSize);
       get(*c, "dmavModelCost", r.dmavModelCost);
+      get(*c, "reorderCount", r.reorderCount);
+      get(*c, "reorderSwaps", r.reorderSwaps);
+      get(*c, "ddSizePreReorder", r.ddSizePreReorder);
+      get(*c, "ddSizePostReorder", r.ddSizePostReorder);
+      get(*c, "reorderSeconds", r.reorderSeconds);
+    }
+  }
+  if (const auto it = top->find("ordering"); it != top->end()) {
+    if (const JsonArray* arr = it->second.array()) {
+      for (const auto& entry : *arr) {
+        r.ordering.push_back(entry.number() != nullptr
+                                 ? static_cast<Qubit>(*entry.number())
+                                 : Qubit{0});
+      }
     }
   }
   if (const auto it = top->find("memory"); it != top->end()) {
@@ -469,6 +494,21 @@ std::string RunReport::toCsv() const {
   row("dense_block_gates", std::to_string(denseBlockGates));
   row("peak_dd_size", std::to_string(peakDDSize));
   row("dmav_model_cost", numberToString(dmavModelCost));
+  row("reorder_count", std::to_string(reorderCount));
+  row("reorder_swaps", std::to_string(reorderSwaps));
+  row("dd_size_pre_reorder", std::to_string(ddSizePreReorder));
+  row("dd_size_post_reorder", std::to_string(ddSizePostReorder));
+  row("reorder_seconds", numberToString(reorderSeconds));
+  if (!ordering.empty()) {
+    std::string levels;
+    for (const Qubit q : ordering) {
+      if (!levels.empty()) {
+        levels += ' ';
+      }
+      levels += std::to_string(q);
+    }
+    row("ordering", levels);
+  }
   row("memory_bytes", std::to_string(memoryBytes));
   row("peak_rss_bytes", std::to_string(peakRssBytes));
   if (!metrics.empty()) {

@@ -2,8 +2,11 @@
 
 #include <stdexcept>
 
+#include <algorithm>
+
 #include "common/rss.hpp"
 #include "common/timing.hpp"
+#include "engine/ordering.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simd/kernels.hpp"
@@ -45,6 +48,7 @@ void SimulationEngine::begin(const std::string& backendName, Qubit nQubits) {
   cumulative_.simdTier = simd::toString(simd::activeTier());
   cumulative_.simdLanes = simd::lanes();
   backend_ = BackendFactory::instance().create(backendName, nQubits, options_);
+  orderingApplied_ = false;
 }
 
 std::size_t SimulationEngine::apply(const qc::Circuit& chunk) {
@@ -55,6 +59,27 @@ std::size_t SimulationEngine::apply(const qc::Circuit& chunk) {
 
   Stopwatch pipeline;
   const qc::Circuit prepared = PassPipeline::run(chunk, options_, cumulative_);
+
+  // The "ordering" pass scores on the first non-empty batch, while the
+  // backend is still on |0...0> (permuting |0...0> is a no-op, so wrapping
+  // at this point is exact). Later batches stream through the same wrapper.
+  if (!orderingApplied_ && cumulative_.gates == 0 && prepared.numGates() > 0 &&
+      std::find(options_.passes.begin(), options_.passes.end(), "ordering") !=
+          options_.passes.end()) {
+    QubitOrdering ord = scoreOrdering(prepared);
+    const auto entry = std::find_if(
+        cumulative_.passes.rbegin(), cumulative_.passes.rend(),
+        [](const PassReport& p) { return p.name == "ordering"; });
+    if (entry != cumulative_.passes.rend()) {
+      entry->note = ord.isIdentity() ? "identity (no 2-qubit interaction)"
+                                     : ord.toString();
+    }
+    if (!ord.isIdentity()) {
+      backend_ = makeOrderedBackend(std::move(backend_), std::move(ord));
+    }
+    orderingApplied_ = true;
+  }
+
   cumulative_.pipelineSeconds += pipeline.seconds();
   cumulative_.gates += prepared.numGates();
   cumulative_.depth += prepared.depth();

@@ -79,6 +79,9 @@ class SimulationEngine {
   EngineOptions options_;
   std::unique_ptr<Backend> backend_;
   RunReport cumulative_;  // identity + accumulated timings across apply()s
+  /// The "ordering" pass scores on the first non-empty gate batch, then
+  /// wraps backend_ in an OrderedBackend once; later batches reuse it.
+  bool orderingApplied_ = false;
 };
 
 /// Convenience wrapper: one-shot run, discarding the backend afterwards.

@@ -41,6 +41,13 @@ void DDSimulator::applyOperation(const qc::Operation& op) {
   pkg_->garbageCollect();
 }
 
+void DDSimulator::replaceState(const dd::vEdge& next) {
+  pkg_->incRef(next);
+  pkg_->decRef(root_);
+  root_ = next;
+  pkg_->garbageCollect();
+}
+
 void DDSimulator::releaseState() {
   pkg_->decRef(root_);
   root_ = pkg_->makeZeroState();
